@@ -1,0 +1,105 @@
+// Ablation of the Sec. 4 translation improvements: each query isolates
+// one optimization; the table reports canonical vs improved times (the
+// DESIGN.md experiment ids abl-dup, abl-stack, abl-memo).
+#include <cstdio>
+#include <string>
+
+#include "util.h"
+#include "gen/xdoc_generator.h"
+#include "translate/translator.h"
+
+namespace {
+
+using natix::benchutil::LoadAll;
+using natix::benchutil::LoadedDocument;
+using natix::benchutil::TimeSeconds;
+using natix::translate::TranslatorOptions;
+
+double TimeWith(LoadedDocument& doc, const std::string& query,
+                const TranslatorOptions& options) {
+  auto compiled = doc.db->Compile(query, options);
+  NATIX_CHECK(compiled.ok());
+  return TimeSeconds([&] {
+    auto nodes = (*compiled)->EvaluateNodes(doc.root,
+                                            /*document_order=*/false);
+    NATIX_CHECK(nodes.ok());
+  });
+}
+
+void Run(LoadedDocument& doc, const char* label, const std::string& query,
+         void (*tweak)(TranslatorOptions*)) {
+  TranslatorOptions canonical = TranslatorOptions::Canonical();
+  TranslatorOptions single = TranslatorOptions::Canonical();
+  tweak(&single);
+  TranslatorOptions improved = TranslatorOptions::Improved();
+  std::printf("%-10s %-52s %12.4f %14.4f %12.4f\n", label, query.c_str(),
+              TimeWith(doc, query, canonical),
+              TimeWith(doc, query, single),
+              TimeWith(doc, query, improved));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  natix::gen::XDocOptions options;
+  options.max_elements = 20000;
+  options.fanout = 10;
+  options.depth = 5;
+  if (std::getenv("NATIX_BENCH_SMALL") != nullptr) {
+    options.max_elements = 4000;
+  }
+  LoadedDocument doc = LoadAll(natix::gen::GenerateXDoc(options));
+  // A smaller, deeper document for the memoization ablation (inner-path
+  // evaluation is quadratic in document size).
+  natix::gen::XDocOptions memo_options;
+  memo_options.max_elements =
+      std::getenv("NATIX_BENCH_SMALL") != nullptr ? 400 : 1500;
+  memo_options.fanout = 3;
+  memo_options.depth = 8;
+  LoadedDocument memo_doc = LoadAll(natix::gen::GenerateXDoc(memo_options));
+  std::printf("# ablation of the Sec. 4 improvements (%llu elements)\n",
+              static_cast<unsigned long long>(options.max_elements));
+  std::printf("%-10s %-52s %12s %14s %12s\n", "ablation", "query",
+              "canonical[s]", "only-this[s]", "improved[s]");
+
+  // abl-dup (Sec. 4.1): ppd chains multiply duplicates without pushed
+  // duplicate elimination.
+  Run(doc, "abl-dup", "/child::xdoc/desc::*/anc::*/anc::*/@id",
+      [](TranslatorOptions* o) { o->push_duplicate_elimination = true; });
+  Run(doc, "abl-dup", "/child::xdoc/child::*/par::*/desc::*/@id",
+      [](TranslatorOptions* o) { o->push_duplicate_elimination = true; });
+
+  // abl-stack (Sec. 4.2.1): long outer child chains — stacked pipeline vs
+  // a chain of d-joins.
+  Run(doc, "abl-stack", "/xdoc/n/n/n/n/n",
+      [](TranslatorOptions* o) { o->stacked_outer_paths = true; });
+  Run(doc, "abl-stack", "/xdoc/n/n/n/parent::*/parent::*/n/n",
+      [](TranslatorOptions* o) { o->stacked_outer_paths = true; });
+
+  // abl-memo (Sec. 4.2.2): the paper's inner-path example. The outer
+  // contexts (descendant::*) nest, so the inner desc::n sets overlap and
+  // the same nodes' following::n walks repeat across predicate
+  // evaluations — exactly what the MemoX operator collapses.
+  Run(memo_doc, "abl-memo",
+      "/desc::n[count(./desc::n/fol::n) > 200]/@id",
+      [](TranslatorOptions* o) { o->memoize_inner_paths = true; });
+
+  // abl-split (Sec. 4.3.2): cheap-first conjunct ordering with chi^mat.
+  Run(doc, "abl-split",
+      "/xdoc/n/n[count(desc::n) > 5 and @id='3']/@id",
+      [](TranslatorOptions* o) { o->split_expensive_predicates = true; });
+
+  // abl-simplify (extension): order inference removes the Sort of a
+  // positional filter expression over an ordered (stacked) pipeline, so
+  // the comparison is improved-without-simplifier vs improved.
+  {
+    std::string query = "(/xdoc/n/n/n/n)[last()]";
+    TranslatorOptions no_simplify = TranslatorOptions::Improved();
+    no_simplify.simplify_plan = false;
+    std::printf("%-10s %-52s %12.4f %14s %12.4f\n", "abl-simpl",
+                query.c_str(), TimeWith(doc, query, no_simplify), "-",
+                TimeWith(doc, query, TranslatorOptions::Improved()));
+  }
+  return 0;
+}

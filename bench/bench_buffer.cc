@@ -1,0 +1,59 @@
+// Out-of-core behaviour: the iterator plans navigate the page buffer
+// directly, so query performance degrades gracefully as the buffer pool
+// shrinks below the document size — the scalability argument of the
+// paper's introduction (main-memory interpreters simply fail instead;
+// compare the truncated curves in Figs. 6-9).
+#include <cstdio>
+
+#include "api/database.h"
+#include "base/logging.h"
+#include "util.h"
+#include "gen/xdoc_generator.h"
+
+int main() {
+  natix::gen::XDocOptions gen_options;
+  gen_options.max_elements = 40000;
+  gen_options.fanout = 10;
+  gen_options.depth = 5;
+  if (std::getenv("NATIX_BENCH_SMALL") != nullptr) {
+    gen_options.max_elements = 8000;
+  }
+  std::string xml = natix::gen::GenerateXDoc(gen_options);
+
+  const char* query = "/child::xdoc/desc::*/anc::*/desc::*/@id";
+  std::printf(
+      "# buffer-pool sweep on a %llu-element document, query: %s\n",
+      static_cast<unsigned long long>(gen_options.max_elements), query);
+  std::printf("%-14s %10s %12s %12s %12s\n", "buffer[pages]", "time[s]",
+              "faults", "evictions", "pages");
+
+  for (size_t pages : {16u, 64u, 256u, 1024u, 8192u}) {
+    natix::Database::Options options;
+    options.buffer_pages = pages;
+    auto db = natix::Database::CreateTemp(options);
+    NATIX_CHECK(db.ok());
+    auto info = (*db)->LoadDocument("doc", xml);
+    NATIX_CHECK(info.ok());
+
+    auto compiled = (*db)->Compile(query);
+    NATIX_CHECK(compiled.ok());
+    const auto* bm = (*db)->store()->buffer_manager();
+    uint64_t faults_before = bm->fault_count();
+    uint64_t evictions_before = bm->eviction_count();
+    double seconds = natix::benchutil::TimeSeconds([&] {
+      auto nodes = (*compiled)->EvaluateNodes(info->root,
+                                              /*document_order=*/false);
+      NATIX_CHECK(nodes.ok());
+    });
+    std::printf("%-14zu %10.4f %12llu %12llu %12u\n", pages, seconds,
+                static_cast<unsigned long long>(bm->fault_count() -
+                                                faults_before),
+                static_cast<unsigned long long>(bm->eviction_count() -
+                                                evictions_before),
+                (*db)->store()->buffer_manager()->capacity() != 0
+                    ? static_cast<unsigned>(pages)
+                    : 0u);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Worst-case complexity (Sec. 4 / Gottlob et al. [7,8]): on the document
+// <a><b/><b/></a>, the path b/parent::a/b/parent::a/... doubles its
+// context list at every level unless duplicates are eliminated between
+// steps. The canonical translation (one final duplicate elimination,
+// Sec. 3.1.1) and the textbook recursive interpreter are exponential in
+// the query length k; the improved translation (pushed duplicate
+// elimination, Sec. 4.1) and the consolidating/memoizing interpreter are
+// polynomial.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util.h"
+
+namespace {
+
+std::string DoublingQuery(int k) {
+  std::string q = "/a/b";
+  for (int i = 0; i < k; ++i) q += "/parent::a/b";
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  natix::benchutil::LoadedDocument doc =
+      natix::benchutil::LoadAll("<a><b/><b/></a>");
+
+  int max_k = std::getenv("NATIX_BENCH_SMALL") != nullptr ? 16 : 22;
+  double budget = 15.0;
+
+  std::printf(
+      "# exponential-vs-polynomial: b/parent::a/b ... chains on "
+      "<a><b/><b/></a>\n");
+  std::printf("%-3s %14s %12s %14s %14s\n", "k", "natix-canon[s]",
+              "natix[s]", "interp-naive[s]", "interp-memo[s]");
+  double last_canon = 0;
+  double last_naive = 0;
+  for (int k = 2; k <= max_k; k += 2) {
+    std::string query = DoublingQuery(k);
+    std::printf("%-3d", k);
+    if (last_canon <= budget) {
+      last_canon = natix::benchutil::TimeNatix(doc, query,
+                                               /*canonical=*/true);
+      std::printf(" %14.4f", last_canon);
+    } else {
+      std::printf(" %14s", "-");
+    }
+    double improved = natix::benchutil::TimeNatix(doc, query);
+    std::printf(" %12.4f", improved);
+    if (last_naive <= budget) {
+      natix::interp::EvaluatorOptions naive;
+      naive.memoize = false;
+      naive.consolidate_steps = false;
+      last_naive = natix::benchutil::TimeSeconds([&] {
+        auto result = natix::interp::Evaluator::Run(
+            doc.dom.get(), query, doc.dom->root(), naive);
+        NATIX_CHECK(result.ok());
+      });
+      std::printf(" %14.4f", last_naive);
+    } else {
+      std::printf(" %14s", "-");
+    }
+    double memo = natix::benchutil::TimeInterp(doc, query, true);
+    std::printf(" %14.4f\n", memo);
+    std::fflush(stdout);
+  }
+  return 0;
+}

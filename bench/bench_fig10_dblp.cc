@@ -1,0 +1,61 @@
+// Figure 10 reproduction: the thirteen DBLP queries, run on a synthetic
+// DBLP document (see gen/dblp_generator.h for the substitution of the
+// real 216 MB dump), comparing the algebraic engine against the memoized
+// main-memory interpreter (the Xalan stand-in).
+//
+// Environment: NATIX_DBLP_PUBS overrides the document scale (default
+// 50000 publications, ~11 MB of XML; the paper's document holds roughly
+// 400k publications at 216 MB).
+#include <cstdio>
+#include <cstdlib>
+
+#include "util.h"
+#include "gen/dblp_generator.h"
+
+int main() {
+  uint64_t publications = 50000;
+  if (const char* env = std::getenv("NATIX_DBLP_PUBS")) {
+    publications = std::strtoull(env, nullptr, 10);
+  }
+  if (std::getenv("NATIX_BENCH_SMALL") != nullptr) publications = 5000;
+
+  natix::gen::DblpOptions options;
+  options.publications = publications;
+  std::string xml = natix::gen::GenerateDblp(options);
+  std::printf(
+      "# fig10: DBLP queries on a synthetic document "
+      "(%llu publications, %.1f MB)\n",
+      static_cast<unsigned long long>(publications), xml.size() / 1e6);
+
+  natix::benchutil::LoadedDocument doc = natix::benchutil::LoadAll(xml);
+
+  const char* queries[] = {
+      "/dblp/article/title",
+      "/dblp/*/title",
+      "/dblp/article[position() = 3]/title",
+      "/dblp/article[position() < 100]/title",
+      "/dblp/article[position() = last()]/title",
+      "/dblp/article[position()=last()-10]/title",
+      "/dblp/article/title | /dblp/inproceedings/title",
+      "/dblp/article[count(author)=4]/@key",
+      "/dblp/article[year='1991']/@key",
+      "/dblp/inproceedings[year='1991']/@key",
+      "/dblp/*[author='Guido Moerkotte']/@key",
+      "/dblp/inproceedings[@key='conf/er/LockemannM91']/title",
+      "/dblp/inproceedings[author='Guido Moerkotte']"
+      "[position()=last()]/title",
+  };
+
+  std::printf("%-64s %9s %10s %10s\n", "query", "results", "interp[s]",
+              "natix[s]");
+  for (const char* query : queries) {
+    size_t results = natix::benchutil::CountNatix(doc, query);
+    double interp =
+        natix::benchutil::TimeInterp(doc, query, /*memoize=*/true);
+    double natix = natix::benchutil::TimeNatix(doc, query);
+    std::printf("%-64s %9zu %10.4f %10.4f\n", query, results, interp,
+                natix);
+    std::fflush(stdout);
+  }
+  return 0;
+}

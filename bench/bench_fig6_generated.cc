@@ -1,0 +1,10 @@
+// Figure 6 reproduction: query 1 of Fig. 5 over the generated-document
+// sweep of Sec. 6.2.1, comparing the algebraic engine against the
+// main-memory interpreters (stand-ins for xsltproc/Xalan).
+#include "util.h"
+
+int main() {
+  natix::benchutil::RunGeneratedFigure(
+      "fig6 (query 1)", "/child::xdoc/desc::*/anc::*/desc::*/@id");
+  return 0;
+}

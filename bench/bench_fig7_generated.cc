@@ -1,0 +1,9 @@
+// Figure 7 reproduction: query 2 of Fig. 5 over the generated-document
+// sweep.
+#include "util.h"
+
+int main() {
+  natix::benchutil::RunGeneratedFigure(
+      "fig7 (query 2)", "/child::xdoc/desc::*/pre-sib::*/fol::*/@id");
+  return 0;
+}

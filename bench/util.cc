@@ -1,0 +1,134 @@
+#include "util.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/logging.h"
+#include "gen/xdoc_generator.h"
+
+namespace natix::benchutil {
+
+double TimeSeconds(const std::function<void()>& fn) {
+  auto begin = std::chrono::steady_clock::now();
+  fn();
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - begin;
+  return elapsed.count();
+}
+
+double BestOf(int runs, const std::function<void()>& fn) {
+  double best = 1e100;
+  for (int i = 0; i < runs; ++i) {
+    double t = TimeSeconds(fn);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+LoadedDocument LoadAll(const std::string& xml) {
+  LoadedDocument out;
+  auto db = Database::CreateTemp();
+  NATIX_CHECK(db.ok());
+  out.db = std::move(db.value());
+  auto info = out.db->LoadDocument("doc", xml);
+  NATIX_CHECK(info.ok());
+  out.root = info->root;
+  auto dom = dom::ParseDocument(xml);
+  NATIX_CHECK(dom.ok());
+  out.dom = std::move(dom.value());
+  return out;
+}
+
+double TimeNatix(LoadedDocument& doc, const std::string& query,
+                 bool canonical) {
+  auto compiled = doc.db->Compile(
+      query, canonical ? translate::TranslatorOptions::Canonical()
+                       : translate::TranslatorOptions::Improved());
+  NATIX_CHECK(compiled.ok());
+  return TimeSeconds([&] {
+    if ((*compiled)->result_type() == xpath::ExprType::kNodeSet) {
+      auto nodes = (*compiled)->EvaluateNodes(doc.root,
+                                              /*document_order=*/false);
+      NATIX_CHECK(nodes.ok());
+    } else {
+      auto value = (*compiled)->EvaluateValue(doc.root);
+      NATIX_CHECK(value.ok());
+    }
+  });
+}
+
+double TimeInterp(LoadedDocument& doc, const std::string& query,
+                  bool memoize) {
+  interp::EvaluatorOptions options;
+  options.memoize = memoize;
+  return TimeSeconds([&] {
+    auto result =
+        interp::Evaluator::Run(doc.dom.get(), query, doc.dom->root(),
+                               options);
+    NATIX_CHECK(result.ok());
+  });
+}
+
+size_t CountNatix(LoadedDocument& doc, const std::string& query) {
+  auto nodes = doc.db->QueryNodes("doc", query);
+  NATIX_CHECK(nodes.ok());
+  return nodes->size();
+}
+
+std::vector<DocPoint> PaperDocSweep() {
+  // Paper x-axes: 2000..8000 elements (fanout 6) and 10000..80000
+  // (fanout 10). Depth 5 lets the element budget bind exactly (see
+  // EXPERIMENTS.md on the paper's depth-4 figure).
+  std::vector<DocPoint> sweep = {
+      {2000, 6, 5},  {4000, 6, 5},   {6000, 6, 5},   {8000, 6, 5},
+      {10000, 10, 5}, {20000, 10, 5}, {40000, 10, 5}, {80000, 10, 5},
+  };
+  // NATIX_BENCH_SMALL=1 trims the sweep for quick runs / CI.
+  if (std::getenv("NATIX_BENCH_SMALL") != nullptr) {
+    sweep = {{2000, 6, 5}, {8000, 6, 5}, {20000, 10, 5}};
+  }
+  return sweep;
+}
+
+void RunGeneratedFigure(const char* figure, const std::string& query,
+                        double budget_s) {
+  std::printf("# %s: %s\n", figure, query.c_str());
+  std::printf("%-9s %9s %12s %14s %14s\n", "elements", "results",
+              "natix[s]", "interp-memo[s]", "interp-naive[s]");
+  double last_natix = 0;
+  double last_memo = 0;
+  double last_naive = 0;
+  for (const DocPoint& point : PaperDocSweep()) {
+    gen::XDocOptions options;
+    options.max_elements = point.elements;
+    options.fanout = point.fanout;
+    options.depth = point.depth;
+    LoadedDocument doc = LoadAll(gen::GenerateXDoc(options));
+
+    std::printf("%-9llu", static_cast<unsigned long long>(point.elements));
+    if (last_natix <= budget_s) {
+      size_t results = CountNatix(doc, query);
+      last_natix = TimeNatix(doc, query);
+      std::printf(" %9zu %12.4f", results, last_natix);
+    } else {
+      std::printf(" %9s %12s", "-", "-");
+    }
+    if (last_memo <= budget_s) {
+      last_memo = TimeInterp(doc, query, /*memoize=*/true);
+      std::printf(" %14.4f", last_memo);
+    } else {
+      std::printf(" %14s", "-");  // skipped: previous size over budget
+    }
+    if (last_naive <= budget_s) {
+      last_naive = TimeInterp(doc, query, /*memoize=*/false);
+      std::printf(" %14.4f\n", last_naive);
+    } else {
+      std::printf(" %14s\n", "-");
+    }
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace natix::benchutil

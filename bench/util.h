@@ -1,0 +1,67 @@
+#ifndef NATIX_BENCH_UTIL_H_
+#define NATIX_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "dom/dom_builder.h"
+#include "interp/evaluator.h"
+
+namespace natix::benchutil {
+
+/// Wall-clock seconds of one invocation of `fn` (which must not fail).
+double TimeSeconds(const std::function<void()>& fn);
+
+/// Best-of-`runs` timing.
+double BestOf(int runs, const std::function<void()>& fn);
+
+/// A document loaded into all three systems under comparison: the Natix
+/// store (algebraic engine) and the DOM (interpreters). Load/parse time
+/// is excluded from query timings, matching the paper's methodology
+/// (Sec. 6.2: "the times do not include the time to parse/load the
+/// document").
+struct LoadedDocument {
+  std::unique_ptr<Database> db;
+  storage::NodeId root;
+  std::unique_ptr<dom::Document> dom;
+};
+
+/// Loads `xml` into a scratch store and a DOM. Aborts on error (bench
+/// inputs are generated, so failures are bugs).
+LoadedDocument LoadAll(const std::string& xml);
+
+/// Seconds to run `query` through the algebraic engine (improved
+/// translation unless `canonical`).
+double TimeNatix(LoadedDocument& doc, const std::string& query,
+                 bool canonical = false);
+
+/// Seconds to run `query` through the main-memory interpreter.
+double TimeInterp(LoadedDocument& doc, const std::string& query,
+                  bool memoize);
+
+/// Result-set size via the algebraic engine (sanity column).
+size_t CountNatix(LoadedDocument& doc, const std::string& query);
+
+/// The generated-document sweep of Sec. 6.2.1: 2000-8000 elements
+/// (fanout 6) and 10000-80000 (fanout 10).
+struct DocPoint {
+  uint64_t elements;
+  uint32_t fanout;
+  uint32_t depth;
+};
+std::vector<DocPoint> PaperDocSweep();
+
+/// Runs one figure: `query` over the sweep, comparing the algebraic
+/// engine against both interpreter flavors, printing one row per
+/// document size. A system whose previous point exceeded `budget_s`
+/// seconds is skipped for larger documents (mirroring the interpreter
+/// curves in the paper that stop before the end of the x-axis).
+void RunGeneratedFigure(const char* figure, const std::string& query,
+                        double budget_s = 20.0);
+
+}  // namespace natix::benchutil
+
+#endif  // NATIX_BENCH_UTIL_H_

@@ -1,0 +1,93 @@
+// A small "application": persistent catalog with ad-hoc XPath reporting.
+// Demonstrates persistence (create, flush, reopen), multiple documents in
+// one store, and the breadth of XPath 1.0 the engine covers.
+//
+//   ./example_bookstore [store-path]    (default: ./bookstore.natix)
+#include <cstdio>
+#include <string>
+
+#include "api/database.h"
+
+namespace {
+
+const char* kCatalog = R"(<catalog>
+  <book id="bk101"><author>Gambardella, Matthew</author>
+    <title>XML Developer's Guide</title><genre>Computer</genre>
+    <price>44.95</price><publish_date>2000-10-01</publish_date></book>
+  <book id="bk102"><author>Ralls, Kim</author>
+    <title>Midnight Rain</title><genre>Fantasy</genre>
+    <price>5.95</price><publish_date>2000-12-16</publish_date></book>
+  <book id="bk103"><author>Corets, Eva</author>
+    <title>Maeve Ascendant</title><genre>Fantasy</genre>
+    <price>5.95</price><publish_date>2000-11-17</publish_date></book>
+  <book id="bk104"><author>Corets, Eva</author>
+    <title>Oberon's Legacy</title><genre>Fantasy</genre>
+    <price>5.95</price><publish_date>2001-03-10</publish_date></book>
+  <book id="bk105"><author>Corets, Eva</author>
+    <title>The Sundered Grail</title><genre>Fantasy</genre>
+    <price>5.95</price><publish_date>2001-09-10</publish_date></book>
+</catalog>)";
+
+const char* kOrders = R"(<orders>
+  <order no="1"><item ref="bk103"/><item ref="bk101"/></order>
+  <order no="2"><item ref="bk104"/></order>
+  <order no="3"><item ref="bk103"/><item ref="bk103"/><item ref="bk105"/></order>
+</orders>)";
+
+void Report(const natix::Database& db, const char* label, const char* doc,
+            const char* query) {
+  auto result = db.QueryString(doc, query);
+  std::printf("%-46s %s\n", label,
+              result.ok() ? result->c_str()
+                          : result.status().ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path = argc > 1 ? argv[1] : "bookstore.natix";
+
+  {
+    auto db = natix::Database::Create(path);
+    if (!db.ok()) {
+      std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    if (!(*db)->LoadDocument("catalog", kCatalog).ok()) return 1;
+    if (!(*db)->LoadDocument("orders", kOrders).ok()) return 1;
+    if (!(*db)->Flush().ok()) return 1;
+    std::printf("created store '%s' with 2 documents\n\n", path.c_str());
+  }
+
+  // Reopen the persisted store and report against it.
+  auto db = natix::Database::Open(path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  Report(**db, "number of books:", "catalog", "string(count(//book))");
+  Report(**db, "fantasy titles in stock:", "catalog",
+         "string(count(//book[genre='Fantasy']))");
+  Report(**db, "most recent fantasy title:", "catalog",
+         "string(//book[genre='Fantasy'][last()]/title)");
+  Report(**db, "price of the whole catalog:", "catalog",
+         "string(sum(//price))");
+  Report(**db, "cheapest price:", "catalog",
+         "string(//book[not(//book/price < price)]/price)");
+  Report(**db, "authors with more than one book:", "catalog",
+         "string(count(//book[author = preceding-sibling::book/author]))");
+  Report(**db, "books by Corets, id() round-trip:", "catalog",
+         "string(count(id('bk103 bk104 bk105')))");
+  Report(**db, "first title, normalized:", "catalog",
+         "normalize-space(string((//title)[1]))");
+
+  Report(**db, "orders placed:", "orders", "string(count(/orders/order))");
+  Report(**db, "items in order 3:", "orders",
+         "string(count(/orders/order[@no='3']/item))");
+  Report(**db, "orders containing bk103:", "orders",
+         "string(count(/orders/order[item/@ref='bk103']))");
+
+  std::remove(path.c_str());
+  return 0;
+}

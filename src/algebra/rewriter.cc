@@ -1,0 +1,210 @@
+#include "algebra/rewriter.h"
+
+#include "runtime/node_ops.h"
+
+namespace natix::algebra {
+
+namespace {
+
+/// Axes that map distinct context nodes to disjoint, duplicate-free
+/// result sets: child and attribute (disjoint per parent) and self.
+bool AxisPreservesDistinctness(runtime::Axis axis) {
+  switch (axis) {
+    case runtime::Axis::kChild:
+    case runtime::Axis::kAttribute:
+    case runtime::Axis::kSelf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+SequenceProperties InferProperties(const Operator& op) {
+  SequenceProperties props;
+  switch (op.kind) {
+    case OpKind::kSingletonScan:
+      props.singleton = true;
+      return props;
+
+    case OpKind::kMap: {
+      props = InferProperties(*op.children[0]);
+      // A mapped value may repeat across tuples; only a singleton
+      // sequence makes the new attribute trivially duplicate-free.
+      if (props.singleton) props.duplicate_free.insert(op.attr);
+      // A freshly mapped node attribute has unknown order/nesting.
+      props.ordered_by.erase(op.attr);
+      props.non_nested.erase(op.attr);
+      return props;
+    }
+    case OpKind::kCounter:
+      props = InferProperties(*op.children[0]);
+      // Counter values restart per context boundary, so they may repeat;
+      // without a reset attribute they count the whole sequence 1..n.
+      if (props.singleton || op.ctx_attr.empty()) {
+        props.duplicate_free.insert(op.attr);
+      }
+      return props;
+    case OpKind::kTmpCs:
+      props = InferProperties(*op.children[0]);
+      if (props.singleton) props.duplicate_free.insert(op.attr);
+      return props;
+
+    case OpKind::kSelect:
+    case OpKind::kProject:
+    case OpKind::kMemoX:
+      // Subsets / replays preserve every property.
+      return InferProperties(*op.children[0]);
+
+    case OpKind::kSort:
+      props = InferProperties(*op.children[0]);
+      props.ordered_by.insert(op.attr);
+      return props;
+
+    case OpKind::kDupElim:
+      props = InferProperties(*op.children[0]);
+      props.duplicate_free.insert(op.attr);
+      return props;
+
+    case OpKind::kUnnestMap: {
+      SequenceProperties input = InferProperties(*op.children[0]);
+      // The context is duplicate-free when the input says so, or when it
+      // is a free variable over a singleton input (one fixed context per
+      // evaluation — the canonical dependent subexpression).
+      bool ctx_dup_free =
+          input.duplicate_free.count(op.ctx_attr) > 0 || input.singleton;
+      if (ctx_dup_free && AxisPreservesDistinctness(op.axis)) {
+        props.duplicate_free.insert(op.attr);
+      }
+      // Order and nesting inference. The axis cursor emits each
+      // context's results in axis order; forward axes in document order.
+      bool ctx_ordered =
+          input.singleton || input.ordered_by.count(op.ctx_attr) > 0;
+      bool ctx_non_nested =
+          input.singleton || input.non_nested.count(op.ctx_attr) > 0;
+      switch (op.axis) {
+        case runtime::Axis::kSelf:
+          if (ctx_ordered) props.ordered_by.insert(op.attr);
+          if (ctx_non_nested) props.non_nested.insert(op.attr);
+          break;
+        case runtime::Axis::kAttribute:
+          // Attributes sit directly after their element and before its
+          // children: groups of ordered contexts never interleave, and
+          // attributes are never ancestors of anything.
+          if (ctx_ordered) props.ordered_by.insert(op.attr);
+          props.non_nested.insert(op.attr);
+          break;
+        case runtime::Axis::kChild:
+          // Children of pairwise non-nested, ordered contexts occupy
+          // disjoint, ordered subtree ranges — and stay non-nested.
+          if (ctx_ordered && ctx_non_nested) {
+            props.ordered_by.insert(op.attr);
+            props.non_nested.insert(op.attr);
+          }
+          break;
+        case runtime::Axis::kDescendant:
+        case runtime::Axis::kDescendantOrSelf:
+          // Disjoint subtree ranges again, but the output values nest.
+          if (ctx_ordered && ctx_non_nested) {
+            props.ordered_by.insert(op.attr);
+          }
+          break;
+        default:
+          break;  // reverse axes / following: no order claims
+      }
+      return props;
+    }
+
+    case OpKind::kDJoin:
+    case OpKind::kCross: {
+      SequenceProperties left = InferProperties(*op.children[0]);
+      SequenceProperties right = InferProperties(*op.children[1]);
+      if (left.singleton) {
+        props = right;
+        props.singleton = left.singleton && right.singleton;
+        return props;
+      }
+      if (right.singleton) {
+        // At most one right tuple per left tuple: left attributes keep
+        // their distinctness; the right attribute's values may repeat.
+        props.duplicate_free = left.duplicate_free;
+        return props;
+      }
+      return props;
+    }
+
+    case OpKind::kSemiJoin:
+    case OpKind::kAntiJoin:
+      // A subset of the left sequence.
+      return InferProperties(*op.children[0]);
+
+    case OpKind::kAggregate:
+      props.singleton = true;
+      props.duplicate_free.insert(op.attr);
+      return props;
+
+    case OpKind::kBinaryGroup:
+      props = InferProperties(*op.children[0]);
+      if (props.singleton) props.duplicate_free.insert(op.attr);
+      return props;
+
+    case OpKind::kConcat:
+    case OpKind::kUnnest:
+    case OpKind::kIdDeref:
+      // Unknown overlap / multiplicity: nothing can be promised.
+      return props;
+  }
+  return props;
+}
+
+namespace {
+
+size_t SimplifyScalar(Scalar* scalar);
+
+size_t SimplifyNode(OpPtr* slot) {
+  size_t removed = 0;
+  Operator* op = slot->get();
+
+  // Bottom-up.
+  for (OpPtr& child : op->children) removed += SimplifyNode(&child);
+  if (op->scalar != nullptr) removed += SimplifyScalar(op->scalar.get());
+
+  if (op->kind == OpKind::kSelect &&
+      op->scalar->kind == ScalarKind::kBoolConst && op->scalar->boolean) {
+    *slot = std::move(op->children[0]);
+    return removed + 1;
+  }
+  if (op->kind == OpKind::kDupElim) {
+    SequenceProperties props = InferProperties(*op->children[0]);
+    if (props.singleton || props.duplicate_free.count(op->attr) > 0) {
+      *slot = std::move(op->children[0]);
+      return removed + 1;
+    }
+  }
+  if (op->kind == OpKind::kSort) {
+    SequenceProperties props = InferProperties(*op->children[0]);
+    if (props.singleton || props.ordered_by.count(op->attr) > 0) {
+      *slot = std::move(op->children[0]);
+      return removed + 1;
+    }
+  }
+  return removed;
+}
+
+size_t SimplifyScalar(Scalar* scalar) {
+  size_t removed = 0;
+  if (scalar->kind == ScalarKind::kNested) {
+    removed += SimplifyNode(&scalar->plan);
+  }
+  for (ScalarPtr& child : scalar->children) {
+    removed += SimplifyScalar(child.get());
+  }
+  return removed;
+}
+
+}  // namespace
+
+size_t SimplifyPlan(OpPtr* plan) { return SimplifyNode(plan); }
+
+}  // namespace natix::algebra

@@ -1,0 +1,43 @@
+#ifndef NATIX_ALGEBRA_REWRITER_H_
+#define NATIX_ALGEBRA_REWRITER_H_
+
+#include <set>
+#include <string>
+
+#include "algebra/operator.h"
+
+namespace natix::algebra {
+
+/// Properties inferred for the tuple sequence an operator produces.
+struct SequenceProperties {
+  /// The sequence provably holds at most one tuple.
+  bool singleton = false;
+  /// Attributes whose values provably contain no duplicates.
+  std::set<std::string> duplicate_free;
+  /// Attributes by whose document order the sequence is provably
+  /// ascending ("interesting orders", Hidders/Michiels [13]).
+  std::set<std::string> ordered_by;
+  /// Attributes whose values are provably pairwise non-nested (no value
+  /// is an ancestor of another) — the side condition that lets child
+  /// steps preserve document order.
+  std::set<std::string> non_nested;
+};
+
+/// Infers sequence properties bottom-up (conservatively). This is the
+/// axis-level fragment of the Hidders/Michiels duplicate analysis [13]
+/// that the paper lists as future work (Sec. 4.1): child, attribute and
+/// self steps over duplicate-free contexts produce duplicate-free output.
+SequenceProperties InferProperties(const Operator& op);
+
+/// Logical plan simplification:
+///  * removes duplicate eliminations whose input is provably
+///    duplicate-free on the eliminated attribute,
+///  * removes sorts whose input is provably in document order already,
+///  * removes selections with a constant-true predicate.
+/// Returns the number of operators removed. Also rewrites nested
+/// subplans inside scalar subscripts.
+size_t SimplifyPlan(OpPtr* plan);
+
+}  // namespace natix::algebra
+
+#endif  // NATIX_ALGEBRA_REWRITER_H_

@@ -1,0 +1,111 @@
+#include "api/database.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/xpath_number.h"
+
+#include "runtime/conversions.h"
+#include "storage/document_loader.h"
+
+namespace natix {
+
+namespace {
+
+storage::NodeStore::Options StoreOptions(const Database::Options& options) {
+  storage::NodeStore::Options store_options;
+  store_options.buffer_pages = options.buffer_pages;
+  return store_options;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Database>> Database::Create(
+    const std::string& path, const Options& options) {
+  NATIX_ASSIGN_OR_RETURN(std::unique_ptr<storage::NodeStore> store,
+                         storage::NodeStore::Create(path,
+                                                    StoreOptions(options)));
+  return std::unique_ptr<Database>(new Database(std::move(store)));
+}
+
+StatusOr<std::unique_ptr<Database>> Database::Open(const std::string& path,
+                                                   const Options& options) {
+  NATIX_ASSIGN_OR_RETURN(std::unique_ptr<storage::NodeStore> store,
+                         storage::NodeStore::Open(path,
+                                                  StoreOptions(options)));
+  return std::unique_ptr<Database>(new Database(std::move(store)));
+}
+
+StatusOr<std::unique_ptr<Database>> Database::CreateTemp(
+    const Options& options) {
+  NATIX_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::NodeStore> store,
+      storage::NodeStore::CreateTemp(StoreOptions(options)));
+  return std::unique_ptr<Database>(new Database(std::move(store)));
+}
+
+StatusOr<storage::DocumentInfo> Database::LoadDocument(
+    std::string_view name, std::string_view xml_text) {
+  return storage::LoadDocument(store_.get(), name, xml_text);
+}
+
+StatusOr<storage::DocumentInfo> Database::LoadDocumentFile(
+    std::string_view name, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadDocument(name, buffer.str());
+}
+
+StatusOr<storage::StoredNode> Database::Root(std::string_view name) const {
+  NATIX_ASSIGN_OR_RETURN(storage::DocumentInfo info,
+                         store_->FindDocument(name));
+  return storage::StoredNode(store_.get(), info.root);
+}
+
+StatusOr<std::unique_ptr<CompiledQuery>> Database::Compile(
+    std::string_view xpath,
+    const translate::TranslatorOptions& options) const {
+  return CompiledQuery::Compile(xpath, store_.get(), options);
+}
+
+StatusOr<std::vector<storage::StoredNode>> Database::QueryNodes(
+    std::string_view document, std::string_view xpath) const {
+  NATIX_ASSIGN_OR_RETURN(storage::DocumentInfo info,
+                         store_->FindDocument(document));
+  NATIX_ASSIGN_OR_RETURN(std::unique_ptr<CompiledQuery> query,
+                         Compile(xpath));
+  return query->EvaluateNodes(info.root);
+}
+
+StatusOr<std::string> Database::QueryString(std::string_view document,
+                                            std::string_view xpath) const {
+  NATIX_ASSIGN_OR_RETURN(storage::DocumentInfo info,
+                         store_->FindDocument(document));
+  NATIX_ASSIGN_OR_RETURN(std::unique_ptr<CompiledQuery> query,
+                         Compile(xpath));
+  return query->EvaluateString(info.root);
+}
+
+StatusOr<double> Database::QueryNumber(std::string_view document,
+                                       std::string_view xpath) const {
+  NATIX_ASSIGN_OR_RETURN(storage::DocumentInfo info,
+                         store_->FindDocument(document));
+  NATIX_ASSIGN_OR_RETURN(std::unique_ptr<CompiledQuery> query,
+                         Compile(xpath));
+  return query->EvaluateNumber(info.root);
+}
+
+StatusOr<bool> Database::QueryBoolean(std::string_view document,
+                                      std::string_view xpath) const {
+  NATIX_ASSIGN_OR_RETURN(storage::DocumentInfo info,
+                         store_->FindDocument(document));
+  NATIX_ASSIGN_OR_RETURN(std::unique_ptr<CompiledQuery> query,
+                         Compile(xpath));
+  return query->EvaluateBoolean(info.root);
+}
+
+Status Database::Flush() { return store_->Flush(); }
+
+}  // namespace natix

@@ -1,0 +1,86 @@
+#ifndef NATIX_API_DATABASE_H_
+#define NATIX_API_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/query.h"
+#include "base/statusor.h"
+#include "storage/node_store.h"
+#include "storage/stored_node.h"
+
+namespace natix {
+
+/// The top-level facade of the library: a native XML database holding
+/// documents in a page-based store, compiling and executing XPath 1.0
+/// queries through the algebraic pipeline.
+///
+///   auto db = natix::Database::CreateTemp();
+///   db->LoadDocument("books", xml_text);
+///   auto titles = db->QueryNodes("books", "/catalog/book/title");
+class Database {
+ public:
+  struct Options {
+    Options() {}
+    /// Buffer pool size in pages (8 KiB each).
+    size_t buffer_pages = 4096;
+  };
+
+  /// Creates a new database file (truncating any existing one).
+  static StatusOr<std::unique_ptr<Database>> Create(
+      const std::string& path, const Options& options = Options());
+  /// Opens an existing database file.
+  static StatusOr<std::unique_ptr<Database>> Open(
+      const std::string& path, const Options& options = Options());
+  /// Creates an anonymous scratch database (removed when closed).
+  static StatusOr<std::unique_ptr<Database>> CreateTemp(
+      const Options& options = Options());
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Parses `xml_text` and stores it as document `name`.
+  StatusOr<storage::DocumentInfo> LoadDocument(std::string_view name,
+                                               std::string_view xml_text);
+  /// Loads a document from a file on disk.
+  StatusOr<storage::DocumentInfo> LoadDocumentFile(std::string_view name,
+                                                   const std::string& path);
+
+  /// The document node of document `name`.
+  StatusOr<storage::StoredNode> Root(std::string_view name) const;
+
+  /// Compiles a reusable query.
+  StatusOr<std::unique_ptr<CompiledQuery>> Compile(
+      std::string_view xpath,
+      const translate::TranslatorOptions& options =
+          translate::TranslatorOptions::Improved()) const;
+
+  // One-shot helpers, evaluated with the document node of `document` as
+  // the context node.
+  StatusOr<std::vector<storage::StoredNode>> QueryNodes(
+      std::string_view document, std::string_view xpath) const;
+  StatusOr<std::string> QueryString(std::string_view document,
+                                    std::string_view xpath) const;
+  StatusOr<double> QueryNumber(std::string_view document,
+                               std::string_view xpath) const;
+  StatusOr<bool> QueryBoolean(std::string_view document,
+                              std::string_view xpath) const;
+
+  /// Persists all state to disk.
+  Status Flush();
+
+  storage::NodeStore* store() { return store_.get(); }
+  const storage::NodeStore* store() const { return store_.get(); }
+
+ private:
+  explicit Database(std::unique_ptr<storage::NodeStore> store)
+      : store_(std::move(store)) {}
+
+  std::unique_ptr<storage::NodeStore> store_;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_API_DATABASE_H_

@@ -1,0 +1,120 @@
+#include "api/query.h"
+
+#include "base/xpath_number.h"
+
+#include "qe/codegen.h"
+#include "runtime/conversions.h"
+#include "xpath/fold.h"
+#include "xpath/normalizer.h"
+#include "xpath/parser.h"
+#include "xpath/sema.h"
+
+namespace natix {
+
+StatusOr<std::unique_ptr<CompiledQuery>> CompiledQuery::Compile(
+    std::string_view xpath, const storage::NodeStore* store,
+    const translate::TranslatorOptions& options) {
+  // The compiler pipeline of Sec. 5.1.
+  NATIX_ASSIGN_OR_RETURN(xpath::ExprPtr ast, xpath::ParseXPath(xpath));
+  NATIX_RETURN_IF_ERROR(xpath::Analyze(ast.get()));
+  xpath::FoldConstants(ast.get());
+  xpath::Normalize(ast.get());
+  NATIX_ASSIGN_OR_RETURN(translate::TranslationResult translation,
+                         translate::Translate(*ast, options));
+  NATIX_ASSIGN_OR_RETURN(std::unique_ptr<qe::Plan> plan,
+                         qe::Codegen::Compile(translation, store));
+  return std::unique_ptr<CompiledQuery>(
+      new CompiledQuery(store, std::move(plan)));
+}
+
+void CompiledQuery::SetVariable(const std::string& name,
+                                runtime::Value value) {
+  plan_->SetVariable(name, std::move(value));
+}
+
+Status CompiledQuery::BindContext(storage::NodeId context) {
+  storage::NodeRecord record;
+  NATIX_RETURN_IF_ERROR(store_->ReadNode(context, &record));
+  plan_->SetContextNode(runtime::NodeRef::Make(context, record.order));
+  BeginStats();
+  return Status::OK();
+}
+
+void CompiledQuery::BeginStats() {
+  tuples_baseline_ = plan_->state()->tuples_produced;
+  faults_baseline_ = store_->buffer_manager()->fault_count();
+}
+
+void CompiledQuery::EndStats() {
+  last_stats_.step_tuples =
+      plan_->state()->tuples_produced - tuples_baseline_;
+  last_stats_.page_faults =
+      store_->buffer_manager()->fault_count() - faults_baseline_;
+}
+
+StatusOr<std::vector<storage::StoredNode>> CompiledQuery::EvaluateNodes(
+    storage::NodeId context, bool document_order) {
+  NATIX_RETURN_IF_ERROR(BindContext(context));
+  NATIX_ASSIGN_OR_RETURN(std::vector<runtime::NodeRef> refs,
+                         plan_->ExecuteNodes());
+  EndStats();
+  if (document_order) qe::SortResultNodes(&refs);
+  std::vector<storage::StoredNode> nodes;
+  nodes.reserve(refs.size());
+  for (const runtime::NodeRef& ref : refs) {
+    nodes.emplace_back(store_, ref.node_id());
+  }
+  return nodes;
+}
+
+StatusOr<runtime::Value> CompiledQuery::EvaluateValue(
+    storage::NodeId context) {
+  NATIX_RETURN_IF_ERROR(BindContext(context));
+  NATIX_ASSIGN_OR_RETURN(runtime::Value value, plan_->ExecuteValue());
+  EndStats();
+  return value;
+}
+
+StatusOr<double> CompiledQuery::EvaluateNumber(storage::NodeId context) {
+  NATIX_ASSIGN_OR_RETURN(std::string s, EvaluateString(context));
+  if (result_type() == xpath::ExprType::kNodeSet ||
+      result_type() == xpath::ExprType::kString) {
+    return StringToXPathNumber(s);
+  }
+  NATIX_ASSIGN_OR_RETURN(runtime::Value value, EvaluateValue(context));
+  runtime::EvalContext ctx;
+  ctx.store = store_;
+  return runtime::ToNumber(value, ctx);
+}
+
+StatusOr<bool> CompiledQuery::EvaluateBoolean(storage::NodeId context) {
+  if (result_type() == xpath::ExprType::kNodeSet) {
+    NATIX_RETURN_IF_ERROR(BindContext(context));
+    NATIX_ASSIGN_OR_RETURN(std::vector<runtime::NodeRef> refs,
+                           plan_->ExecuteNodes());
+    EndStats();
+    return !refs.empty();
+  }
+  NATIX_ASSIGN_OR_RETURN(runtime::Value value, EvaluateValue(context));
+  runtime::EvalContext ctx;
+  ctx.store = store_;
+  return runtime::ToBoolean(value, ctx);
+}
+
+StatusOr<std::string> CompiledQuery::EvaluateString(
+    storage::NodeId context) {
+  if (result_type() == xpath::ExprType::kNodeSet) {
+    NATIX_RETURN_IF_ERROR(BindContext(context));
+    NATIX_ASSIGN_OR_RETURN(std::vector<runtime::NodeRef> refs,
+                           plan_->ExecuteNodes());
+    if (refs.empty()) return std::string();
+    qe::SortResultNodes(&refs);
+    return store_->StringValue(refs.front().node_id());
+  }
+  NATIX_ASSIGN_OR_RETURN(runtime::Value value, EvaluateValue(context));
+  runtime::EvalContext ctx;
+  ctx.store = store_;
+  return runtime::ToStringValue(value, ctx);
+}
+
+}  // namespace natix

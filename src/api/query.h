@@ -1,0 +1,103 @@
+#ifndef NATIX_API_QUERY_H_
+#define NATIX_API_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/statusor.h"
+#include "qe/plan.h"
+#include "storage/node_store.h"
+#include "storage/stored_node.h"
+#include "translate/translator.h"
+
+namespace natix {
+
+/// Counters from the most recent evaluation of a compiled query.
+struct ExecutionStats {
+  /// Tuples produced by location-step (unnest-map) iterators.
+  uint64_t step_tuples = 0;
+  /// Pages faulted into the buffer pool during the evaluation.
+  uint64_t page_faults = 0;
+};
+
+/// A compiled XPath query bound to a store: the product of the full
+/// compiler pipeline of Sec. 5.1 (parse, normalize, semantic analysis,
+/// rewrite, translation into algebra, code generation). Reusable across
+/// context nodes; not thread-safe (it owns its register file).
+class CompiledQuery {
+ public:
+  /// Compiles `xpath` for `store` with the given translation strategy.
+  static StatusOr<std::unique_ptr<CompiledQuery>> Compile(
+      std::string_view xpath, const storage::NodeStore* store,
+      const translate::TranslatorOptions& options =
+          translate::TranslatorOptions::Improved());
+
+  CompiledQuery(const CompiledQuery&) = delete;
+  CompiledQuery& operator=(const CompiledQuery&) = delete;
+
+  /// Binds an XPath $variable (atomic values only).
+  void SetVariable(const std::string& name, runtime::Value value);
+
+  /// The query's static result type.
+  xpath::ExprType result_type() const { return plan_->result_type(); }
+
+  /// Evaluates a node-set query from `context`. Results carry set
+  /// semantics; with `document_order` they are sorted, otherwise they
+  /// arrive in plan order.
+  StatusOr<std::vector<storage::StoredNode>> EvaluateNodes(
+      storage::NodeId context, bool document_order = true);
+
+  /// Evaluates a scalar (boolean/number/string) query from `context`.
+  StatusOr<runtime::Value> EvaluateValue(storage::NodeId context);
+
+  /// Evaluates any query and converts the result to a string: scalar
+  /// results via string(), node-set results via the string-value of the
+  /// node first in document order ("" for an empty result).
+  StatusOr<std::string> EvaluateString(storage::NodeId context);
+
+  /// Evaluates any query and converts the result with number() / the
+  /// node-set conversion rules.
+  StatusOr<double> EvaluateNumber(storage::NodeId context);
+
+  /// Evaluates any query and converts with boolean() (node sets:
+  /// non-emptiness — evaluated without sorting, and scalar plans convert
+  /// their single value).
+  StatusOr<bool> EvaluateBoolean(storage::NodeId context);
+
+  /// Multi-line rendering of the translated logical plan.
+  const std::string& ExplainLogical() const {
+    return plan_->logical_plan();
+  }
+
+  /// The physical execution plan: the iterator tree with the attribute
+  /// manager's register assignments (aliases marked).
+  const std::string& ExplainPhysical() const {
+    return plan_->physical_plan();
+  }
+
+  /// Counters from the most recent Evaluate* call.
+  const ExecutionStats& last_stats() const { return last_stats_; }
+
+  qe::Plan* plan() { return plan_.get(); }
+
+ private:
+  CompiledQuery(const storage::NodeStore* store,
+                std::unique_ptr<qe::Plan> plan)
+      : store_(store), plan_(std::move(plan)) {}
+
+  Status BindContext(storage::NodeId context);
+  void BeginStats();
+  void EndStats();
+
+  const storage::NodeStore* store_;
+  std::unique_ptr<qe::Plan> plan_;
+  ExecutionStats last_stats_;
+  uint64_t tuples_baseline_ = 0;
+  uint64_t faults_baseline_ = 0;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_API_QUERY_H_

@@ -1,0 +1,34 @@
+#ifndef NATIX_BASE_LOGGING_H_
+#define NATIX_BASE_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace natix::internal_logging {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "NATIX_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace natix::internal_logging
+
+/// Aborts the process when `cond` is false. Used for invariants that must
+/// hold in release builds too (violations indicate library bugs, never user
+/// errors — those are reported through Status).
+#define NATIX_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::natix::internal_logging::CheckFailed(#cond, __FILE__, __LINE__);   \
+  } while (0)
+
+#ifdef NDEBUG
+#define NATIX_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define NATIX_DCHECK(cond) NATIX_CHECK(cond)
+#endif
+
+#endif  // NATIX_BASE_LOGGING_H_

@@ -1,0 +1,87 @@
+#ifndef NATIX_BASE_STATUS_H_
+#define NATIX_BASE_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace natix {
+
+/// Error categories used across the library. Modeled after the RocksDB /
+/// Abseil status idiom: no exceptions cross public API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input supplied by the caller
+  kNotFound,          // a requested entity does not exist
+  kCorruption,        // on-disk data failed an integrity check
+  kIOError,           // the operating system reported an I/O failure
+  kNotSupported,      // a feature outside XPath 1.0 / this build
+  kInternal,          // an invariant of the library itself was violated
+  kResourceExhausted  // a configured limit (e.g. buffer pool) was exceeded
+};
+
+/// A Status is either OK or carries an error code plus a human-readable
+/// message. It is cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(StatusCode::kIOError, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(StatusCode::kNotSupported, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(StatusCode::kResourceExhausted, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string_view msg)
+      : code_(code), message_(msg) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define NATIX_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::natix::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a StatusOr expression, assigning the value on success and
+/// returning the error otherwise.
+#define NATIX_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto NATIX_CONCAT_(_sor_, __LINE__) = (expr);            \
+  if (!NATIX_CONCAT_(_sor_, __LINE__).ok())                \
+    return NATIX_CONCAT_(_sor_, __LINE__).status();        \
+  lhs = std::move(NATIX_CONCAT_(_sor_, __LINE__)).value()
+
+#define NATIX_CONCAT_IMPL_(a, b) a##b
+#define NATIX_CONCAT_(a, b) NATIX_CONCAT_IMPL_(a, b)
+
+}  // namespace natix
+
+#endif  // NATIX_BASE_STATUS_H_

@@ -1,0 +1,53 @@
+#ifndef NATIX_BASE_STATUSOR_H_
+#define NATIX_BASE_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "base/logging.h"
+#include "base/status.h"
+
+namespace natix {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    NATIX_CHECK(!status_.ok());
+  }
+  /// Constructs from a value.
+  StatusOr(T value)  // NOLINT
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    NATIX_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    NATIX_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    NATIX_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_BASE_STATUSOR_H_

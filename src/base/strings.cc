@@ -1,0 +1,151 @@
+#include "base/strings.h"
+
+#include <cstdint>
+
+namespace natix {
+
+std::string NormalizeSpace(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_run = false;
+  for (char c : s) {
+    if (IsXmlWhitespace(c)) {
+      in_run = true;
+    } else {
+      if (in_run && !out.empty()) out.push_back(' ');
+      in_run = false;
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+uint32_t Utf8Decode(std::string_view s, size_t& i) {
+  unsigned char b0 = static_cast<unsigned char>(s[i]);
+  size_t remaining = s.size() - i;
+  uint32_t cp = b0;
+  size_t len = 1;
+  if (b0 < 0x80) {
+    len = 1;
+  } else if ((b0 >> 5) == 0x6 && remaining >= 2) {
+    cp = b0 & 0x1F;
+    len = 2;
+  } else if ((b0 >> 4) == 0xE && remaining >= 3) {
+    cp = b0 & 0x0F;
+    len = 3;
+  } else if ((b0 >> 3) == 0x1E && remaining >= 4) {
+    cp = b0 & 0x07;
+    len = 4;
+  } else {
+    ++i;
+    return b0;  // malformed: decode the single byte as itself
+  }
+  for (size_t k = 1; k < len; ++k) {
+    unsigned char b = static_cast<unsigned char>(s[i + k]);
+    if ((b >> 6) != 0x2) {
+      ++i;
+      return b0;  // malformed continuation
+    }
+    cp = (cp << 6) | (b & 0x3F);
+  }
+  i += len;
+  return cp;
+}
+
+void Utf8Append(uint32_t cp, std::string& out) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+std::string TranslateChars(std::string_view s, std::string_view from,
+                           std::string_view to) {
+  // Decode `from` and `to` into codepoint arrays once.
+  std::vector<uint32_t> from_cps, to_cps;
+  for (size_t i = 0; i < from.size();) from_cps.push_back(Utf8Decode(from, i));
+  for (size_t i = 0; i < to.size();) to_cps.push_back(Utf8Decode(to, i));
+
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size();) {
+    uint32_t cp = Utf8Decode(s, i);
+    bool mapped = false;
+    for (size_t k = 0; k < from_cps.size(); ++k) {
+      if (from_cps[k] == cp) {
+        // First occurrence in `from` wins (XPath 1.0 Sec. 4.2).
+        if (k < to_cps.size()) Utf8Append(to_cps[k], out);
+        mapped = true;
+        break;
+      }
+    }
+    if (!mapped) Utf8Append(cp, out);
+  }
+  return out;
+}
+
+std::string SubstringBefore(std::string_view s, std::string_view sub) {
+  auto pos = s.find(sub);
+  if (pos == std::string_view::npos) return "";
+  return std::string(s.substr(0, pos));
+}
+
+std::string SubstringAfter(std::string_view s, std::string_view sub) {
+  auto pos = s.find(sub);
+  if (pos == std::string_view::npos) return "";
+  return std::string(s.substr(pos + sub.size()));
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool Contains(std::string_view s, std::string_view sub) {
+  return s.find(sub) != std::string_view::npos;
+}
+
+size_t Utf8Length(std::string_view s) {
+  size_t count = 0;
+  for (size_t i = 0; i < s.size();) {
+    Utf8Decode(s, i);
+    ++count;
+  }
+  return count;
+}
+
+std::string Utf8Substring(std::string_view s, size_t start, size_t len) {
+  std::string out;
+  size_t index = 0;
+  for (size_t i = 0; i < s.size() && index < start + len;) {
+    size_t before = i;
+    Utf8Decode(s, i);
+    if (index >= start) out.append(s.substr(before, i - before));
+    ++index;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && IsXmlWhitespace(s[i])) ++i;
+    size_t begin = i;
+    while (i < s.size() && !IsXmlWhitespace(s[i])) ++i;
+    if (i > begin) tokens.emplace_back(s.substr(begin, i - begin));
+  }
+  return tokens;
+}
+
+}  // namespace natix

@@ -1,0 +1,55 @@
+#ifndef NATIX_BASE_STRINGS_H_
+#define NATIX_BASE_STRINGS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace natix {
+
+/// True for the XML/XPath whitespace characters: space, tab, CR, LF.
+inline bool IsXmlWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// XPath `normalize-space()`: strips leading/trailing whitespace and
+/// collapses internal whitespace runs to a single space.
+std::string NormalizeSpace(std::string_view s);
+
+/// XPath `translate(s, from, to)`: replaces occurrences of characters in
+/// `from` by the character at the same position in `to`; characters in
+/// `from` without a counterpart in `to` are removed. Operates on Unicode
+/// codepoints of UTF-8 input.
+std::string TranslateChars(std::string_view s, std::string_view from,
+                           std::string_view to);
+
+/// XPath `substring-before` / `substring-after`. Empty result when `sub`
+/// does not occur in `s`.
+std::string SubstringBefore(std::string_view s, std::string_view sub);
+std::string SubstringAfter(std::string_view s, std::string_view sub);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool Contains(std::string_view s, std::string_view sub);
+
+/// Number of Unicode codepoints in UTF-8 string `s` (XPath string-length).
+/// Malformed bytes each count as one codepoint.
+size_t Utf8Length(std::string_view s);
+
+/// Extracts codepoints [start, start+len) of `s` (0-based; XPath substring
+/// uses 1-based positions — the caller converts). Clamped to the string.
+std::string Utf8Substring(std::string_view s, size_t start, size_t len);
+
+/// Splits `s` into maximal runs of non-whitespace (XPath id() tokenizing).
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Decodes the UTF-8 codepoint starting at s[i]; advances i past it.
+/// Malformed bytes decode as themselves (one byte).
+uint32_t Utf8Decode(std::string_view s, size_t& i);
+
+/// Appends codepoint `cp` to `out` as UTF-8.
+void Utf8Append(uint32_t cp, std::string& out);
+
+}  // namespace natix
+
+#endif  // NATIX_BASE_STRINGS_H_

@@ -1,0 +1,129 @@
+#include "base/xpath_number.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace natix {
+
+namespace {
+
+bool IsXPathWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Converts a printf "%g"-style rendering (which may use scientific
+/// notation) into the plain decimal notation XPath requires.
+std::string ExpandScientific(const std::string& g) {
+  auto e_pos = g.find_first_of("eE");
+  if (e_pos == std::string::npos) return g;
+
+  std::string mantissa = g.substr(0, e_pos);
+  int exponent = std::atoi(g.c_str() + e_pos + 1);
+
+  bool negative = false;
+  if (!mantissa.empty() && (mantissa[0] == '-' || mantissa[0] == '+')) {
+    negative = mantissa[0] == '-';
+    mantissa.erase(0, 1);
+  }
+  std::string digits;
+  int point = -1;  // index of the decimal point within `digits`
+  for (char c : mantissa) {
+    if (c == '.') {
+      point = static_cast<int>(digits.size());
+    } else {
+      digits.push_back(c);
+    }
+  }
+  if (point < 0) point = static_cast<int>(digits.size());
+  point += exponent;
+
+  std::string out;
+  if (negative) out.push_back('-');
+  if (point <= 0) {
+    out += "0.";
+    out.append(-point, '0');
+    out += digits;
+  } else if (point >= static_cast<int>(digits.size())) {
+    out += digits;
+    out.append(point - digits.size(), '0');
+  } else {
+    out += digits.substr(0, point);
+    out.push_back('.');
+    out += digits.substr(point);
+  }
+  // Trim a trailing decimal point or trailing fractional zeros.
+  if (out.find('.') != std::string::npos) {
+    while (out.back() == '0') out.pop_back();
+    if (out.back() == '.') out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace
+
+double StringToXPathNumber(std::string_view s) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  size_t i = 0;
+  size_t n = s.size();
+  while (i < n && IsXPathWhitespace(s[i])) ++i;
+  size_t end = n;
+  while (end > i && IsXPathWhitespace(s[end - 1])) --end;
+  if (i == end) return nan;
+
+  size_t j = i;
+  if (s[j] == '-') ++j;
+  size_t int_digits = 0;
+  while (j < end && IsDigit(s[j])) {
+    ++j;
+    ++int_digits;
+  }
+  size_t frac_digits = 0;
+  if (j < end && s[j] == '.') {
+    ++j;
+    while (j < end && IsDigit(s[j])) {
+      ++j;
+      ++frac_digits;
+    }
+  }
+  if (j != end) return nan;                       // trailing garbage
+  if (int_digits == 0 && frac_digits == 0) return nan;  // "-", ".", "-."
+
+  std::string buf(s.substr(i, end - i));
+  return std::strtod(buf.c_str(), nullptr);
+}
+
+std::string XPathNumberToString(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "Infinity" : "-Infinity";
+  if (v == 0) return "0";  // covers negative zero, which prints unsigned
+
+  // Integers are printed without a decimal point.
+  if (v == std::floor(v) && std::fabs(v) < 1e17) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+
+  // Shortest "%.*g" rendering that round-trips, expanded to plain decimal.
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return ExpandScientific(buf);
+}
+
+double XPathRound(double v) {
+  if (std::isnan(v) || std::isinf(v) || v == 0) return v;
+  // Ties round towards +Infinity; floor(v + 0.5) implements exactly that.
+  double r = std::floor(v + 0.5);
+  // Preserve the sign for results in (-0.5, 0]: XPath requires -0.
+  if (r == 0 && v < 0) return -0.0;
+  return r;
+}
+
+}  // namespace natix

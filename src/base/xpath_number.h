@@ -1,0 +1,27 @@
+#ifndef NATIX_BASE_XPATH_NUMBER_H_
+#define NATIX_BASE_XPATH_NUMBER_H_
+
+#include <string>
+#include <string_view>
+
+namespace natix {
+
+/// Parses `s` using the XPath 1.0 `number()` rules: optional surrounding
+/// whitespace, an optional minus sign, and a Number production
+/// (`Digits ('.' Digits?)? | '.' Digits`). Any other content yields NaN.
+double StringToXPathNumber(std::string_view s);
+
+/// Formats `v` using the XPath 1.0 `string()` rules for numbers:
+/// "NaN", "Infinity", "-Infinity", integers without a decimal point
+/// (and without a sign for negative zero), and otherwise the shortest
+/// decimal representation (never scientific notation) that round-trips.
+std::string XPathNumberToString(double v);
+
+/// XPath 1.0 `round()`: returns the integer closest to `v`; ties round
+/// towards positive infinity. NaN, infinities, and signed zeros are
+/// returned unchanged; values in (-0.5, -0) round to negative zero.
+double XPathRound(double v);
+
+}  // namespace natix
+
+#endif  // NATIX_BASE_XPATH_NUMBER_H_

@@ -1,0 +1,71 @@
+#include "dom/dom.h"
+
+namespace natix::dom {
+
+namespace {
+
+void AppendTextValue(const Node* node, std::string* out) {
+  if (node->kind == NodeKind::kText) {
+    *out += node->value;
+    return;
+  }
+  for (const Node* child : node->children) AppendTextValue(child, out);
+}
+
+uint64_t AssignOrderRec(Node* node, uint64_t next) {
+  node->order = next++;
+  for (Node* attr : node->attributes) attr->order = next++;
+  for (Node* child : node->children) next = AssignOrderRec(child, next);
+  return next;
+}
+
+}  // namespace
+
+std::string Node::StringValue() const {
+  switch (kind) {
+    case NodeKind::kDocument:
+    case NodeKind::kElement: {
+      std::string out;
+      AppendTextValue(this, &out);
+      return out;
+    }
+    case NodeKind::kAttribute:
+    case NodeKind::kText:
+    case NodeKind::kComment:
+    case NodeKind::kProcessingInstruction:
+      return value;
+  }
+  return "";
+}
+
+Node* Node::NextSibling() const {
+  if (parent == nullptr || kind == NodeKind::kAttribute) return nullptr;
+  const std::vector<Node*>& siblings = parent->children;
+  for (size_t i = 0; i < siblings.size(); ++i) {
+    if (siblings[i] == this) {
+      return i + 1 < siblings.size() ? siblings[i + 1] : nullptr;
+    }
+  }
+  return nullptr;
+}
+
+Node* Node::PreviousSibling() const {
+  if (parent == nullptr || kind == NodeKind::kAttribute) return nullptr;
+  const std::vector<Node*>& siblings = parent->children;
+  for (size_t i = 0; i < siblings.size(); ++i) {
+    if (siblings[i] == this) return i > 0 ? siblings[i - 1] : nullptr;
+  }
+  return nullptr;
+}
+
+Document::Document() { root_.kind = NodeKind::kDocument; }
+
+Node* Document::NewNode(NodeKind kind) {
+  nodes_.emplace_back();
+  nodes_.back().kind = kind;
+  return &nodes_.back();
+}
+
+void Document::AssignOrder() { AssignOrderRec(&root_, 0); }
+
+}  // namespace natix::dom

@@ -1,0 +1,83 @@
+#ifndef NATIX_DOM_DOM_H_
+#define NATIX_DOM_DOM_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace natix::dom {
+
+/// XPath 1.0 data-model node kinds (namespace nodes are out of scope for
+/// this build; the paper's engine does not materialize them either).
+enum class NodeKind : uint8_t {
+  kDocument,
+  kElement,
+  kAttribute,
+  kText,
+  kComment,
+  kProcessingInstruction
+};
+
+/// A node of the main-memory document tree used by the baseline
+/// interpreter (the stand-in for xsltproc/Xalan) and by conformance tests.
+/// Nodes are owned by their Document and live as long as it does.
+struct Node {
+  NodeKind kind = NodeKind::kDocument;
+  /// Element/attribute name or PI target; empty for other kinds.
+  std::string name;
+  /// Text/comment content, attribute value, or PI data.
+  std::string value;
+
+  Node* parent = nullptr;
+  /// Child nodes in document order (elements, text, comments, PIs).
+  std::vector<Node*> children;
+  /// Attribute nodes (elements only), in document order.
+  std::vector<Node*> attributes;
+
+  /// Document-order rank, unique per document; attributes order after
+  /// their owning element and before its children.
+  uint64_t order = 0;
+
+  bool IsElement() const { return kind == NodeKind::kElement; }
+  bool IsAttribute() const { return kind == NodeKind::kAttribute; }
+
+  /// XPath string-value: concatenated descendant text for document and
+  /// element nodes; stored value otherwise.
+  std::string StringValue() const;
+
+  /// Next / previous sibling among the parent's children (nullptr at the
+  /// ends or for attribute / document nodes).
+  Node* NextSibling() const;
+  Node* PreviousSibling() const;
+};
+
+/// An in-memory XML document: owns all of its nodes.
+class Document {
+ public:
+  Document();
+
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  Node* root() { return &root_; }
+  const Node* root() const { return &root_; }
+
+  /// Allocates a node owned by this document.
+  Node* NewNode(NodeKind kind);
+
+  /// Number of nodes (including the document node).
+  size_t size() const { return nodes_.size() + 1; }
+
+  /// Re-assigns document-order ranks after tree construction/mutation.
+  void AssignOrder();
+
+ private:
+  Node root_;
+  std::deque<Node> nodes_;
+};
+
+}  // namespace natix::dom
+
+#endif  // NATIX_DOM_DOM_H_

@@ -1,0 +1,77 @@
+#include "dom/dom_builder.h"
+
+#include <utility>
+#include <vector>
+
+#include "xml/reader.h"
+
+namespace natix::dom {
+
+StatusOr<std::unique_ptr<Document>> ParseDocument(std::string_view input) {
+  auto doc = std::make_unique<Document>();
+  xml::Reader reader(input);
+  std::vector<Node*> stack = {doc->root()};
+
+  auto append_text = [&](const std::string& text) {
+    Node* parent = stack.back();
+    // Merge adjacent text (e.g. "a<![CDATA[b]]>c") into one node.
+    if (!parent->children.empty() &&
+        parent->children.back()->kind == NodeKind::kText) {
+      parent->children.back()->value += text;
+      return;
+    }
+    Node* node = doc->NewNode(NodeKind::kText);
+    node->value = text;
+    node->parent = parent;
+    parent->children.push_back(node);
+  };
+
+  while (true) {
+    xml::Reader::Event event;
+    Status st = reader.Next(&event);
+    if (!st.ok()) return st;
+    switch (event.kind) {
+      case xml::EventKind::kEndDocument:
+        doc->AssignOrder();
+        return doc;
+      case xml::EventKind::kStartElement: {
+        Node* element = doc->NewNode(NodeKind::kElement);
+        element->name = std::move(event.name);
+        element->parent = stack.back();
+        stack.back()->children.push_back(element);
+        for (xml::Attribute& attr : event.attributes) {
+          Node* attribute = doc->NewNode(NodeKind::kAttribute);
+          attribute->name = std::move(attr.name);
+          attribute->value = std::move(attr.value);
+          attribute->parent = element;
+          element->attributes.push_back(attribute);
+        }
+        stack.push_back(element);
+        break;
+      }
+      case xml::EventKind::kEndElement:
+        stack.pop_back();
+        break;
+      case xml::EventKind::kText:
+        append_text(event.text);
+        break;
+      case xml::EventKind::kComment: {
+        Node* node = doc->NewNode(NodeKind::kComment);
+        node->value = std::move(event.text);
+        node->parent = stack.back();
+        stack.back()->children.push_back(node);
+        break;
+      }
+      case xml::EventKind::kProcessingInstruction: {
+        Node* node = doc->NewNode(NodeKind::kProcessingInstruction);
+        node->name = std::move(event.name);
+        node->value = std::move(event.text);
+        node->parent = stack.back();
+        stack.back()->children.push_back(node);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace natix::dom

@@ -1,0 +1,19 @@
+#ifndef NATIX_DOM_DOM_BUILDER_H_
+#define NATIX_DOM_DOM_BUILDER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "base/statusor.h"
+#include "dom/dom.h"
+
+namespace natix::dom {
+
+/// Parses `input` into a main-memory Document. Adjacent text runs
+/// (character data + CDATA) are merged into single text nodes, as the
+/// XPath data model requires.
+StatusOr<std::unique_ptr<Document>> ParseDocument(std::string_view input);
+
+}  // namespace natix::dom
+
+#endif  // NATIX_DOM_DOM_BUILDER_H_

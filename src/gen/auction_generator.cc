@@ -1,0 +1,90 @@
+#include "gen/auction_generator.h"
+
+#include <random>
+
+namespace natix::gen {
+
+namespace {
+
+const char* kFirstNames[] = {"Ada",  "Edsger", "Grace", "Alan",
+                             "Barbara", "Donald", "Leslie", "Tony",
+                             "Frances", "John"};
+const char* kLastNames[] = {"Lovelace", "Dijkstra", "Hopper", "Turing",
+                            "Liskov",  "Knuth",    "Lamport", "Hoare",
+                            "Allen",   "Backus"};
+const char* kCities[] = {"Mannheim", "Karlsruhe", "Berlin", "Zurich",
+                         "Vienna",   "Paris"};
+const char* kCategories[] = {"books", "music", "tools", "art", "sports"};
+const char* kAdjectives[] = {"vintage", "rare", "mint", "used", "signed"};
+const char* kNouns[] = {"folio", "pressing", "lathe", "print", "racket"};
+
+}  // namespace
+
+std::string GenerateAuctionSite(const AuctionOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  auto pick = [&rng](auto& array) -> const char* {
+    return array[std::uniform_int_distribution<size_t>(
+        0, std::size(array) - 1)(rng)];
+  };
+  std::uniform_int_distribution<int> income_dist(20000, 180000);
+  std::uniform_int_distribution<int> price_dist(1, 500);
+  std::uniform_int_distribution<int> bid_count_dist(0, 6);
+  std::uniform_int_distribution<int> percent(0, 99);
+
+  std::string out;
+  out.reserve((options.people + options.items + options.auctions) * 160);
+  out += "<site>";
+
+  out += "<people>";
+  for (uint64_t i = 0; i < options.people; ++i) {
+    out += "<person id=\"person" + std::to_string(i) + "\">";
+    out += "<name>" + std::string(pick(kFirstNames)) + " " +
+           pick(kLastNames) + "</name>";
+    out += "<city>" + std::string(pick(kCities)) + "</city>";
+    if (percent(rng) < 70) {
+      out += "<income>" + std::to_string(income_dist(rng)) + "</income>";
+    }
+    out += "</person>";
+  }
+  out += "</people>";
+
+  out += "<items>";
+  for (uint64_t i = 0; i < options.items; ++i) {
+    out += "<item id=\"item" + std::to_string(i) + "\" category=\"" +
+           pick(kCategories) + "\">";
+    out += "<description>A " + std::string(pick(kAdjectives)) + " " +
+           pick(kNouns) + ".</description>";
+    out += "<reserve>" + std::to_string(price_dist(rng)) + "</reserve>";
+    out += "</item>";
+  }
+  out += "</items>";
+
+  out += "<auctions>";
+  for (uint64_t i = 0; i < options.auctions; ++i) {
+    uint64_t item = std::uniform_int_distribution<uint64_t>(
+        0, options.items - 1)(rng);
+    uint64_t seller = std::uniform_int_distribution<uint64_t>(
+        0, options.people - 1)(rng);
+    out += "<auction item=\"item" + std::to_string(item) + "\" seller=\"" +
+           "person" + std::to_string(seller) + "\">";
+    int bids = bid_count_dist(rng);
+    int price = price_dist(rng);
+    for (int b = 0; b < bids; ++b) {
+      uint64_t bidder = std::uniform_int_distribution<uint64_t>(
+          0, options.people - 1)(rng);
+      price += std::uniform_int_distribution<int>(1, 40)(rng);
+      out += "<bid person=\"person" + std::to_string(bidder) +
+             "\"><amount>" + std::to_string(price) + "</amount></bid>";
+    }
+    if (bids > 0 && percent(rng) < 50) {
+      out += "<closed><final>" + std::to_string(price) + "</final></closed>";
+    }
+    out += "</auction>";
+  }
+  out += "</auctions>";
+
+  out += "</site>";
+  return out;
+}
+
+}  // namespace natix::gen

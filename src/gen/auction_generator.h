@@ -1,0 +1,31 @@
+#ifndef NATIX_GEN_AUCTION_GENERATOR_H_
+#define NATIX_GEN_AUCTION_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace natix::gen {
+
+/// An XMark-inspired auction-site document generator: `<site>` with
+/// `<people>` (person records carrying @id, name, city, optional
+/// income), `<items>` (item records with category references and
+/// descriptions) and `<auctions>` (open auctions with a bid history
+/// referencing people and items by id). Cross-references use `person`/
+/// `item` attributes holding ids resolvable with the XPath `id()`
+/// function.
+///
+/// This is the third benchmark/example domain (next to the paper's
+/// generated xdoc documents and the synthetic DBLP): it exercises
+/// id()-joins, value predicates over numbers, and deeper mixed content.
+struct AuctionOptions {
+  uint64_t people = 500;
+  uint64_t items = 1000;
+  uint64_t auctions = 800;
+  uint32_t seed = 7;
+};
+
+std::string GenerateAuctionSite(const AuctionOptions& options);
+
+}  // namespace natix::gen
+
+#endif  // NATIX_GEN_AUCTION_GENERATOR_H_

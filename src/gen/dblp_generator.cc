@@ -1,0 +1,129 @@
+#include "gen/dblp_generator.h"
+
+#include <random>
+#include <vector>
+
+namespace natix::gen {
+
+namespace {
+
+const char* kAuthors[] = {
+    "Guido Moerkotte",  "Sven Helmer",      "Carl-Christian Kanne",
+    "Matthias Brantner", "Donald Kossmann", "Daniela Florescu",
+    "Georg Gottlob",    "Christoph Koch",   "Reinhard Pichler",
+    "Goetz Graefe",     "Nicolas Bruno",    "Nick Koudas",
+    "Divesh Srivastava", "Torsten Grust",   "Jennifer Widom",
+    "Michael Stonebraker", "David DeWitt",  "Hector Garcia-Molina",
+    "Alon Halevy",      "Serge Abiteboul",
+};
+
+const char* kTitleWords[] = {
+    "Efficient", "Scalable",  "Algebraic", "XPath",     "Query",
+    "Evaluation", "Processing", "Optimization", "Indexing", "XML",
+    "Databases", "Streams",   "Joins",     "Storage",   "Native",
+    "Holistic",  "Structural", "Pattern",  "Matching",  "Systems",
+};
+
+const char* kJournals[] = {"VLDB J.", "TODS", "SIGMOD Record",
+                           "Inf. Syst.", "TKDE"};
+const char* kConferences[] = {"SIGMOD", "VLDB", "ICDE", "EDBT", "ER"};
+
+}  // namespace
+
+std::string GenerateDblp(const DblpOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  std::uniform_int_distribution<int> author_dist(
+      0, static_cast<int>(std::size(kAuthors)) - 1);
+  std::uniform_int_distribution<int> word_dist(
+      0, static_cast<int>(std::size(kTitleWords)) - 1);
+  std::uniform_int_distribution<int> year_dist(1980, 2004);
+  std::uniform_int_distribution<int> author_count_dist(1, 5);
+  std::uniform_int_distribution<int> kind_dist(0, 99);
+  std::uniform_int_distribution<int> journal_dist(
+      0, static_cast<int>(std::size(kJournals)) - 1);
+  std::uniform_int_distribution<int> conf_dist(
+      0, static_cast<int>(std::size(kConferences)) - 1);
+  std::uniform_int_distribution<int> pages_dist(1, 900);
+
+  std::string out;
+  out.reserve(options.publications * 220);
+  out += "<dblp>";
+
+  // The specific record Fig. 10's key-lookup query selects, placed at a
+  // pseudo-random position via the loop below.
+  uint64_t special_at =
+      options.publications > 2 ? options.publications / 3 : 0;
+
+  for (uint64_t i = 0; i < options.publications; ++i) {
+    if (i == special_at) {
+      out +=
+          "<inproceedings key=\"conf/er/LockemannM91\" mdate=\"2002-01-03\">"
+          "<author>Peter C. Lockemann</author>"
+          "<author>Guido Moerkotte</author>"
+          "<title>On the Notion of Concurrency-Related DB Consistency.</title>"
+          "<pages>317-334</pages><year>1991</year>"
+          "<booktitle>ER</booktitle></inproceedings>";
+      continue;
+    }
+    int kind = kind_dist(rng);
+    // Roughly DBLP-like mix: ~45% article, ~45% inproceedings, rest other.
+    const char* element = kind < 45               ? "article"
+                          : kind < 90             ? "inproceedings"
+                          : kind < 95             ? "book"
+                                                  : "phdthesis";
+    bool is_article = kind < 45;
+    int year = year_dist(rng);
+
+    out += "<";
+    out += element;
+    out += " key=\"";
+    if (is_article) {
+      out += "journals/j" + std::to_string(journal_dist(rng)) + "/p" +
+             std::to_string(i);
+    } else {
+      out += "conf/c" + std::to_string(conf_dist(rng)) + "/p" +
+             std::to_string(i);
+    }
+    out += "\" mdate=\"2004-0" + std::to_string(1 + (i % 9)) + "-15\">";
+
+    int author_count = author_count_dist(rng);
+    for (int a = 0; a < author_count; ++a) {
+      out += "<author>";
+      out += kAuthors[author_dist(rng)];
+      out += "</author>";
+    }
+
+    out += "<title>";
+    int words = 3 + (kind % 5);
+    for (int w = 0; w < words; ++w) {
+      if (w > 0) out += " ";
+      out += kTitleWords[word_dist(rng)];
+    }
+    out += ".</title>";
+
+    int first_page = pages_dist(rng);
+    out += "<pages>" + std::to_string(first_page) + "-" +
+           std::to_string(first_page + 12) + "</pages>";
+    out += "<year>" + std::to_string(year) + "</year>";
+    if (is_article) {
+      out += "<journal>";
+      out += kJournals[journal_dist(rng)];
+      out += "</journal><volume>" + std::to_string(1 + year - 1980) +
+             "</volume>";
+    } else {
+      out += "<booktitle>";
+      out += kConferences[conf_dist(rng)];
+      out += "</booktitle>";
+    }
+    out += "<url>db/";
+    out += element;
+    out += "/p" + std::to_string(i) + ".html</url>";
+    out += "</";
+    out += element;
+    out += ">";
+  }
+  out += "</dblp>";
+  return out;
+}
+
+}  // namespace natix::gen

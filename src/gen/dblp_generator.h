@@ -1,0 +1,29 @@
+#ifndef NATIX_GEN_DBLP_GENERATOR_H_
+#define NATIX_GEN_DBLP_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace natix::gen {
+
+/// Synthetic stand-in for the DBLP XML dataset [16] used in Fig. 10 of
+/// the paper (the real 216 MB dump is neither redistributable nor
+/// desirable in a test environment). The generator reproduces the element
+/// and attribute schema the Fig. 10 queries touch — `dblp` root with
+/// `article` / `inproceedings` (plus some `book` and `phdthesis`)
+/// children carrying `@key`, 1-5 `author` elements, `title`, `year`,
+/// `pages` and venue elements — and plants the specific values those
+/// queries select: publications with year 1991, the author
+/// "Guido Moerkotte", four-author articles, and one inproceedings with
+/// key "conf/er/LockemannM91".
+struct DblpOptions {
+  /// Number of publication elements under <dblp>.
+  uint64_t publications = 10000;
+  uint32_t seed = 42;
+};
+
+std::string GenerateDblp(const DblpOptions& options);
+
+}  // namespace natix::gen
+
+#endif  // NATIX_GEN_DBLP_GENERATOR_H_

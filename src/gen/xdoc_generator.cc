@@ -1,0 +1,70 @@
+#include "gen/xdoc_generator.h"
+
+#include <vector>
+
+namespace natix::gen {
+
+namespace {
+
+/// Builds the tree shape breadth-first: node 0 is the root; each node at
+/// depth < max depth receives `fanout` children while the element budget
+/// lasts.
+struct Shape {
+  std::vector<std::vector<uint64_t>> children;
+};
+
+Shape BuildShape(const XDocOptions& options) {
+  Shape shape;
+  shape.children.emplace_back();  // root
+  uint64_t created = 1;
+  std::vector<std::pair<uint64_t, uint32_t>> frontier = {{0, 1}};  // id,depth
+  std::vector<std::pair<uint64_t, uint32_t>> next;
+  while (!frontier.empty() && created < options.max_elements) {
+    next.clear();
+    for (const auto& [node, node_depth] : frontier) {
+      if (node_depth > options.depth) continue;
+      for (uint32_t i = 0;
+           i < options.fanout && created < options.max_elements; ++i) {
+        uint64_t child = created++;
+        shape.children.emplace_back();
+        shape.children[node].push_back(child);
+        next.emplace_back(child, node_depth + 1);
+      }
+      if (created >= options.max_elements) break;
+    }
+    frontier.swap(next);
+  }
+  return shape;
+}
+
+void Serialize(const Shape& shape, uint64_t node, bool is_root,
+               std::string* out) {
+  *out += is_root ? "<xdoc id=\"" : "<n id=\"";
+  *out += std::to_string(node);
+  *out += "\"";
+  if (shape.children[node].empty()) {
+    *out += "/>";
+    return;
+  }
+  *out += ">";
+  for (uint64_t child : shape.children[node]) {
+    Serialize(shape, child, false, out);
+  }
+  *out += is_root ? "</xdoc>" : "</n>";
+}
+
+}  // namespace
+
+std::string GenerateXDoc(const XDocOptions& options) {
+  Shape shape = BuildShape(options);
+  std::string out;
+  out.reserve(shape.children.size() * 16);
+  Serialize(shape, 0, true, &out);
+  return out;
+}
+
+uint64_t XDocElementCount(const XDocOptions& options) {
+  return BuildShape(options).children.size();
+}
+
+}  // namespace natix::gen

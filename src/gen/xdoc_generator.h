@@ -1,0 +1,31 @@
+#ifndef NATIX_GEN_XDOC_GENERATOR_H_
+#define NATIX_GEN_XDOC_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace natix::gen {
+
+/// The paper's document generator (Sec. 6.2.1): "The document generator
+/// follows a breadth first algorithm and fills every depth of the
+/// document with the given fanout until the maximum number of elements or
+/// depth is reached. The root element of every document has the name
+/// xdoc. Every element contains an attribute id which is consecutively
+/// numbered."
+struct XDocOptions {
+  uint64_t max_elements = 2000;
+  uint32_t fanout = 6;
+  uint32_t depth = 4;
+};
+
+/// Generates the XML text of such a document. Ids are assigned in breadth
+/// first (generation) order, starting at 0 for the xdoc root.
+std::string GenerateXDoc(const XDocOptions& options);
+
+/// Number of elements the generator produces for `options` (min of the
+/// element budget and the complete tree of the given fanout/depth).
+uint64_t XDocElementCount(const XDocOptions& options);
+
+}  // namespace natix::gen
+
+#endif  // NATIX_GEN_XDOC_GENERATOR_H_

@@ -1,0 +1,713 @@
+#include "interp/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/strings.h"
+#include "base/xpath_number.h"
+#include "xpath/fold.h"
+#include "xpath/functions.h"
+#include "xpath/normalizer.h"
+#include "xpath/parser.h"
+#include "xpath/sema.h"
+
+namespace natix::interp {
+
+namespace {
+
+using dom::Node;
+using dom::NodeKind;
+using runtime::Axis;
+using xpath::AstNodeTest;
+using xpath::BinaryOp;
+using xpath::Expr;
+using xpath::ExprKind;
+using xpath::FunctionId;
+using xpath::Step;
+
+void SortUnique(std::vector<const Node*>* nodes) {
+  std::sort(nodes->begin(), nodes->end(),
+            [](const Node* a, const Node* b) { return a->order < b->order; });
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+}
+
+void CollectDescendants(const Node* node, std::vector<const Node*>* out) {
+  for (const Node* child : node->children) {
+    out->push_back(child);
+    CollectDescendants(child, out);
+  }
+}
+
+}  // namespace
+
+Object Object::NodeSet(std::vector<const Node*> n) {
+  Object v;
+  v.kind = Kind::kNodeSet;
+  v.nodes = std::move(n);
+  SortUnique(&v.nodes);
+  return v;
+}
+Object Object::Boolean(bool b) {
+  Object v;
+  v.kind = Kind::kBoolean;
+  v.boolean = b;
+  return v;
+}
+Object Object::Number(double n) {
+  Object v;
+  v.kind = Kind::kNumber;
+  v.number = n;
+  return v;
+}
+Object Object::String(std::string s) {
+  Object v;
+  v.kind = Kind::kString;
+  v.string = std::move(s);
+  return v;
+}
+
+double Evaluator::ToNumber(const Object& v) const {
+  switch (v.kind) {
+    case Object::Kind::kNumber:
+      return v.number;
+    case Object::Kind::kBoolean:
+      return v.boolean ? 1 : 0;
+    case Object::Kind::kString:
+      return StringToXPathNumber(v.string);
+    case Object::Kind::kNodeSet:
+      return StringToXPathNumber(ToString(v));
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+std::string Evaluator::ToString(const Object& v) const {
+  switch (v.kind) {
+    case Object::Kind::kString:
+      return v.string;
+    case Object::Kind::kBoolean:
+      return v.boolean ? "true" : "false";
+    case Object::Kind::kNumber:
+      return XPathNumberToString(v.number);
+    case Object::Kind::kNodeSet:
+      return v.nodes.empty() ? "" : v.nodes.front()->StringValue();
+  }
+  return "";
+}
+
+bool Evaluator::ToBoolean(const Object& v) const {
+  switch (v.kind) {
+    case Object::Kind::kBoolean:
+      return v.boolean;
+    case Object::Kind::kNumber:
+      return v.number != 0 && !std::isnan(v.number);
+    case Object::Kind::kString:
+      return !v.string.empty();
+    case Object::Kind::kNodeSet:
+      return !v.nodes.empty();
+  }
+  return false;
+}
+
+std::vector<const Node*> Evaluator::AxisNodes(const Node* context,
+                                              Axis axis) {
+  std::vector<const Node*> out;
+  const bool is_attribute = context->kind == NodeKind::kAttribute;
+  switch (axis) {
+    case Axis::kSelf:
+      out.push_back(context);
+      break;
+    case Axis::kChild:
+      if (!is_attribute) {
+        out.assign(context->children.begin(), context->children.end());
+      }
+      break;
+    case Axis::kAttribute:
+      out.assign(context->attributes.begin(), context->attributes.end());
+      break;
+    case Axis::kParent:
+      if (context->parent != nullptr) out.push_back(context->parent);
+      break;
+    case Axis::kAncestor:
+      for (const Node* a = context->parent; a != nullptr; a = a->parent) {
+        out.push_back(a);
+      }
+      break;
+    case Axis::kAncestorOrSelf:
+      for (const Node* a = context; a != nullptr; a = a->parent) {
+        out.push_back(a);
+      }
+      break;
+    case Axis::kDescendant:
+      if (!is_attribute) CollectDescendants(context, &out);
+      break;
+    case Axis::kDescendantOrSelf:
+      out.push_back(context);
+      if (!is_attribute) CollectDescendants(context, &out);
+      break;
+    case Axis::kFollowingSibling:
+      if (!is_attribute) {
+        for (const Node* s = context->NextSibling(); s != nullptr;
+             s = s->NextSibling()) {
+          out.push_back(s);
+        }
+      }
+      break;
+    case Axis::kPrecedingSibling:
+      if (!is_attribute) {
+        for (const Node* s = context->PreviousSibling(); s != nullptr;
+             s = s->PreviousSibling()) {
+          out.push_back(s);
+        }
+      }
+      break;
+    case Axis::kFollowing: {
+      const Node* base = is_attribute ? context->parent : context;
+      if (is_attribute) {
+        // The owner's subtree follows the attribute in document order.
+        CollectDescendants(base, &out);
+      }
+      for (const Node* n = base; n != nullptr; n = n->parent) {
+        for (const Node* s = n->NextSibling(); s != nullptr;
+             s = s->NextSibling()) {
+          out.push_back(s);
+          CollectDescendants(s, &out);
+        }
+      }
+      break;
+    }
+    case Axis::kPreceding: {
+      const Node* base = is_attribute ? context->parent : context;
+      // Reverse document order: climb, taking earlier siblings' subtrees.
+      for (const Node* n = base; n != nullptr; n = n->parent) {
+        for (const Node* s = n->PreviousSibling(); s != nullptr;
+             s = s->PreviousSibling()) {
+          std::vector<const Node*> subtree;
+          subtree.push_back(s);
+          CollectDescendants(s, &subtree);
+          // Reverse document order within the subtree.
+          for (auto it = subtree.rbegin(); it != subtree.rend(); ++it) {
+            out.push_back(*it);
+          }
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+bool Evaluator::TestNode(const Node* node, const AstNodeTest& test,
+                         bool principal_is_attribute) {
+  NodeKind principal =
+      principal_is_attribute ? NodeKind::kAttribute : NodeKind::kElement;
+  switch (test.kind) {
+    case AstNodeTest::Kind::kName:
+      return node->kind == principal && node->name == test.name;
+    case AstNodeTest::Kind::kAnyName:
+      return node->kind == principal;
+    case AstNodeTest::Kind::kText:
+      return node->kind == NodeKind::kText;
+    case AstNodeTest::Kind::kComment:
+      return node->kind == NodeKind::kComment;
+    case AstNodeTest::Kind::kPi:
+      return node->kind == NodeKind::kProcessingInstruction;
+    case AstNodeTest::Kind::kPiTarget:
+      return node->kind == NodeKind::kProcessingInstruction &&
+             node->name == test.name;
+    case AstNodeTest::Kind::kAnyKind:
+      return true;
+  }
+  return false;
+}
+
+Status Evaluator::ApplyPredicates(
+    const std::vector<xpath::ExprPtr>& predicates, bool forward_axis,
+    std::vector<const Node*>* nodes) {
+  // `nodes` arrives in axis order (proximity order for reverse axes).
+  (void)forward_axis;
+  for (const xpath::ExprPtr& predicate : predicates) {
+    std::vector<const Node*> passed;
+    size_t size = nodes->size();
+    for (size_t i = 0; i < size; ++i) {
+      Context ctx;
+      ctx.node = (*nodes)[i];
+      ctx.position = i + 1;
+      ctx.size = size;
+      NATIX_ASSIGN_OR_RETURN(Object result, Eval(*predicate, ctx));
+      if (ToBoolean(result)) passed.push_back(ctx.node);
+    }
+    *nodes = std::move(passed);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<const Node*>> Evaluator::EvalStep(const Node* context,
+                                                       const Step& step) {
+  if (options_.memoize) {
+    auto it = memo_.find({reinterpret_cast<const Expr*>(&step), context});
+    if (it != memo_.end()) return it->second;
+  }
+  ++steps_evaluated_;
+  std::vector<const Node*> nodes = AxisNodes(context, step.axis);
+  const bool principal_is_attribute = step.axis == Axis::kAttribute;
+  nodes.erase(std::remove_if(nodes.begin(), nodes.end(),
+                             [&](const Node* n) {
+                               return !TestNode(n, step.test,
+                                                principal_is_attribute);
+                             }),
+              nodes.end());
+  NATIX_RETURN_IF_ERROR(ApplyPredicates(
+      step.predicates, !runtime::AxisIsReverse(step.axis), &nodes));
+  if (options_.memoize) {
+    memo_[{reinterpret_cast<const Expr*>(&step), context}] = nodes;
+  }
+  return nodes;
+}
+
+StatusOr<std::vector<const Node*>> Evaluator::EvalSteps(
+    std::vector<const Node*> input, const std::vector<Step>& steps) {
+  std::vector<const Node*> current = std::move(input);
+  for (const Step& step : steps) {
+    std::vector<const Node*> next;
+    for (const Node* node : current) {
+      NATIX_ASSIGN_OR_RETURN(std::vector<const Node*> produced,
+                             EvalStep(node, step));
+      next.insert(next.end(), produced.begin(), produced.end());
+    }
+    // Without consolidation duplicate contexts survive and multiply
+    // (the final Object::NodeSet still deduplicates, preserving
+    // semantics — only the work is exponential).
+    if (options_.consolidate_steps) SortUnique(&next);
+    current = std::move(next);
+  }
+  return current;
+}
+
+StatusOr<std::vector<const Node*>> Evaluator::EvalPath(const Expr& e,
+                                                       const Context& ctx) {
+  std::vector<const Node*> start;
+  if (e.kind == ExprKind::kLocationPath) {
+    if (e.absolute) {
+      start.push_back(document_->root());
+    } else {
+      start.push_back(ctx.node);
+    }
+    return EvalSteps(std::move(start), e.steps);
+  }
+  // kPathExpr: children[0] provides the context node set.
+  NATIX_ASSIGN_OR_RETURN(Object base, Eval(*e.children[0], ctx));
+  if (base.kind != Object::Kind::kNodeSet) {
+    return Status::Internal("path expression base is not a node-set");
+  }
+  return EvalSteps(std::move(base.nodes), e.steps);
+}
+
+StatusOr<Object> Evaluator::EvalComparison(const Expr& e,
+                                           const Context& ctx) {
+  NATIX_ASSIGN_OR_RETURN(Object lhs, Eval(*e.children[0], ctx));
+  NATIX_ASSIGN_OR_RETURN(Object rhs, Eval(*e.children[1], ctx));
+
+  auto numeric = [&](double a, double b) -> bool {
+    switch (e.op) {
+      case BinaryOp::kEq:
+        return a == b;
+      case BinaryOp::kNe:
+        return a != b;
+      case BinaryOp::kLt:
+        return a < b;
+      case BinaryOp::kLe:
+        return a <= b;
+      case BinaryOp::kGt:
+        return a > b;
+      default:
+        return a >= b;
+    }
+  };
+
+  bool lhs_ns = lhs.kind == Object::Kind::kNodeSet;
+  bool rhs_ns = rhs.kind == Object::Kind::kNodeSet;
+
+  if (lhs_ns || rhs_ns) {
+    // Existential semantics over node string-values.
+    auto atom_vs_node = [&](const Object& atom, const Node* node,
+                            bool node_on_left) -> bool {
+      std::string sv = node->StringValue();
+      if (e.op == BinaryOp::kEq || e.op == BinaryOp::kNe) {
+        bool eq;
+        if (atom.kind == Object::Kind::kBoolean) {
+          eq = atom.boolean;  // node exists, so boolean(ns-side) is true
+        } else if (atom.kind == Object::Kind::kNumber) {
+          eq = StringToXPathNumber(sv) == atom.number;
+        } else {
+          eq = sv == atom.string;
+        }
+        return e.op == BinaryOp::kEq ? eq : !eq;
+      }
+      double nv = StringToXPathNumber(sv);
+      double av = ToNumber(atom);
+      return node_on_left ? numeric(nv, av) : numeric(av, nv);
+    };
+
+    if (lhs_ns && rhs_ns) {
+      if (e.op == BinaryOp::kEq || e.op == BinaryOp::kNe) {
+        for (const Node* a : lhs.nodes) {
+          std::string sa = a->StringValue();
+          for (const Node* b : rhs.nodes) {
+            bool eq = sa == b->StringValue();
+            if ((e.op == BinaryOp::kEq) == eq) return Object::Boolean(true);
+          }
+        }
+        return Object::Boolean(false);
+      }
+      for (const Node* a : lhs.nodes) {
+        double na = StringToXPathNumber(a->StringValue());
+        for (const Node* b : rhs.nodes) {
+          if (numeric(na, StringToXPathNumber(b->StringValue()))) {
+            return Object::Boolean(true);
+          }
+        }
+      }
+      return Object::Boolean(false);
+    }
+    const Object& ns = lhs_ns ? lhs : rhs;
+    const Object& atom = lhs_ns ? rhs : lhs;
+    if ((e.op == BinaryOp::kEq || e.op == BinaryOp::kNe) &&
+        atom.kind == Object::Kind::kBoolean) {
+      bool eq = ToBoolean(ns) == atom.boolean;
+      return Object::Boolean(e.op == BinaryOp::kEq ? eq : !eq);
+    }
+    for (const Node* node : ns.nodes) {
+      if (atom_vs_node(atom, node, /*node_on_left=*/lhs_ns)) {
+        return Object::Boolean(true);
+      }
+    }
+    return Object::Boolean(false);
+  }
+
+  // Atomic comparison with type promotion.
+  if (e.op != BinaryOp::kEq && e.op != BinaryOp::kNe) {
+    return Object::Boolean(numeric(ToNumber(lhs), ToNumber(rhs)));
+  }
+  bool eq;
+  if (lhs.kind == Object::Kind::kBoolean ||
+      rhs.kind == Object::Kind::kBoolean) {
+    eq = ToBoolean(lhs) == ToBoolean(rhs);
+  } else if (lhs.kind == Object::Kind::kNumber ||
+             rhs.kind == Object::Kind::kNumber) {
+    eq = ToNumber(lhs) == ToNumber(rhs);
+  } else {
+    eq = ToString(lhs) == ToString(rhs);
+  }
+  return Object::Boolean(e.op == BinaryOp::kEq ? eq : !eq);
+}
+
+StatusOr<Object> Evaluator::EvalBinary(const Expr& e, const Context& ctx) {
+  switch (e.op) {
+    case BinaryOp::kOr:
+    case BinaryOp::kAnd: {
+      NATIX_ASSIGN_OR_RETURN(Object lhs, Eval(*e.children[0], ctx));
+      bool lv = ToBoolean(lhs);
+      if (e.op == BinaryOp::kOr && lv) return Object::Boolean(true);
+      if (e.op == BinaryOp::kAnd && !lv) return Object::Boolean(false);
+      NATIX_ASSIGN_OR_RETURN(Object rhs, Eval(*e.children[1], ctx));
+      return Object::Boolean(ToBoolean(rhs));
+    }
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod: {
+      NATIX_ASSIGN_OR_RETURN(Object lhs, Eval(*e.children[0], ctx));
+      NATIX_ASSIGN_OR_RETURN(Object rhs, Eval(*e.children[1], ctx));
+      double a = ToNumber(lhs);
+      double b = ToNumber(rhs);
+      switch (e.op) {
+        case BinaryOp::kAdd:
+          return Object::Number(a + b);
+        case BinaryOp::kSub:
+          return Object::Number(a - b);
+        case BinaryOp::kMul:
+          return Object::Number(a * b);
+        case BinaryOp::kDiv:
+          return Object::Number(a / b);
+        default:
+          return Object::Number(std::fmod(a, b));
+      }
+    }
+    default:
+      return EvalComparison(e, ctx);
+  }
+}
+
+StatusOr<Object> Evaluator::EvalCall(const Expr& e, const Context& ctx) {
+  auto fid = static_cast<FunctionId>(e.function_id);
+  auto arg = [&](size_t i) -> StatusOr<Object> {
+    return Eval(*e.children[i], ctx);
+  };
+  switch (fid) {
+    case FunctionId::kLast:
+      return Object::Number(static_cast<double>(ctx.size));
+    case FunctionId::kPosition:
+      return Object::Number(static_cast<double>(ctx.position));
+    case FunctionId::kCount: {
+      NATIX_ASSIGN_OR_RETURN(Object v, arg(0));
+      return Object::Number(static_cast<double>(v.nodes.size()));
+    }
+    case FunctionId::kSum: {
+      NATIX_ASSIGN_OR_RETURN(Object v, arg(0));
+      double sum = 0;
+      for (const Node* n : v.nodes) {
+        sum += StringToXPathNumber(n->StringValue());
+      }
+      return Object::Number(sum);
+    }
+    case FunctionId::kId: {
+      NATIX_ASSIGN_OR_RETURN(Object v, arg(0));
+      std::vector<std::string> tokens;
+      if (v.kind == Object::Kind::kNodeSet) {
+        for (const Node* n : v.nodes) {
+          for (std::string& t : SplitWhitespace(n->StringValue())) {
+            tokens.push_back(std::move(t));
+          }
+        }
+      } else {
+        tokens = SplitWhitespace(ToString(v));
+      }
+      if (!id_index_built_) {
+        // One document scan builds the id index (elements' `id`
+        // attributes; the first occurrence of a value wins).
+        std::vector<const Node*> all;
+        all.push_back(document_->root());
+        CollectDescendants(document_->root(), &all);
+        for (const Node* n : all) {
+          if (n->kind != NodeKind::kElement) continue;
+          for (const Node* attr : n->attributes) {
+            if (attr->name == "id") {
+              id_index_.emplace(attr->value, n);
+              break;
+            }
+          }
+        }
+        id_index_built_ = true;
+      }
+      std::vector<const Node*> result;
+      for (const std::string& token : tokens) {
+        auto it = id_index_.find(token);
+        if (it != id_index_.end()) result.push_back(it->second);
+      }
+      return Object::NodeSet(std::move(result));
+    }
+    case FunctionId::kLocalName:
+    case FunctionId::kName: {
+      NATIX_ASSIGN_OR_RETURN(Object v, arg(0));
+      if (v.nodes.empty()) return Object::String("");
+      std::string name = v.nodes.front()->name;
+      if (fid == FunctionId::kLocalName) {
+        auto colon = name.rfind(':');
+        if (colon != std::string::npos) name = name.substr(colon + 1);
+      }
+      return Object::String(std::move(name));
+    }
+    case FunctionId::kNamespaceUri:
+      return Object::String("");  // no namespace processing in this build
+    case FunctionId::kString: {
+      NATIX_ASSIGN_OR_RETURN(Object v, arg(0));
+      return Object::String(ToString(v));
+    }
+    case FunctionId::kConcat: {
+      std::string out;
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        NATIX_ASSIGN_OR_RETURN(Object v, arg(i));
+        out += ToString(v);
+      }
+      return Object::String(std::move(out));
+    }
+    case FunctionId::kStartsWith: {
+      NATIX_ASSIGN_OR_RETURN(Object a, arg(0));
+      NATIX_ASSIGN_OR_RETURN(Object b, arg(1));
+      return Object::Boolean(StartsWith(ToString(a), ToString(b)));
+    }
+    case FunctionId::kContains: {
+      NATIX_ASSIGN_OR_RETURN(Object a, arg(0));
+      NATIX_ASSIGN_OR_RETURN(Object b, arg(1));
+      return Object::Boolean(Contains(ToString(a), ToString(b)));
+    }
+    case FunctionId::kSubstringBefore: {
+      NATIX_ASSIGN_OR_RETURN(Object a, arg(0));
+      NATIX_ASSIGN_OR_RETURN(Object b, arg(1));
+      return Object::String(SubstringBefore(ToString(a), ToString(b)));
+    }
+    case FunctionId::kSubstringAfter: {
+      NATIX_ASSIGN_OR_RETURN(Object a, arg(0));
+      NATIX_ASSIGN_OR_RETURN(Object b, arg(1));
+      return Object::String(SubstringAfter(ToString(a), ToString(b)));
+    }
+    case FunctionId::kSubstring: {
+      NATIX_ASSIGN_OR_RETURN(Object s, arg(0));
+      NATIX_ASSIGN_OR_RETURN(Object p, arg(1));
+      std::string str = ToString(s);
+      double pos = XPathRound(ToNumber(p));
+      double end = 0;
+      bool has_len = e.children.size() == 3;
+      if (has_len) {
+        NATIX_ASSIGN_OR_RETURN(Object l, arg(2));
+        end = pos + XPathRound(ToNumber(l));
+      }
+      std::string out;
+      size_t cp = 1;
+      for (size_t i = 0; i < str.size(); ++cp) {
+        size_t before = i;
+        Utf8Decode(str, i);
+        double dp = static_cast<double>(cp);
+        if (dp >= pos && (!has_len || dp < end)) {
+          out.append(str, before, i - before);
+        }
+      }
+      return Object::String(std::move(out));
+    }
+    case FunctionId::kStringLength: {
+      NATIX_ASSIGN_OR_RETURN(Object v, arg(0));
+      return Object::Number(static_cast<double>(Utf8Length(ToString(v))));
+    }
+    case FunctionId::kNormalizeSpace: {
+      NATIX_ASSIGN_OR_RETURN(Object v, arg(0));
+      return Object::String(NormalizeSpace(ToString(v)));
+    }
+    case FunctionId::kTranslate: {
+      NATIX_ASSIGN_OR_RETURN(Object s, arg(0));
+      NATIX_ASSIGN_OR_RETURN(Object f, arg(1));
+      NATIX_ASSIGN_OR_RETURN(Object t, arg(2));
+      return Object::String(
+          TranslateChars(ToString(s), ToString(f), ToString(t)));
+    }
+    case FunctionId::kBoolean: {
+      NATIX_ASSIGN_OR_RETURN(Object v, arg(0));
+      return Object::Boolean(ToBoolean(v));
+    }
+    case FunctionId::kNot: {
+      NATIX_ASSIGN_OR_RETURN(Object v, arg(0));
+      return Object::Boolean(!ToBoolean(v));
+    }
+    case FunctionId::kTrue:
+      return Object::Boolean(true);
+    case FunctionId::kFalse:
+      return Object::Boolean(false);
+    case FunctionId::kLang: {
+      NATIX_ASSIGN_OR_RETURN(Object v, arg(0));
+      std::string wanted = ToString(v);
+      auto lower = [](std::string s) {
+        for (char& c : s) {
+          if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+        }
+        return s;
+      };
+      std::string lw = lower(wanted);
+      const Node* n = ctx.node;
+      if (n->kind == NodeKind::kAttribute) n = n->parent;
+      for (; n != nullptr; n = n->parent) {
+        for (const Node* attr : n->attributes) {
+          if (attr->name != "xml:lang") continue;
+          std::string lv = lower(attr->value);
+          return Object::Boolean(lv == lw ||
+                                 (lv.size() > lw.size() &&
+                                  lv.compare(0, lw.size(), lw) == 0 &&
+                                  lv[lw.size()] == '-'));
+        }
+      }
+      return Object::Boolean(false);
+    }
+    case FunctionId::kNumber: {
+      NATIX_ASSIGN_OR_RETURN(Object v, arg(0));
+      return Object::Number(ToNumber(v));
+    }
+    case FunctionId::kFloor: {
+      NATIX_ASSIGN_OR_RETURN(Object v, arg(0));
+      return Object::Number(std::floor(ToNumber(v)));
+    }
+    case FunctionId::kCeiling: {
+      NATIX_ASSIGN_OR_RETURN(Object v, arg(0));
+      return Object::Number(std::ceil(ToNumber(v)));
+    }
+    case FunctionId::kRound: {
+      NATIX_ASSIGN_OR_RETURN(Object v, arg(0));
+      return Object::Number(XPathRound(ToNumber(v)));
+    }
+    default:
+      return Status::Internal("interpreter: unsupported function id");
+  }
+}
+
+StatusOr<Object> Evaluator::Eval(const Expr& e, const Context& ctx) {
+  switch (e.kind) {
+    case ExprKind::kNumberLiteral:
+      return Object::Number(e.number);
+    case ExprKind::kBooleanLiteral:
+      return Object::Boolean(e.boolean);
+    case ExprKind::kStringLiteral:
+      return Object::String(e.string_value);
+    case ExprKind::kVariable: {
+      auto it = variables_.find(e.name);
+      if (it == variables_.end()) {
+        return Status::InvalidArgument("unbound variable $" + e.name);
+      }
+      return it->second;
+    }
+    case ExprKind::kNegate: {
+      NATIX_ASSIGN_OR_RETURN(Object v, Eval(*e.children[0], ctx));
+      return Object::Number(-ToNumber(v));
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(e, ctx);
+    case ExprKind::kFunctionCall:
+      return EvalCall(e, ctx);
+    case ExprKind::kUnion: {
+      std::vector<const Node*> all;
+      for (const xpath::ExprPtr& branch : e.children) {
+        NATIX_ASSIGN_OR_RETURN(Object v, Eval(*branch, ctx));
+        if (v.kind != Object::Kind::kNodeSet) {
+          return Status::Internal("union branch is not a node-set");
+        }
+        all.insert(all.end(), v.nodes.begin(), v.nodes.end());
+      }
+      return Object::NodeSet(std::move(all));
+    }
+    case ExprKind::kLocationPath:
+    case ExprKind::kPathExpr: {
+      NATIX_ASSIGN_OR_RETURN(std::vector<const Node*> nodes,
+                             EvalPath(e, ctx));
+      return Object::NodeSet(std::move(nodes));
+    }
+    case ExprKind::kFilterExpr: {
+      NATIX_ASSIGN_OR_RETURN(Object base, Eval(*e.children[0], ctx));
+      if (base.kind != Object::Kind::kNodeSet) {
+        return Status::Internal("filter base is not a node-set");
+      }
+      // Filter predicates count in document order (the nodes are sorted).
+      NATIX_RETURN_IF_ERROR(ApplyPredicates(e.predicates,
+                                            /*forward_axis=*/true,
+                                            &base.nodes));
+      return base;
+    }
+  }
+  return Status::Internal("interpreter: unknown expression kind");
+}
+
+StatusOr<Object> Evaluator::Evaluate(const Expr& root, const Node* context) {
+  Context ctx;
+  ctx.node = context;
+  return Eval(root, ctx);
+}
+
+StatusOr<Object> Evaluator::Run(const dom::Document* document,
+                                std::string_view query, const Node* context,
+                                const EvaluatorOptions& options) {
+  NATIX_ASSIGN_OR_RETURN(xpath::ExprPtr ast, xpath::ParseXPath(query));
+  NATIX_RETURN_IF_ERROR(xpath::Analyze(ast.get()));
+  xpath::FoldConstants(ast.get());
+  xpath::Normalize(ast.get());
+  Evaluator evaluator(document, options);
+  return evaluator.Evaluate(*ast, context);
+}
+
+}  // namespace natix::interp

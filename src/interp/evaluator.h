@@ -1,0 +1,119 @@
+#ifndef NATIX_INTERP_EVALUATOR_H_
+#define NATIX_INTERP_EVALUATOR_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/statusor.h"
+#include "dom/dom.h"
+#include "xpath/ast.h"
+
+namespace natix::interp {
+
+/// An XPath 1.0 object as the recommendation defines it: node-set (kept
+/// sorted in document order, duplicate-free), boolean, number, or string.
+struct Object {
+  enum class Kind : uint8_t { kNodeSet, kBoolean, kNumber, kString };
+  Kind kind = Kind::kNodeSet;
+  std::vector<const dom::Node*> nodes;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+
+  static Object NodeSet(std::vector<const dom::Node*> n);
+  static Object Boolean(bool b);
+  static Object Number(double n);
+  static Object String(std::string s);
+};
+
+struct EvaluatorOptions {
+  /// With memoization the interpreter caches per-(step, context node)
+  /// results — the Gottlob et al. [7,8] technique that xsltproc/
+  /// Xalan-class engines approximate.
+  bool memoize = true;
+  /// Consolidate (sort + deduplicate) the context set between location
+  /// steps. Disabling both flags yields the textbook recursive evaluator
+  /// whose duplicate contexts multiply across steps — the worst-case
+  /// exponential behaviour bench_exponential demonstrates.
+  bool consolidate_steps = true;
+};
+
+/// A faithful main-memory XPath 1.0 interpreter over the DOM: the
+/// reproduction's stand-in for the paper's comparison systems (xsltproc
+/// [17] and Xalan [20]) and the conformance oracle for the algebraic
+/// engine.
+class Evaluator {
+ public:
+  Evaluator(const dom::Document* document, const EvaluatorOptions& options)
+      : document_(document), options_(options) {}
+
+  void SetVariable(const std::string& name, Object value) {
+    variables_[name] = std::move(value);
+  }
+
+  /// Evaluates an analyzed AST with `context` as the context node
+  /// (position 1 of a size-1 context).
+  StatusOr<Object> Evaluate(const xpath::Expr& root,
+                            const dom::Node* context);
+
+  /// Convenience: full pipeline (parse, sema, fold, normalize) and
+  /// evaluate.
+  static StatusOr<Object> Run(const dom::Document* document,
+                              std::string_view query,
+                              const dom::Node* context,
+                              const EvaluatorOptions& options);
+
+  uint64_t steps_evaluated() const { return steps_evaluated_; }
+
+ private:
+  struct Context {
+    const dom::Node* node = nullptr;
+    size_t position = 1;
+    size_t size = 1;
+  };
+
+  StatusOr<Object> Eval(const xpath::Expr& e, const Context& ctx);
+  StatusOr<Object> EvalBinary(const xpath::Expr& e, const Context& ctx);
+  StatusOr<Object> EvalCall(const xpath::Expr& e, const Context& ctx);
+  StatusOr<Object> EvalComparison(const xpath::Expr& e, const Context& ctx);
+  StatusOr<std::vector<const dom::Node*>> EvalPath(
+      const xpath::Expr& e, const Context& ctx);
+  StatusOr<std::vector<const dom::Node*>> EvalSteps(
+      std::vector<const dom::Node*> input,
+      const std::vector<xpath::Step>& steps);
+  StatusOr<std::vector<const dom::Node*>> EvalStep(const dom::Node* context,
+                                                   const xpath::Step& step);
+  Status ApplyPredicates(const std::vector<xpath::ExprPtr>& predicates,
+                         bool forward_axis,
+                         std::vector<const dom::Node*>* nodes);
+
+  // Axis enumeration in axis order.
+  static std::vector<const dom::Node*> AxisNodes(const dom::Node* context,
+                                                 runtime::Axis axis);
+  static bool TestNode(const dom::Node* node, const xpath::AstNodeTest& test,
+                       bool principal_is_attribute);
+
+  // Conversions (recommendation Sec. 3/4 semantics).
+  double ToNumber(const Object& v) const;
+  std::string ToString(const Object& v) const;
+  bool ToBoolean(const Object& v) const;
+
+  const dom::Document* document_;
+  EvaluatorOptions options_;
+  std::unordered_map<std::string, Object> variables_;
+  /// Lazily built id-attribute index (id token -> element).
+  std::unordered_map<std::string, const dom::Node*> id_index_;
+  bool id_index_built_ = false;
+  /// Memo table: (expression, context node) -> node-set result.
+  std::map<std::pair<const xpath::Expr*, const dom::Node*>,
+           std::vector<const dom::Node*>>
+      memo_;
+  uint64_t steps_evaluated_ = 0;
+};
+
+}  // namespace natix::interp
+
+#endif  // NATIX_INTERP_EVALUATOR_H_

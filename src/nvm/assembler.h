@@ -1,0 +1,33 @@
+#ifndef NATIX_NVM_ASSEMBLER_H_
+#define NATIX_NVM_ASSEMBLER_H_
+
+#include <functional>
+#include <string>
+
+#include "algebra/operator.h"
+#include "base/statusor.h"
+#include "nvm/program.h"
+#include "runtime/register_file.h"
+
+namespace natix::nvm {
+
+/// Resolves an attribute name to its plan register (the code generator's
+/// attribute manager, Sec. 5.1).
+using AttrResolver =
+    std::function<StatusOr<runtime::RegisterId>(const std::string&)>;
+
+/// Registers a nested sequence-valued scalar (its plan and aggregate)
+/// with the surrounding physical plan, returning the nested-iterator
+/// index referenced by kEvalNested (Sec. 5.2.3).
+using NestedRegistrar =
+    std::function<StatusOr<size_t>(const algebra::Scalar&)>;
+
+/// Compiles a scalar subscript expression into an NVM program
+/// (step 6 of the compiler pipeline for non-sequence-valued parts).
+StatusOr<Program> CompileScalar(const algebra::Scalar& scalar,
+                                const AttrResolver& resolve_attr,
+                                const NestedRegistrar& register_nested);
+
+}  // namespace natix::nvm
+
+#endif  // NATIX_NVM_ASSEMBLER_H_

@@ -1,0 +1,472 @@
+#include "qe/codegen.h"
+
+#include <set>
+#include <utility>
+
+#include "algebra/properties.h"
+#include "nvm/assembler.h"
+#include "qe/operators.h"
+
+namespace natix::qe {
+
+namespace internal {
+
+using algebra::Operator;
+using algebra::OpKind;
+using algebra::Scalar;
+using runtime::RegisterId;
+
+/// Iterator plus the registers its subtree writes (needed by
+/// materializing parents for row snapshots).
+struct BuildResult {
+  IteratorPtr iter;
+  std::set<RegisterId> written;
+};
+
+/// Renders the physical shape of the compiled plan: the logical operator
+/// tree annotated with the attribute manager's register assignments.
+/// Pure-rename maps that compiled to register aliases are marked.
+class PhysicalPrinter {
+ public:
+  explicit PhysicalPrinter(
+      const std::unordered_map<std::string, RegisterId>& attribute_map)
+      : attribute_map_(attribute_map) {}
+
+  std::string Render(const Operator& op) {
+    out_.clear();
+    Print(op, 0);
+    return out_;
+  }
+
+ private:
+  std::string Reg(const std::string& attr) const {
+    auto it = attribute_map_.find(attr);
+    if (it == attribute_map_.end()) return attr + "@?";
+    return attr + "@r" + std::to_string(it->second);
+  }
+
+  void PrintScalar(const algebra::Scalar& scalar, int depth) {
+    if (scalar.kind == algebra::ScalarKind::kNested) {
+      out_.append(static_cast<size_t>(depth) * 2, ' ');
+      out_ += "nested " + std::string(algebra::AggKindName(scalar.agg)) +
+              "(" + Reg(scalar.input_attr) + "):\n";
+      Print(*scalar.plan, depth + 1);
+    }
+    for (const auto& child : scalar.children) PrintScalar(*child, depth);
+  }
+
+  void Print(const Operator& op, int depth) {
+    out_.append(static_cast<size_t>(depth) * 2, ' ');
+    out_ += algebra::OpKindName(op.kind);
+    switch (op.kind) {
+      case OpKind::kMap: {
+        bool alias = op.scalar->kind == algebra::ScalarKind::kAttrRef &&
+                     !op.materialize;
+        out_ += std::string(op.materialize ? "^mat" : "") + "[" +
+                Reg(op.attr) + " := " + op.scalar->ToString() +
+                (alias ? " (register alias, no code)" : "") + "]";
+        break;
+      }
+      case OpKind::kSelect:
+      case OpKind::kSemiJoin:
+      case OpKind::kAntiJoin:
+        out_ += "[" + op.scalar->ToString() + "]";
+        break;
+      case OpKind::kUnnestMap:
+        out_ += "[" + Reg(op.attr) + " := " + Reg(op.ctx_attr) + "/" +
+                runtime::AxisName(op.axis) + "::" + op.test.ToString() +
+                "]";
+        break;
+      case OpKind::kCounter:
+        out_ += "[" + Reg(op.attr) + " := counter++" +
+                (op.ctx_attr.empty() ? "" : ", reset on " + Reg(op.ctx_attr)) +
+                "]";
+        break;
+      case OpKind::kTmpCs:
+        out_ += "[" + Reg(op.attr) +
+                (op.ctx_attr.empty() ? "" : "; context " + Reg(op.ctx_attr)) +
+                "]";
+        break;
+      case OpKind::kDupElim:
+      case OpKind::kSort:
+        out_ += "[" + Reg(op.attr) + "]";
+        break;
+      case OpKind::kAggregate:
+        out_ += "[" + Reg(op.attr) + " := " +
+                algebra::AggKindName(op.agg) + "(" + Reg(op.ctx_attr) + ")]";
+        break;
+      case OpKind::kMemoX: {
+        out_ += "[";
+        for (size_t i = 0; i < op.key_attrs.size(); ++i) {
+          if (i > 0) out_ += ", ";
+          out_ += Reg(op.key_attrs[i]);
+        }
+        out_ += "]";
+        break;
+      }
+      case OpKind::kIdDeref:
+        out_ += "[" + Reg(op.attr) + "]";
+        break;
+      default:
+        break;
+    }
+    out_ += "\n";
+    if (op.scalar != nullptr) PrintScalar(*op.scalar, depth + 1);
+    for (const auto& child : op.children) Print(*child, depth + 1);
+  }
+
+  const std::unordered_map<std::string, RegisterId>& attribute_map_;
+  std::string out_;
+};
+
+/// Declared in plan.h as Plan's friend; lives in the internal namespace
+/// so the friendship can be expressed across translation units.
+class CodegenImpl {
+ public:
+  CodegenImpl(Plan* plan, const storage::NodeStore* store)
+      : plan_(plan), store_(store) {}
+
+  Status Run(const translate::TranslationResult& translation) {
+    plan_->state_ = std::make_unique<ExecState>();
+    plan_->state_->eval_ctx.store = store_;
+    state_ = plan_->state_.get();
+
+    // Reserved execution-context attributes (the paper's top-level map).
+    plan_->cn_reg_ = Bind(translate::kContextNodeAttr);
+    plan_->cp0_reg_ = Bind(translate::kContextPositionAttr);
+    plan_->cs0_reg_ = Bind(translate::kContextSizeAttr);
+
+    NATIX_ASSIGN_OR_RETURN(BuildResult root, Build(*translation.plan));
+    NATIX_ASSIGN_OR_RETURN(plan_->result_reg_,
+                           Resolve(translation.result_attr));
+    plan_->root_ = std::move(root.iter);
+    plan_->result_type_ = translation.type;
+    plan_->logical_plan_ = translation.plan->ToString();
+    plan_->physical_plan_ =
+        "registers: " + std::to_string(next_register_) + ", nested plans: " +
+        std::to_string(plan_->nested_.size()) + "\n" +
+        PhysicalPrinter(attribute_map_).Render(*translation.plan);
+    state_->registers.Resize(next_register_);
+    return Status::OK();
+  }
+
+ private:
+  /// Binds a fresh attribute name to a new register (or returns the
+  /// existing register when re-bound, e.g. the shared output attribute of
+  /// union branches).
+  RegisterId Bind(const std::string& name) {
+    auto it = attribute_map_.find(name);
+    if (it != attribute_map_.end()) return it->second;
+    RegisterId reg = next_register_++;
+    attribute_map_.emplace(name, reg);
+    return reg;
+  }
+
+  /// Aliases `name` onto an existing register (the attribute-manager
+  /// no-copy rename). Fails if `name` is already bound elsewhere.
+  bool Alias(const std::string& name, RegisterId reg) {
+    auto it = attribute_map_.find(name);
+    if (it != attribute_map_.end()) return it->second == reg;
+    attribute_map_.emplace(name, reg);
+    return true;
+  }
+
+  StatusOr<RegisterId> Resolve(const std::string& name) {
+    auto it = attribute_map_.find(name);
+    if (it == attribute_map_.end()) {
+      return Status::Internal("unbound attribute '" + name + "'");
+    }
+    return it->second;
+  }
+
+  StatusOr<std::vector<RegisterId>> ResolveAll(
+      const std::set<std::string>& names) {
+    std::vector<RegisterId> regs;
+    regs.reserve(names.size());
+    for (const std::string& name : names) {
+      NATIX_ASSIGN_OR_RETURN(RegisterId reg, Resolve(name));
+      regs.push_back(reg);
+    }
+    return regs;
+  }
+
+  StatusOr<SubscriptPtr> CompileSubscript(const Scalar& scalar) {
+    nvm::AttrResolver resolver =
+        [this](const std::string& name) -> StatusOr<RegisterId> {
+      return Resolve(name);
+    };
+    nvm::NestedRegistrar registrar =
+        [this](const Scalar& nested) -> StatusOr<size_t> {
+      NATIX_ASSIGN_OR_RETURN(BuildResult sub, Build(*nested.plan));
+      NATIX_ASSIGN_OR_RETURN(RegisterId input, Resolve(nested.input_attr));
+      auto entry = std::make_unique<NestedPlan>();
+      entry->iter = std::move(sub.iter);
+      entry->agg = nested.agg;
+      entry->input_reg = input;
+      plan_->nested_.push_back(std::move(entry));
+      return plan_->nested_.size() - 1;
+    };
+    NATIX_ASSIGN_OR_RETURN(nvm::Program program,
+                           nvm::CompileScalar(scalar, resolver, registrar));
+    return std::make_unique<Subscript>(std::move(program), state_,
+                                       &plan_->nested_);
+  }
+
+  StatusOr<runtime::NodeTest> ResolveNodeTest(const xpath::AstNodeTest& t) {
+    runtime::NodeTest test;
+    switch (t.kind) {
+      case xpath::AstNodeTest::Kind::kName:
+        test.kind = runtime::NodeTest::Kind::kName;
+        // A name absent from the dictionary occurs nowhere in the store:
+        // the invalid id matches no node, which is exactly right.
+        test.name_id = store_->names()->Lookup(t.name);
+        break;
+      case xpath::AstNodeTest::Kind::kAnyName:
+        test.kind = runtime::NodeTest::Kind::kAnyName;
+        break;
+      case xpath::AstNodeTest::Kind::kText:
+        test.kind = runtime::NodeTest::Kind::kText;
+        break;
+      case xpath::AstNodeTest::Kind::kComment:
+        test.kind = runtime::NodeTest::Kind::kComment;
+        break;
+      case xpath::AstNodeTest::Kind::kPi:
+        test.kind = runtime::NodeTest::Kind::kPi;
+        break;
+      case xpath::AstNodeTest::Kind::kPiTarget:
+        test.kind = runtime::NodeTest::Kind::kPiTarget;
+        test.name_id = store_->names()->Lookup(t.name);
+        break;
+      case xpath::AstNodeTest::Kind::kAnyKind:
+        test.kind = runtime::NodeTest::Kind::kAnyKind;
+        break;
+    }
+    return test;
+  }
+
+  StatusOr<BuildResult> Build(const Operator& op) {
+    switch (op.kind) {
+      case OpKind::kSingletonScan: {
+        BuildResult result;
+        result.iter = std::make_unique<SingletonScanIterator>();
+        return result;
+      }
+      case OpKind::kSelect: {
+        NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
+        NATIX_ASSIGN_OR_RETURN(SubscriptPtr predicate,
+                               CompileSubscript(*op.scalar));
+        child.iter = std::make_unique<SelectIterator>(std::move(child.iter),
+                                                      std::move(predicate));
+        return child;
+      }
+      case OpKind::kMap: {
+        NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
+        // Attribute-manager fast path: a pure rename emits no code.
+        if (op.scalar->kind == algebra::ScalarKind::kAttrRef &&
+            !op.materialize) {
+          NATIX_ASSIGN_OR_RETURN(RegisterId source,
+                                 Resolve(op.scalar->name));
+          if (Alias(op.attr, source)) {
+            child.written.insert(source);
+            return child;
+          }
+          // Already bound elsewhere (e.g. union branches sharing one
+          // output attribute): fall through to a real copy.
+        }
+        RegisterId out = Bind(op.attr);
+        std::vector<RegisterId> key_regs;
+        if (op.materialize) {
+          NATIX_ASSIGN_OR_RETURN(
+              key_regs,
+              ResolveAll(algebra::ScalarFreeAttributes(*op.scalar)));
+        }
+        NATIX_ASSIGN_OR_RETURN(SubscriptPtr subscript,
+                               CompileSubscript(*op.scalar));
+        child.iter = std::make_unique<MapIterator>(
+            state_, std::move(child.iter), std::move(subscript), out,
+            op.materialize, std::move(key_regs));
+        child.written.insert(out);
+        return child;
+      }
+      case OpKind::kCounter: {
+        NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
+        RegisterId out = Bind(op.attr);
+        std::optional<RegisterId> reset;
+        if (!op.ctx_attr.empty()) {
+          NATIX_ASSIGN_OR_RETURN(RegisterId reg, Resolve(op.ctx_attr));
+          reset = reg;
+        }
+        child.iter = std::make_unique<CounterIterator>(
+            state_, std::move(child.iter), out, reset);
+        child.written.insert(out);
+        return child;
+      }
+      case OpKind::kUnnestMap: {
+        NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
+        NATIX_ASSIGN_OR_RETURN(RegisterId ctx, Resolve(op.ctx_attr));
+        RegisterId out = Bind(op.attr);
+        NATIX_ASSIGN_OR_RETURN(runtime::NodeTest test,
+                               ResolveNodeTest(op.test));
+        child.iter = std::make_unique<UnnestMapIterator>(
+            state_, std::move(child.iter), ctx, out, op.axis, test);
+        child.written.insert(out);
+        return child;
+      }
+      case OpKind::kDJoin:
+      case OpKind::kCross: {
+        NATIX_ASSIGN_OR_RETURN(BuildResult left, Build(*op.children[0]));
+        NATIX_ASSIGN_OR_RETURN(BuildResult right, Build(*op.children[1]));
+        BuildResult result;
+        result.iter = std::make_unique<DJoinIterator>(std::move(left.iter),
+                                                      std::move(right.iter));
+        result.written = std::move(left.written);
+        result.written.insert(right.written.begin(), right.written.end());
+        return result;
+      }
+      case OpKind::kSemiJoin:
+      case OpKind::kAntiJoin: {
+        NATIX_ASSIGN_OR_RETURN(BuildResult left, Build(*op.children[0]));
+        NATIX_ASSIGN_OR_RETURN(BuildResult right, Build(*op.children[1]));
+        NATIX_ASSIGN_OR_RETURN(SubscriptPtr predicate,
+                               CompileSubscript(*op.scalar));
+        BuildResult result;
+        result.iter = std::make_unique<SemiJoinIterator>(
+            op.kind == OpKind::kSemiJoin ? SemiJoinIterator::Mode::kSemi
+                                         : SemiJoinIterator::Mode::kAnti,
+            std::move(left.iter), std::move(right.iter),
+            std::move(predicate));
+        result.written = std::move(left.written);
+        result.written.insert(right.written.begin(), right.written.end());
+        return result;
+      }
+      case OpKind::kConcat: {
+        BuildResult result;
+        std::vector<IteratorPtr> children;
+        for (const algebra::OpPtr& c : op.children) {
+          NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*c));
+          children.push_back(std::move(child.iter));
+          result.written.insert(child.written.begin(), child.written.end());
+        }
+        result.iter = std::make_unique<ConcatIterator>(std::move(children));
+        return result;
+      }
+      case OpKind::kDupElim: {
+        NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
+        NATIX_ASSIGN_OR_RETURN(RegisterId attr, Resolve(op.attr));
+        child.iter = std::make_unique<DupElimIterator>(
+            state_, std::move(child.iter), attr);
+        return child;
+      }
+      case OpKind::kProject:
+        // Logical only: registers are not reclaimed, so projection needs
+        // no runtime work.
+        return Build(*op.children[0]);
+      case OpKind::kSort: {
+        NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
+        NATIX_ASSIGN_OR_RETURN(RegisterId attr, Resolve(op.attr));
+        std::vector<RegisterId> rows(child.written.begin(),
+                                     child.written.end());
+        child.iter = std::make_unique<SortIterator>(
+            state_, std::move(child.iter), attr, std::move(rows));
+        return child;
+      }
+      case OpKind::kAggregate: {
+        NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
+        NATIX_ASSIGN_OR_RETURN(RegisterId input, Resolve(op.ctx_attr));
+        RegisterId out = Bind(op.attr);
+        BuildResult result;
+        result.iter = std::make_unique<AggregateIterator>(
+            state_, std::move(child.iter), op.agg, input, out);
+        result.written.insert(out);
+        return result;
+      }
+      case OpKind::kBinaryGroup: {
+        NATIX_ASSIGN_OR_RETURN(BuildResult left, Build(*op.children[0]));
+        NATIX_ASSIGN_OR_RETURN(BuildResult right, Build(*op.children[1]));
+        NATIX_ASSIGN_OR_RETURN(RegisterId left_attr, Resolve(op.left_attr));
+        NATIX_ASSIGN_OR_RETURN(RegisterId right_attr,
+                               Resolve(op.right_attr));
+        NATIX_ASSIGN_OR_RETURN(RegisterId agg_input, Resolve(op.ctx_attr));
+        RegisterId out = Bind(op.attr);
+        BuildResult result;
+        result.iter = std::make_unique<BinaryGroupIterator>(
+            state_, std::move(left.iter), std::move(right.iter), op.agg,
+            left_attr, right_attr, agg_input, out);
+        result.written = std::move(left.written);
+        result.written.insert(out);
+        return result;
+      }
+      case OpKind::kTmpCs: {
+        NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
+        RegisterId out = Bind(op.attr);
+        std::optional<RegisterId> ctx;
+        if (!op.ctx_attr.empty()) {
+          NATIX_ASSIGN_OR_RETURN(RegisterId reg, Resolve(op.ctx_attr));
+          ctx = reg;
+        }
+        std::vector<RegisterId> rows(child.written.begin(),
+                                     child.written.end());
+        child.iter = std::make_unique<TmpCsIterator>(
+            state_, std::move(child.iter), out, ctx, std::move(rows));
+        child.written.insert(out);
+        return child;
+      }
+      case OpKind::kMemoX: {
+        NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
+        std::vector<RegisterId> keys;
+        for (const std::string& key : op.key_attrs) {
+          NATIX_ASSIGN_OR_RETURN(RegisterId reg, Resolve(key));
+          keys.push_back(reg);
+        }
+        std::vector<RegisterId> rows(child.written.begin(),
+                                     child.written.end());
+        child.iter = std::make_unique<MemoXIterator>(
+            state_, std::move(child.iter), std::move(keys),
+            std::move(rows));
+        return child;
+      }
+      case OpKind::kUnnest: {
+        NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
+        NATIX_ASSIGN_OR_RETURN(RegisterId seq, Resolve(op.ctx_attr));
+        RegisterId out = Bind(op.attr);
+        child.iter = std::make_unique<UnnestIterator>(
+            state_, std::move(child.iter), seq, out);
+        child.written.insert(out);
+        return child;
+      }
+      case OpKind::kIdDeref: {
+        NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
+        NATIX_ASSIGN_OR_RETURN(RegisterId ctx, Resolve(op.ctx_attr));
+        SubscriptPtr scalar;
+        if (op.scalar != nullptr) {
+          NATIX_ASSIGN_OR_RETURN(scalar, CompileSubscript(*op.scalar));
+        }
+        RegisterId out = Bind(op.attr);
+        child.iter = std::make_unique<IdDerefIterator>(
+            state_, std::move(child.iter), ctx, std::move(scalar), out);
+        child.written.insert(out);
+        return child;
+      }
+    }
+    return Status::Internal("unknown operator kind");
+  }
+
+  Plan* plan_;
+  const storage::NodeStore* store_;
+  ExecState* state_ = nullptr;
+  std::unordered_map<std::string, RegisterId> attribute_map_;
+  RegisterId next_register_ = 0;
+};
+
+}  // namespace internal
+
+StatusOr<std::unique_ptr<Plan>> Codegen::Compile(
+    const translate::TranslationResult& translation,
+    const storage::NodeStore* store) {
+  auto plan = std::make_unique<Plan>();
+  internal::CodegenImpl impl(plan.get(), store);
+  NATIX_RETURN_IF_ERROR(impl.Run(translation));
+  return plan;
+}
+
+}  // namespace natix::qe

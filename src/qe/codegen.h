@@ -1,0 +1,28 @@
+#ifndef NATIX_QE_CODEGEN_H_
+#define NATIX_QE_CODEGEN_H_
+
+#include <memory>
+
+#include "base/statusor.h"
+#include "qe/plan.h"
+#include "storage/node_store.h"
+#include "translate/translator.h"
+
+namespace natix::qe {
+
+/// Code generation (step 6 of the compiler pipeline, Sec. 5.1): lowers a
+/// logical algebra plan to a physical iterator tree over a plan-wide
+/// register file. The attribute manager maps attribute names onto
+/// registers; renaming maps (chi_{a := b}) emit no copies — both names
+/// alias one register — exactly as the paper describes.
+class Codegen {
+ public:
+  /// Compiles `translation` into an executable plan bound to `store`.
+  static StatusOr<std::unique_ptr<Plan>> Compile(
+      const translate::TranslationResult& translation,
+      const storage::NodeStore* store);
+};
+
+}  // namespace natix::qe
+
+#endif  // NATIX_QE_CODEGEN_H_

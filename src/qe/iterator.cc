@@ -1,0 +1,56 @@
+#include "qe/iterator.h"
+
+#include <cstring>
+
+namespace natix::qe {
+
+std::string EncodeValueKey(const runtime::Value& value) {
+  using runtime::ValueKind;
+  switch (value.kind()) {
+    case ValueKind::kNull:
+      return "_";
+    case ValueKind::kBoolean:
+      return value.AsBoolean() ? "b1" : "b0";
+    case ValueKind::kNumber: {
+      double d = value.AsNumber();
+      char buf[1 + sizeof(double)];
+      buf[0] = 'd';
+      std::memcpy(buf + 1, &d, sizeof(double));
+      return std::string(buf, sizeof(buf));
+    }
+    case ValueKind::kString:
+      return "s" + value.AsString();
+    case ValueKind::kNode: {
+      uint64_t id = value.AsNode().id;
+      char buf[1 + sizeof(uint64_t)];
+      buf[0] = 'n';
+      std::memcpy(buf + 1, &id, sizeof(uint64_t));
+      return std::string(buf, sizeof(buf));
+    }
+    case ValueKind::kSequence: {
+      std::string out = "q[";
+      for (const runtime::Value& item : *value.AsSequence()) {
+        std::string k = EncodeValueKey(item);
+        uint32_t len = static_cast<uint32_t>(k.size());
+        out.append(reinterpret_cast<const char*>(&len), sizeof(len));
+        out += k;
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+std::string EncodeRowKey(const ExecState& state,
+                         const std::vector<runtime::RegisterId>& regs) {
+  std::string out;
+  for (runtime::RegisterId reg : regs) {
+    std::string k = EncodeValueKey(state.registers[reg]);
+    uint32_t len = static_cast<uint32_t>(k.size());
+    out.append(reinterpret_cast<const char*>(&len), sizeof(len));
+    out += k;
+  }
+  return out;
+}
+
+}  // namespace natix::qe

@@ -1,0 +1,59 @@
+#ifndef NATIX_QE_ITERATOR_H_
+#define NATIX_QE_ITERATOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/statusor.h"
+#include "runtime/conversions.h"
+#include "runtime/register_file.h"
+#include "runtime/value.h"
+
+namespace natix::qe {
+
+/// Shared execution state of one physical plan: the plan-wide register
+/// file (the attribute manager's memory, Sec. 5.1), the store handle, the
+/// execution-context variables, and caches.
+struct ExecState {
+  runtime::RegisterFile registers{0};
+  runtime::EvalContext eval_ctx;
+  std::unordered_map<std::string, runtime::Value> variables;
+  /// Lazily built id() indexes: document root (packed) -> id token ->
+  /// element node.
+  std::unordered_map<uint64_t,
+                     std::unordered_map<std::string, runtime::NodeRef>>
+      id_indexes;
+  /// Statistics for tests/benchmarks.
+  uint64_t tuples_produced = 0;
+};
+
+/// The iterator interface of the Natix Query Execution Engine
+/// (Sec. 5.2.1, after Graefe): Open / Next / Close. Iterators communicate
+/// through the plan register file; Next() returning true means the
+/// iterator's output registers hold the next tuple.
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  virtual Status Open() = 0;
+  /// Produces the next tuple into the registers. Sets *has to false at
+  /// the end of the sequence.
+  virtual Status Next(bool* has) = 0;
+  virtual Status Close() = 0;
+};
+
+using IteratorPtr = std::unique_ptr<Iterator>;
+
+/// Serializes register values into a hashable key (duplicate elimination,
+/// MemoX and chi^mat cache keys). Nodes key by identity, atomic values by
+/// tagged content.
+std::string EncodeValueKey(const runtime::Value& value);
+std::string EncodeRowKey(const ExecState& state,
+                         const std::vector<runtime::RegisterId>& regs);
+
+}  // namespace natix::qe
+
+#endif  // NATIX_QE_ITERATOR_H_

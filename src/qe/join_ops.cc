@@ -1,0 +1,73 @@
+#include "qe/operators.h"
+
+namespace natix::qe {
+
+Status DJoinIterator::Open() {
+  right_open_ = false;
+  return left_->Open();
+}
+
+Status DJoinIterator::Next(bool* has) {
+  *has = false;
+  while (true) {
+    if (!right_open_) {
+      bool left_has = false;
+      NATIX_RETURN_IF_ERROR(left_->Next(&left_has));
+      if (!left_has) return Status::OK();
+      // The left tuple's attributes are in the registers; opening the
+      // dependent side binds its free variables to them (Sec. 3.1.1).
+      NATIX_RETURN_IF_ERROR(right_->Open());
+      right_open_ = true;
+    }
+    NATIX_RETURN_IF_ERROR(right_->Next(has));
+    if (*has) return Status::OK();
+    NATIX_RETURN_IF_ERROR(right_->Close());
+    right_open_ = false;
+  }
+}
+
+Status DJoinIterator::Close() {
+  if (right_open_) {
+    NATIX_RETURN_IF_ERROR(right_->Close());
+    right_open_ = false;
+  }
+  return left_->Close();
+}
+
+Status SemiJoinIterator::Next(bool* has) {
+  *has = false;
+  while (true) {
+    bool left_has = false;
+    NATIX_RETURN_IF_ERROR(left_->Next(&left_has));
+    if (!left_has) return Status::OK();
+    // Existential probe of the dependent right side; stops at the first
+    // qualifying tuple (the embedded smart-aggregation early exit).
+    NATIX_RETURN_IF_ERROR(right_->Open());
+    bool match = false;
+    while (true) {
+      bool right_has = false;
+      Status st = right_->Next(&right_has);
+      if (!st.ok()) {
+        (void)right_->Close();
+        return st;
+      }
+      if (!right_has) break;
+      auto pass = predicate_->EvaluateBool();
+      if (!pass.ok()) {
+        (void)right_->Close();
+        return pass.status();
+      }
+      if (*pass) {
+        match = true;
+        break;
+      }
+    }
+    NATIX_RETURN_IF_ERROR(right_->Close());
+    if (match == (mode_ == Mode::kSemi)) {
+      *has = true;
+      return Status::OK();
+    }
+  }
+}
+
+}  // namespace natix::qe

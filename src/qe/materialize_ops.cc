@@ -1,0 +1,199 @@
+#include "qe/operators.h"
+
+#include <algorithm>
+
+namespace natix::qe {
+
+using runtime::Row;
+using runtime::Value;
+using runtime::ValueKind;
+
+Status DupElimIterator::Open() {
+  seen_nodes_.clear();
+  seen_other_.clear();
+  return child_->Open();
+}
+
+Status DupElimIterator::Next(bool* has) {
+  while (true) {
+    NATIX_RETURN_IF_ERROR(child_->Next(has));
+    if (!*has) return Status::OK();
+    const Value& v = state_->registers[attr_];
+    bool fresh = v.kind() == ValueKind::kNode
+                     ? seen_nodes_.insert(v.AsNode().id).second
+                     : seen_other_.insert(EncodeValueKey(v)).second;
+    if (fresh) return Status::OK();
+  }
+}
+
+Status SortIterator::Open() {
+  rows_.clear();
+  pos_ = 0;
+  NATIX_RETURN_IF_ERROR(child_->Open());
+  while (true) {
+    bool has = false;
+    NATIX_RETURN_IF_ERROR(child_->Next(&has));
+    if (!has) break;
+    const Value& key = state_->registers[attr_];
+    uint64_t order =
+        key.kind() == ValueKind::kNode ? key.AsNode().order : 0;
+    Row row;
+    state_->registers.SaveRow(row_regs_, &row);
+    rows_.emplace_back(order, std::move(row));
+  }
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  return Status::OK();
+}
+
+Status SortIterator::Next(bool* has) {
+  if (pos_ >= rows_.size()) {
+    *has = false;
+    return Status::OK();
+  }
+  state_->registers.RestoreRow(row_regs_, rows_[pos_].second);
+  ++pos_;
+  *has = true;
+  return Status::OK();
+}
+
+Status TmpCsIterator::Open() {
+  group_.clear();
+  replay_pos_ = 0;
+  child_exhausted_ = false;
+  have_pending_ = false;
+  return child_->Open();
+}
+
+Status TmpCsIterator::FillGroup() {
+  // Materializes the next context: the whole input when no context
+  // attribute is set, otherwise the run of tuples sharing the context
+  // attribute's value (Sec. 5.2.4).
+  group_.clear();
+  replay_pos_ = 0;
+  if (have_pending_) {
+    // Replaying the previous group overwrote the registers; restore the
+    // pipeline frontier (the first tuple of this group) before resuming
+    // the child, so operators below that watch their registers (the
+    // counter's reset check, our own boundary check) see live values.
+    state_->registers.RestoreRow(row_regs_, pending_row_);
+    group_.push_back(std::move(pending_row_));
+    have_pending_ = false;
+  }
+  std::string group_key = pending_key_;
+  while (!child_exhausted_) {
+    bool has = false;
+    NATIX_RETURN_IF_ERROR(child_->Next(&has));
+    if (!has) {
+      child_exhausted_ = true;
+      break;
+    }
+    Row row;
+    state_->registers.SaveRow(row_regs_, &row);
+    if (ctx_reg_.has_value()) {
+      std::string key = EncodeValueKey(state_->registers[*ctx_reg_]);
+      if (group_.empty()) {
+        group_key = key;
+      } else if (key != group_key) {
+        // First tuple of the next context: keep it for the next group.
+        pending_row_ = std::move(row);
+        pending_key_ = std::move(key);
+        have_pending_ = true;
+        break;
+      }
+    }
+    group_.push_back(std::move(row));
+  }
+  pending_key_ = have_pending_ ? pending_key_ : std::string();
+  return Status::OK();
+}
+
+Status TmpCsIterator::Next(bool* has) {
+  while (true) {
+    if (replay_pos_ < group_.size()) {
+      state_->registers.RestoreRow(row_regs_, group_[replay_pos_]);
+      state_->registers[out_] =
+          Value::Number(static_cast<double>(group_.size()));
+      ++replay_pos_;
+      *has = true;
+      return Status::OK();
+    }
+    if (child_exhausted_ && !have_pending_) {
+      *has = false;
+      return Status::OK();
+    }
+    NATIX_RETURN_IF_ERROR(FillGroup());
+    if (group_.empty() && child_exhausted_ && !have_pending_) {
+      *has = false;
+      return Status::OK();
+    }
+  }
+}
+
+Status MemoXIterator::Open() {
+  // Key on the current binding of the free variables (the context node
+  // handed in by the d-join).
+  current_key_ = EncodeRowKey(*state_, key_regs_);
+  auto it = table_.find(current_key_);
+  if (it != table_.end()) {
+    replaying_ = true;
+    replay_rows_ = &it->second;
+    replay_pos_ = 0;
+    recording_ = false;
+    child_open_ = false;
+    ++hits_;
+    return Status::OK();
+  }
+  ++misses_;
+  replaying_ = false;
+  recording_ = true;
+  recorded_.clear();
+  NATIX_RETURN_IF_ERROR(child_->Open());
+  child_open_ = true;
+  return Status::OK();
+}
+
+Status MemoXIterator::Next(bool* has) {
+  if (replaying_) {
+    if (replay_pos_ >= replay_rows_->size()) {
+      *has = false;
+      return Status::OK();
+    }
+    state_->registers.RestoreRow(row_regs_, (*replay_rows_)[replay_pos_]);
+    ++replay_pos_;
+    *has = true;
+    return Status::OK();
+  }
+  NATIX_RETURN_IF_ERROR(child_->Next(has));
+  if (*has) {
+    Row row;
+    state_->registers.SaveRow(row_regs_, &row);
+    recorded_.push_back(std::move(row));
+    return Status::OK();
+  }
+  // Child drained completely: commit the memo entry (partial drains must
+  // not be committed — see Close).
+  if (recording_) {
+    table_.emplace(current_key_, std::move(recorded_));
+    recorded_.clear();
+    recording_ = false;
+  }
+  return Status::OK();
+}
+
+Status MemoXIterator::Close() {
+  // A Close before exhaustion (e.g. an early-exiting exists() above us)
+  // leaves the entry uncommitted so a later evaluation recomputes it.
+  recording_ = false;
+  recorded_.clear();
+  replaying_ = false;
+  if (child_open_) {
+    child_open_ = false;
+    return child_->Close();
+  }
+  return Status::OK();
+}
+
+}  // namespace natix::qe

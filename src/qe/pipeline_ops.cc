@@ -1,0 +1,95 @@
+#include "qe/operators.h"
+
+namespace natix::qe {
+
+using runtime::Value;
+using runtime::ValueKind;
+
+Status SelectIterator::Next(bool* has) {
+  while (true) {
+    NATIX_RETURN_IF_ERROR(child_->Next(has));
+    if (!*has) return Status::OK();
+    NATIX_ASSIGN_OR_RETURN(bool pass, predicate_->EvaluateBool());
+    if (pass) return Status::OK();
+  }
+}
+
+Status MapIterator::Next(bool* has) {
+  NATIX_RETURN_IF_ERROR(child_->Next(has));
+  if (!*has) return Status::OK();
+  if (materialize_) {
+    std::string key = EncodeRowKey(*state_, key_regs_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      state_->registers[out_] = it->second;
+      return Status::OK();
+    }
+    NATIX_ASSIGN_OR_RETURN(Value v, subscript_->Evaluate());
+    cache_.emplace(std::move(key), v);
+    state_->registers[out_] = std::move(v);
+    return Status::OK();
+  }
+  NATIX_ASSIGN_OR_RETURN(Value v, subscript_->Evaluate());
+  state_->registers[out_] = std::move(v);
+  return Status::OK();
+}
+
+Status CounterIterator::Open() {
+  counter_ = 0;
+  have_key_ = false;
+  last_key_.clear();
+  return child_->Open();
+}
+
+Status CounterIterator::Next(bool* has) {
+  NATIX_RETURN_IF_ERROR(child_->Next(has));
+  if (!*has) return Status::OK();
+  if (reset_reg_.has_value()) {
+    std::string key = EncodeValueKey(state_->registers[*reset_reg_]);
+    if (!have_key_ || key != last_key_) {
+      counter_ = 0;
+      last_key_ = std::move(key);
+      have_key_ = true;
+    }
+  }
+  ++counter_;
+  state_->registers[out_] = Value::Number(static_cast<double>(counter_));
+  return Status::OK();
+}
+
+Status UnnestMapIterator::Open() {
+  cursor_active_ = false;
+  cursor_ = runtime::AxisCursor(state_->eval_ctx.store);
+  return child_->Open();
+}
+
+Status UnnestMapIterator::Next(bool* has) {
+  *has = false;
+  while (true) {
+    if (!cursor_active_) {
+      bool child_has = false;
+      NATIX_RETURN_IF_ERROR(child_->Next(&child_has));
+      if (!child_has) return Status::OK();
+      const Value& ctx = state_->registers[ctx_];
+      if (ctx.kind() != ValueKind::kNode) {
+        // A null / non-node context contributes no step results.
+        continue;
+      }
+      NATIX_RETURN_IF_ERROR(
+          cursor_.Open(axis_, test_, ctx.AsNode().node_id()));
+      cursor_active_ = true;
+    }
+    bool cursor_has = false;
+    runtime::NodeRef node;
+    NATIX_RETURN_IF_ERROR(cursor_.Next(&cursor_has, &node));
+    if (cursor_has) {
+      state_->registers[out_] = Value::Node(node);
+      ++state_->tuples_produced;
+      *has = true;
+      return Status::OK();
+    }
+    cursor_active_ = false;
+  }
+}
+
+}  // namespace natix::qe

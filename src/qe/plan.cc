@@ -1,0 +1,72 @@
+#include "qe/plan.h"
+
+#include <algorithm>
+
+namespace natix::qe {
+
+void Plan::SetContextNode(runtime::NodeRef node) {
+  state_->registers[cn_reg_] = runtime::Value::Node(node);
+  // Default context position/size: a singleton context.
+  state_->registers[cp0_reg_] = runtime::Value::Number(1);
+  state_->registers[cs0_reg_] = runtime::Value::Number(1);
+}
+
+void Plan::SetVariable(const std::string& name, runtime::Value value) {
+  state_->variables[name] = std::move(value);
+}
+
+StatusOr<std::vector<runtime::NodeRef>> Plan::ExecuteNodes() {
+  if (result_type_ != xpath::ExprType::kNodeSet) {
+    return Status::InvalidArgument(
+        "ExecuteNodes called on a non-node-set query");
+  }
+  std::vector<runtime::NodeRef> result;
+  NATIX_RETURN_IF_ERROR(root_->Open());
+  while (true) {
+    bool has = false;
+    Status st = root_->Next(&has);
+    if (!st.ok()) {
+      (void)root_->Close();
+      return st;
+    }
+    if (!has) break;
+    const runtime::Value& v = state_->registers[result_reg_];
+    if (v.kind() != runtime::ValueKind::kNode) {
+      (void)root_->Close();
+      return Status::Internal("node-set plan produced a non-node value");
+    }
+    result.push_back(v.AsNode());
+  }
+  NATIX_RETURN_IF_ERROR(root_->Close());
+  return result;
+}
+
+StatusOr<runtime::Value> Plan::ExecuteValue() {
+  if (result_type_ == xpath::ExprType::kNodeSet) {
+    return Status::InvalidArgument(
+        "ExecuteValue called on a node-set query");
+  }
+  NATIX_RETURN_IF_ERROR(root_->Open());
+  bool has = false;
+  Status st = root_->Next(&has);
+  if (!st.ok()) {
+    (void)root_->Close();
+    return st;
+  }
+  if (!has) {
+    (void)root_->Close();
+    return Status::Internal("scalar plan produced no tuple");
+  }
+  runtime::Value result = state_->registers[result_reg_];
+  NATIX_RETURN_IF_ERROR(root_->Close());
+  return result;
+}
+
+void SortResultNodes(std::vector<runtime::NodeRef>* nodes) {
+  std::sort(nodes->begin(), nodes->end(),
+            [](const runtime::NodeRef& a, const runtime::NodeRef& b) {
+              return a.order < b.order;
+            });
+}
+
+}  // namespace natix::qe

@@ -1,0 +1,76 @@
+#ifndef NATIX_QE_PLAN_H_
+#define NATIX_QE_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qe/iterator.h"
+#include "qe/subscripts.h"
+#include "xpath/ast.h"
+
+namespace natix::qe {
+
+namespace internal {
+class CodegenImpl;
+}  // namespace internal
+
+/// A compiled, executable physical plan: the iterator tree, the nested
+/// iterator table, the plan-wide register file, and the binding of the
+/// execution context (context node, $variables).
+class Plan {
+ public:
+  Plan() = default;
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+
+  /// Binds the execution context's context node (the free cn of the
+  /// paper's top-level map). Must be called before Execute for queries
+  /// that reference the context.
+  void SetContextNode(runtime::NodeRef node);
+
+  /// Binds an XPath $variable.
+  void SetVariable(const std::string& name, runtime::Value value);
+
+  /// Runs a node-set query, returning the result nodes in plan order
+  /// (set semantics: no duplicates). Call SortResultNodes for document
+  /// order.
+  StatusOr<std::vector<runtime::NodeRef>> ExecuteNodes();
+
+  /// Runs a scalar query (boolean/number/string), returning the value of
+  /// its single result tuple.
+  StatusOr<runtime::Value> ExecuteValue();
+
+  xpath::ExprType result_type() const { return result_type_; }
+
+  /// The logical plan this was compiled from (explain output).
+  const std::string& logical_plan() const { return logical_plan_; }
+
+  /// The physical iterator tree with register assignments and NVM
+  /// subscript disassembly (the NQE execution plan).
+  const std::string& physical_plan() const { return physical_plan_; }
+
+  ExecState* state() { return state_.get(); }
+
+ private:
+  friend class internal::CodegenImpl;
+
+  std::unique_ptr<ExecState> state_;
+  IteratorPtr root_;
+  NestedTable nested_;
+  runtime::RegisterId result_reg_ = 0;
+  runtime::RegisterId cn_reg_ = 0;
+  runtime::RegisterId cp0_reg_ = 0;
+  runtime::RegisterId cs0_reg_ = 0;
+  xpath::ExprType result_type_ = xpath::ExprType::kUnknown;
+  std::string logical_plan_;
+  std::string physical_plan_;
+};
+
+/// Sorts node references into document order (ascending order keys).
+void SortResultNodes(std::vector<runtime::NodeRef>* nodes);
+
+}  // namespace natix::qe
+
+#endif  // NATIX_QE_PLAN_H_

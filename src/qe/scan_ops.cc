@@ -1,0 +1,35 @@
+#include "qe/operators.h"
+
+namespace natix::qe {
+
+Status ConcatIterator::Open() {
+  current_ = 0;
+  open_ = false;
+  return Status::OK();
+}
+
+Status ConcatIterator::Next(bool* has) {
+  *has = false;
+  while (current_ < children_.size()) {
+    if (!open_) {
+      NATIX_RETURN_IF_ERROR(children_[current_]->Open());
+      open_ = true;
+    }
+    NATIX_RETURN_IF_ERROR(children_[current_]->Next(has));
+    if (*has) return Status::OK();
+    NATIX_RETURN_IF_ERROR(children_[current_]->Close());
+    open_ = false;
+    ++current_;
+  }
+  return Status::OK();
+}
+
+Status ConcatIterator::Close() {
+  if (open_ && current_ < children_.size()) {
+    NATIX_RETURN_IF_ERROR(children_[current_]->Close());
+    open_ = false;
+  }
+  return Status::OK();
+}
+
+}  // namespace natix::qe

@@ -1,0 +1,67 @@
+#ifndef NATIX_QE_SUBSCRIPTS_H_
+#define NATIX_QE_SUBSCRIPTS_H_
+
+#include <memory>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "nvm/program.h"
+#include "nvm/vm.h"
+#include "qe/iterator.h"
+
+namespace natix::qe {
+
+/// One nested sequence-valued subplan referenced by an NVM kEvalNested
+/// instruction (Sec. 5.2.3), together with the aggregate that reduces it
+/// to an atomic value (Sec. 5.2.5).
+struct NestedPlan {
+  IteratorPtr iter;
+  algebra::AggKind agg = algebra::AggKind::kExists;
+  runtime::RegisterId input_reg = 0;
+};
+
+using NestedTable = std::vector<std::unique_ptr<NestedPlan>>;
+
+/// Runs a nested plan to completion (with smart-aggregation early exit
+/// where the aggregate allows it) and returns the aggregated value.
+StatusOr<runtime::Value> RunNestedAggregate(NestedPlan* nested,
+                                            ExecState* state);
+
+/// A compiled NVM subscript bound to its plan: evaluating it reads the
+/// current tuple from the plan registers. Non-movable (the Vm holds a
+/// pointer to the program).
+class Subscript {
+ public:
+  Subscript(nvm::Program program, ExecState* state, NestedTable* nested)
+      : program_(std::move(program)),
+        vm_(&program_),
+        state_(state),
+        nested_(nested),
+        nested_eval_([this](size_t index) -> StatusOr<runtime::Value> {
+          if (index >= nested_->size()) {
+            return Status::Internal("nested plan index out of range");
+          }
+          return RunNestedAggregate((*nested_)[index].get(), state_);
+        }) {}
+
+  Subscript(const Subscript&) = delete;
+  Subscript& operator=(const Subscript&) = delete;
+
+  StatusOr<runtime::Value> Evaluate();
+  StatusOr<bool> EvaluateBool();
+
+  const nvm::Program& program() const { return program_; }
+
+ private:
+  nvm::Program program_;
+  nvm::Vm vm_;
+  ExecState* state_;
+  NestedTable* nested_;
+  nvm::NestedEvaluator nested_eval_;
+};
+
+using SubscriptPtr = std::unique_ptr<Subscript>;
+
+}  // namespace natix::qe
+
+#endif  // NATIX_QE_SUBSCRIPTS_H_

@@ -1,0 +1,115 @@
+#ifndef NATIX_RUNTIME_NODE_OPS_H_
+#define NATIX_RUNTIME_NODE_OPS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+#include "base/statusor.h"
+#include "runtime/node_ref.h"
+#include "storage/node_store.h"
+
+namespace natix::runtime {
+
+/// The thirteen XPath axes. The namespace axis is not supported (this
+/// build, like the paper's evaluation, does not materialize namespace
+/// nodes); the compiler rejects it with kNotSupported.
+enum class Axis : uint8_t {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kFollowing,
+  kFollowingSibling,
+  kPreceding,
+  kPrecedingSibling,
+  kAttribute,
+  kSelf
+};
+
+const char* AxisName(Axis axis);
+
+/// True for reverse axes: their natural iteration order — the order the
+/// AxisCursor produces, and the order position() counts in — is reverse
+/// document order.
+bool AxisIsReverse(Axis axis);
+
+/// ppd classification of Sec. 4.1: axes whose step output can contain
+/// duplicates (given duplicate-free input) or break document order.
+bool AxisIsPpd(Axis axis);
+
+/// A compiled node test. Names are resolved to dictionary ids at compile
+/// time; a name absent from the dictionary can never match.
+struct NodeTest {
+  enum class Kind : uint8_t {
+    kName,      // name test: element/attribute name equals name_id
+    kAnyName,   // "*": any node of the axis' principal node type
+    kText,      // text()
+    kComment,   // comment()
+    kPi,        // processing-instruction()
+    kPiTarget,  // processing-instruction('target')
+    kAnyKind    // node()
+  };
+  Kind kind = Kind::kAnyKind;
+  uint32_t name_id = storage::kInvalidNameId;
+
+  std::string DebugString(const storage::NameDictionary* names) const;
+};
+
+/// Whether `header` passes `test` on an axis whose principal node type is
+/// attribute (`principal_is_attribute`) or element.
+bool MatchesNodeTest(const storage::NodeHeader& header, const NodeTest& test,
+                     bool principal_is_attribute);
+
+/// Streaming cursor over one axis from one context node, filtered by a
+/// node test — the storage-level navigation primitive behind the
+/// unnest-map operator and the NVM navigation commands (Sec. 5.2.2).
+///
+/// Nodes are produced in axis order: document order for forward axes,
+/// reverse document order for reverse axes. The cursor performs O(1)
+/// page-buffer accesses per step (descendant walks use parent links, and
+/// reverse walks use the stored last-child links).
+class AxisCursor {
+ public:
+  explicit AxisCursor(const storage::NodeStore* store)
+      : store_(store), accessor_(store) {}
+
+  /// (Re)positions the cursor at `context` for `axis`/`test`.
+  Status Open(Axis axis, const NodeTest& test, storage::NodeId context);
+
+  /// Produces the next matching node. Sets *has to false at the end.
+  Status Next(bool* has, NodeRef* out);
+
+ private:
+  /// Advances the raw axis walk by one node (pre node-test), storing it in
+  /// current_/record_. Sets done_ when exhausted.
+  Status Step();
+
+  /// Deepest last descendant of `node` (the node itself if childless).
+  StatusOr<storage::NodeId> DeepestLast(storage::NodeId node);
+
+  const storage::NodeStore* store_;
+  storage::NodeAccessor accessor_;
+  Axis axis_ = Axis::kSelf;
+  NodeTest test_;
+  bool principal_is_attribute_ = false;
+
+  storage::NodeId context_;
+  storage::NodeId current_;
+  storage::NodeHeader record_;       // header of current_
+  bool done_ = true;
+  bool first_ = true;
+  /// For kDescendant*: the subtree root we must not escape.
+  storage::NodeId subtree_root_;
+  /// For kPreceding: the next ancestor of the context to skip.
+  storage::NodeId skip_ancestor_;
+};
+
+/// Document-order comparison key of a node reference (smaller == earlier).
+inline uint64_t DocOrderKey(const NodeRef& node) { return node.order; }
+
+}  // namespace natix::runtime
+
+#endif  // NATIX_RUNTIME_NODE_OPS_H_

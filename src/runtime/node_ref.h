@@ -1,0 +1,31 @@
+#ifndef NATIX_RUNTIME_NODE_REF_H_
+#define NATIX_RUNTIME_NODE_REF_H_
+
+#include <cstdint>
+
+#include "storage/node_store.h"
+
+namespace natix::runtime {
+
+/// A reference to a stored node as carried in tuple attributes: the packed
+/// node id plus its document-order key, cached so duplicate elimination and
+/// document-order sorting need no page access.
+struct NodeRef {
+  uint64_t id = storage::kInvalidNodeId.Pack();
+  uint64_t order = 0;
+
+  bool valid() const { return node_id().valid(); }
+  storage::NodeId node_id() const { return storage::NodeId::Unpack(id); }
+
+  static NodeRef Make(storage::NodeId node, uint64_t order) {
+    return NodeRef{node.Pack(), order};
+  }
+
+  friend bool operator==(const NodeRef& a, const NodeRef& b) {
+    return a.id == b.id;
+  }
+};
+
+}  // namespace natix::runtime
+
+#endif  // NATIX_RUNTIME_NODE_REF_H_

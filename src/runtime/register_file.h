@@ -1,0 +1,57 @@
+#ifndef NATIX_RUNTIME_REGISTER_FILE_H_
+#define NATIX_RUNTIME_REGISTER_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.h"
+#include "runtime/value.h"
+
+namespace natix::runtime {
+
+using RegisterId = uint32_t;
+
+/// The plan-wide register file: one Value slot per attribute the compiled
+/// plan ever binds. This realizes the paper's "attribute manager"
+/// (Sec. 5.1): renaming map/projection operators do not copy — the code
+/// generator maps aliased attribute names onto the same register, so
+/// iterators communicate simply by writing and reading slots.
+class RegisterFile {
+ public:
+  explicit RegisterFile(size_t size) : registers_(size) {}
+
+  /// Grows the file to `size` slots; used by the code generator once the
+  /// attribute manager knows how many registers the plan needs.
+  void Resize(size_t size) { registers_.resize(size); }
+
+  Value& operator[](RegisterId id) {
+    NATIX_DCHECK(id < registers_.size());
+    return registers_[id];
+  }
+  const Value& operator[](RegisterId id) const {
+    NATIX_DCHECK(id < registers_.size());
+    return registers_[id];
+  }
+
+  size_t size() const { return registers_.size(); }
+
+  /// Snapshots the listed registers into `row` (in list order).
+  void SaveRow(const std::vector<RegisterId>& ids, Row* row) const {
+    row->clear();
+    row->reserve(ids.size());
+    for (RegisterId id : ids) row->push_back((*this)[id]);
+  }
+
+  /// Restores a snapshot taken with the same register list.
+  void RestoreRow(const std::vector<RegisterId>& ids, const Row& row) {
+    NATIX_DCHECK(ids.size() == row.size());
+    for (size_t i = 0; i < ids.size(); ++i) (*this)[ids[i]] = row[i];
+  }
+
+ private:
+  std::vector<Value> registers_;
+};
+
+}  // namespace natix::runtime
+
+#endif  // NATIX_RUNTIME_REGISTER_FILE_H_

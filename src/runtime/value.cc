@@ -1,0 +1,35 @@
+#include "runtime/value.h"
+
+#include "base/xpath_number.h"
+
+namespace natix::runtime {
+
+std::string Value::DebugString() const {
+  switch (kind_) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBoolean:
+      return boolean_ ? "true" : "false";
+    case ValueKind::kNumber:
+      return XPathNumberToString(number_);
+    case ValueKind::kString:
+      return "\"" + *string_ + "\"";
+    case ValueKind::kNode: {
+      storage::NodeId id = node_.node_id();
+      return "node(" + std::to_string(id.page) + "." +
+             std::to_string(id.slot) + "@" + std::to_string(node_.order) +
+             ")";
+    }
+    case ValueKind::kSequence: {
+      std::string out = "[";
+      for (size_t i = 0; i < sequence_->size(); ++i) {
+        if (i > 0) out += ", ";
+        out += (*sequence_)[i].DebugString();
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+}  // namespace natix::runtime

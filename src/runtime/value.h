@@ -1,0 +1,120 @@
+#ifndef NATIX_RUNTIME_VALUE_H_
+#define NATIX_RUNTIME_VALUE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+#include "runtime/node_ref.h"
+
+namespace natix::runtime {
+
+class Value;
+
+/// A materialized sequence of values (most commonly nodes), shared so that
+/// copying a sequence-valued attribute is cheap.
+using SequencePtr = std::shared_ptr<const std::vector<Value>>;
+
+/// Strings are shared for the same reason: register snapshots and
+/// materializing operators copy values freely.
+using SharedString = std::shared_ptr<const std::string>;
+
+enum class ValueKind : uint8_t {
+  kNull,      // unset register / absent attribute
+  kBoolean,
+  kNumber,
+  kString,
+  kNode,      // a single node reference (e.g. the cn attribute)
+  kSequence   // a nested sequence-valued attribute
+};
+
+/// A runtime value: the universe of the paper's algebra (atomic XPath
+/// types, nodes, and nested tuple sequences) as stored in plan registers.
+class Value {
+ public:
+  Value() = default;
+
+  static Value Boolean(bool b) {
+    Value v;
+    v.kind_ = ValueKind::kBoolean;
+    v.boolean_ = b;
+    return v;
+  }
+  static Value Number(double n) {
+    Value v;
+    v.kind_ = ValueKind::kNumber;
+    v.number_ = n;
+    return v;
+  }
+  static Value String(std::string s) {
+    Value v;
+    v.kind_ = ValueKind::kString;
+    v.string_ = std::make_shared<const std::string>(std::move(s));
+    return v;
+  }
+  static Value String(SharedString s) {
+    Value v;
+    v.kind_ = ValueKind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static Value Node(NodeRef node) {
+    Value v;
+    v.kind_ = ValueKind::kNode;
+    v.node_ = node;
+    return v;
+  }
+  static Value Sequence(SequencePtr seq) {
+    Value v;
+    v.kind_ = ValueKind::kSequence;
+    v.sequence_ = std::move(seq);
+    return v;
+  }
+
+  ValueKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == ValueKind::kNull; }
+
+  bool AsBoolean() const {
+    NATIX_DCHECK(kind_ == ValueKind::kBoolean);
+    return boolean_;
+  }
+  double AsNumber() const {
+    NATIX_DCHECK(kind_ == ValueKind::kNumber);
+    return number_;
+  }
+  const std::string& AsString() const {
+    NATIX_DCHECK(kind_ == ValueKind::kString);
+    return *string_;
+  }
+  SharedString shared_string() const {
+    NATIX_DCHECK(kind_ == ValueKind::kString);
+    return string_;
+  }
+  NodeRef AsNode() const {
+    NATIX_DCHECK(kind_ == ValueKind::kNode);
+    return node_;
+  }
+  const SequencePtr& AsSequence() const {
+    NATIX_DCHECK(kind_ == ValueKind::kSequence);
+    return sequence_;
+  }
+
+  /// Human-readable rendering for plan explain output and test failures.
+  std::string DebugString() const;
+
+ private:
+  ValueKind kind_ = ValueKind::kNull;
+  bool boolean_ = false;
+  double number_ = 0;
+  SharedString string_;
+  NodeRef node_;
+  SequencePtr sequence_;
+};
+
+/// A materialized tuple: values in the order of some register list.
+using Row = std::vector<Value>;
+
+}  // namespace natix::runtime
+
+#endif  // NATIX_RUNTIME_VALUE_H_

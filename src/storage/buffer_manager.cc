@@ -1,0 +1,181 @@
+#include "storage/buffer_manager.h"
+
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace natix::storage {
+
+PageHandle::PageHandle(const PageHandle& other)
+    : manager_(other.manager_), page_id_(other.page_id_),
+      frame_(other.frame_) {
+  if (manager_ != nullptr) manager_->Pin(frame_);
+}
+
+PageHandle& PageHandle::operator=(const PageHandle& other) {
+  if (this == &other) return *this;
+  Release();
+  manager_ = other.manager_;
+  page_id_ = other.page_id_;
+  frame_ = other.frame_;
+  if (manager_ != nullptr) manager_->Pin(frame_);
+  return *this;
+}
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : manager_(other.manager_), page_id_(other.page_id_),
+      frame_(other.frame_) {
+  other.manager_ = nullptr;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this == &other) return *this;
+  Release();
+  manager_ = other.manager_;
+  page_id_ = other.page_id_;
+  frame_ = other.frame_;
+  other.manager_ = nullptr;
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::Release() {
+  if (manager_ != nullptr) {
+    manager_->Unpin(frame_);
+    manager_ = nullptr;
+  }
+}
+
+const uint8_t* PageHandle::data() const {
+  NATIX_DCHECK(valid());
+  return manager_->frames_[frame_].data.get();
+}
+
+uint8_t* PageHandle::mutable_data() {
+  NATIX_DCHECK(valid());
+  manager_->frames_[frame_].dirty = true;
+  return manager_->frames_[frame_].data.get();
+}
+
+BufferManager::BufferManager(PagedFile* file, size_t capacity)
+    : file_(file), frames_(capacity) {
+  NATIX_CHECK(capacity > 0);
+  free_frames_.reserve(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    frames_[i].data = std::make_unique<uint8_t[]>(kPageSize);
+    free_frames_.push_back(capacity - 1 - i);
+  }
+}
+
+BufferManager::~BufferManager() {
+  // Best-effort write-back; callers that care about durability call
+  // FlushAll explicitly and check the status.
+  (void)FlushAll();
+}
+
+void BufferManager::Pin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Frame& f = frames_[frame];
+  if (f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+  ++f.pin_count;
+}
+
+void BufferManager::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Frame& f = frames_[frame];
+  NATIX_DCHECK(f.pin_count > 0);
+  if (--f.pin_count == 0) {
+    f.lru_pos = lru_.insert(lru_.end(), frame);
+    f.in_lru = true;
+  }
+}
+
+Status BufferManager::EvictOne(size_t* frame_out) {
+  if (lru_.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool exhausted: all frames are pinned");
+  }
+  size_t frame = lru_.front();
+  lru_.pop_front();
+  Frame& f = frames_[frame];
+  f.in_lru = false;
+  if (f.dirty) {
+    NATIX_RETURN_IF_ERROR(file_->WritePage(f.page_id, f.data.get()));
+    f.dirty = false;
+  }
+  page_table_.erase(f.page_id);
+  f.page_id = kInvalidPage;
+  ++eviction_count_;
+  *frame_out = frame;
+  return Status::OK();
+}
+
+StatusOr<PageHandle> BufferManager::FixPage(PageId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    size_t frame = it->second;
+    Frame& f = frames_[frame];
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    return PageHandle(this, id, frame);
+  }
+  ++fault_count_;
+  size_t frame;
+  if (!free_frames_.empty()) {
+    frame = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    NATIX_RETURN_IF_ERROR(EvictOne(&frame));
+  }
+  Frame& f = frames_[frame];
+  Status st = file_->ReadPage(id, f.data.get());
+  if (!st.ok()) {
+    free_frames_.push_back(frame);
+    return st;
+  }
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  page_table_[id] = frame;
+  return PageHandle(this, id, frame);
+}
+
+StatusOr<PageHandle> BufferManager::NewPage() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NATIX_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
+  size_t frame;
+  if (!free_frames_.empty()) {
+    frame = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    NATIX_RETURN_IF_ERROR(EvictOne(&frame));
+  }
+  Frame& f = frames_[frame];
+  std::memset(f.data.get(), 0, kPageSize);
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = true;
+  page_table_[id] = frame;
+  return PageHandle(this, id, frame);
+}
+
+Status BufferManager::FlushAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Frame& f : frames_) {
+    if (f.page_id != kInvalidPage && f.dirty) {
+      NATIX_RETURN_IF_ERROR(file_->WritePage(f.page_id, f.data.get()));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace natix::storage

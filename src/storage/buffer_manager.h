@@ -1,0 +1,111 @@
+#ifndef NATIX_STORAGE_BUFFER_MANAGER_H_
+#define NATIX_STORAGE_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/statusor.h"
+#include "storage/paged_file.h"
+
+namespace natix::storage {
+
+class BufferManager;
+
+/// RAII pin on a page frame. The referenced memory is valid (and the page
+/// cannot be evicted) while the handle is alive. Copying a handle takes an
+/// additional pin.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(const PageHandle& other);
+  PageHandle& operator=(const PageHandle& other);
+  PageHandle(PageHandle&& other) noexcept;
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  ~PageHandle();
+
+  bool valid() const { return manager_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+
+  const uint8_t* data() const;
+  /// Grants write access and marks the frame dirty.
+  uint8_t* mutable_data();
+
+  void Release();
+
+ private:
+  friend class BufferManager;
+  PageHandle(BufferManager* manager, PageId page_id, size_t frame)
+      : manager_(manager), page_id_(page_id), frame_(frame) {}
+
+  BufferManager* manager_ = nullptr;
+  PageId page_id_ = kInvalidPage;
+  size_t frame_ = 0;
+};
+
+/// A classic pin/unpin buffer manager with LRU replacement over a
+/// PagedFile — the "Natix page buffer" the paper's physical algebra
+/// navigates directly (Sec. 5.2.2).
+///
+/// Thread safety: the pin/unpin/fault bookkeeping is serialized by an
+/// internal mutex, so concurrent read-only queries (each with its own
+/// Plan) can share one store. Writers (document loading) must not run
+/// concurrently with anything else.
+class BufferManager {
+ public:
+  /// `capacity` is the number of page frames held in memory.
+  BufferManager(PagedFile* file, size_t capacity);
+  ~BufferManager();
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// Pins page `id`, faulting it in if necessary.
+  StatusOr<PageHandle> FixPage(PageId id);
+
+  /// Allocates a fresh page in the file and pins it.
+  StatusOr<PageHandle> NewPage();
+
+  /// Writes back all dirty frames.
+  Status FlushAll();
+
+  /// Statistics for tests and benchmarks.
+  uint64_t fault_count() const { return fault_count_; }
+  uint64_t eviction_count() const { return eviction_count_; }
+  size_t capacity() const { return frames_.size(); }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId page_id = kInvalidPage;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    /// Position in lru_ when unpinned.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+    std::unique_ptr<uint8_t[]> data;
+  };
+
+  void Pin(size_t frame);
+  void Unpin(size_t frame);
+  Status EvictOne(size_t* frame_out);  // caller holds mutex_
+
+  PagedFile* file_;
+  mutable std::mutex mutex_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  /// Unpinned frames, least recently used first.
+  std::list<size_t> lru_;
+  std::unordered_map<PageId, size_t> page_table_;
+  uint64_t fault_count_ = 0;
+  uint64_t eviction_count_ = 0;
+};
+
+}  // namespace natix::storage
+
+#endif  // NATIX_STORAGE_BUFFER_MANAGER_H_

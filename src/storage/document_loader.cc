@@ -1,0 +1,161 @@
+#include "storage/document_loader.h"
+
+#include <vector>
+
+#include "xml/reader.h"
+
+namespace natix::storage {
+
+namespace {
+
+/// Tracks one open element while loading.
+struct OpenElement {
+  NodeId id;
+  NodeId last_child = kInvalidNodeId;
+};
+
+class Loader {
+ public:
+  Loader(NodeStore* store, std::string_view name)
+      : store_(store), name_(name) {}
+
+  StatusOr<DocumentInfo> Run(std::string_view xml_text) {
+    // Document node first.
+    NodeRecord doc_record;
+    doc_record.kind = StoredNodeKind::kDocument;
+    doc_record.order = store_->NextOrderKey();
+    NATIX_ASSIGN_OR_RETURN(NodeId root, store_->AppendNode(doc_record));
+    ++node_count_;
+    stack_.push_back(OpenElement{root});
+
+    xml::Reader reader(xml_text);
+    while (true) {
+      xml::Reader::Event event;
+      NATIX_RETURN_IF_ERROR(reader.Next(&event));
+      switch (event.kind) {
+        case xml::EventKind::kEndDocument: {
+          NATIX_RETURN_IF_ERROR(FlushText());
+          DocumentInfo info;
+          info.name = name_;
+          info.root = root;
+          info.node_count = node_count_;
+          NATIX_RETURN_IF_ERROR(store_->AddDocument(info));
+          return info;
+        }
+        case xml::EventKind::kStartElement:
+          NATIX_RETURN_IF_ERROR(FlushText());
+          NATIX_RETURN_IF_ERROR(StartElement(event));
+          break;
+        case xml::EventKind::kEndElement:
+          NATIX_RETURN_IF_ERROR(FlushText());
+          stack_.pop_back();
+          break;
+        case xml::EventKind::kText:
+          // Merge adjacent runs (text + CDATA) into one stored node.
+          pending_text_ += event.text;
+          break;
+        case xml::EventKind::kComment:
+          NATIX_RETURN_IF_ERROR(FlushText());
+          NATIX_RETURN_IF_ERROR(
+              AppendLeaf(StoredNodeKind::kComment, kInvalidNameId,
+                         event.text));
+          break;
+        case xml::EventKind::kProcessingInstruction:
+          NATIX_RETURN_IF_ERROR(FlushText());
+          NATIX_RETURN_IF_ERROR(
+              AppendLeaf(StoredNodeKind::kProcessingInstruction,
+                         store_->names()->Intern(event.name), event.text));
+          break;
+      }
+    }
+  }
+
+ private:
+  /// Links `child` as the next child of the innermost open element.
+  Status LinkChild(NodeId child) {
+    OpenElement& parent = stack_.back();
+    if (!parent.last_child.valid()) {
+      NATIX_RETURN_IF_ERROR(store_->SetLink(
+          parent.id, NodeStore::LinkField::kFirstChild, child));
+    } else {
+      NATIX_RETURN_IF_ERROR(store_->SetLink(
+          parent.last_child, NodeStore::LinkField::kNextSibling, child));
+      NATIX_RETURN_IF_ERROR(store_->SetLink(
+          child, NodeStore::LinkField::kPrevSibling, parent.last_child));
+    }
+    parent.last_child = child;
+    return store_->SetLink(parent.id, NodeStore::LinkField::kLastChild,
+                           child);
+  }
+
+  Status AppendLeaf(StoredNodeKind kind, uint32_t name_id,
+                    const std::string& content) {
+    NodeRecord record;
+    record.kind = kind;
+    record.name_id = name_id;
+    record.order = store_->NextOrderKey();
+    record.parent = stack_.back().id;
+    record.inline_text = content;
+    NATIX_ASSIGN_OR_RETURN(NodeId id, store_->AppendNode(record));
+    ++node_count_;
+    return LinkChild(id);
+  }
+
+  Status FlushText() {
+    if (pending_text_.empty()) return Status::OK();
+    std::string text;
+    text.swap(pending_text_);
+    return AppendLeaf(StoredNodeKind::kText, kInvalidNameId, text);
+  }
+
+  Status StartElement(const xml::Reader::Event& event) {
+    NodeRecord record;
+    record.kind = StoredNodeKind::kElement;
+    record.name_id = store_->names()->Intern(event.name);
+    record.order = store_->NextOrderKey();
+    record.parent = stack_.back().id;
+    NATIX_ASSIGN_OR_RETURN(NodeId element, store_->AppendNode(record));
+    ++node_count_;
+    NATIX_RETURN_IF_ERROR(LinkChild(element));
+
+    // Attribute chain, linked through next_sibling among attributes.
+    NodeId previous_attr = kInvalidNodeId;
+    for (const xml::Attribute& attr : event.attributes) {
+      NodeRecord attr_record;
+      attr_record.kind = StoredNodeKind::kAttribute;
+      attr_record.name_id = store_->names()->Intern(attr.name);
+      attr_record.order = store_->NextOrderKey();
+      attr_record.parent = element;
+      attr_record.inline_text = attr.value;
+      NATIX_ASSIGN_OR_RETURN(NodeId attr_id, store_->AppendNode(attr_record));
+      ++node_count_;
+      if (!previous_attr.valid()) {
+        NATIX_RETURN_IF_ERROR(store_->SetLink(
+            element, NodeStore::LinkField::kFirstAttr, attr_id));
+      } else {
+        NATIX_RETURN_IF_ERROR(store_->SetLink(
+            previous_attr, NodeStore::LinkField::kNextSibling, attr_id));
+      }
+      previous_attr = attr_id;
+    }
+    stack_.push_back(OpenElement{element});
+    return Status::OK();
+  }
+
+  NodeStore* store_;
+  std::string name_;
+  std::vector<OpenElement> stack_;
+  std::string pending_text_;
+  uint64_t node_count_ = 0;
+};
+
+}  // namespace
+
+StatusOr<DocumentInfo> LoadDocument(NodeStore* store,
+                                    std::string_view document_name,
+                                    std::string_view xml_text) {
+  Loader loader(store, document_name);
+  return loader.Run(xml_text);
+}
+
+}  // namespace natix::storage

@@ -1,0 +1,25 @@
+#ifndef NATIX_STORAGE_DOCUMENT_LOADER_H_
+#define NATIX_STORAGE_DOCUMENT_LOADER_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/statusor.h"
+#include "storage/node_store.h"
+
+namespace natix::storage {
+
+/// Parses XML text and appends it to the store as a new document named
+/// `document_name`, registering it in the catalog. Returns the document
+/// info (root node id, node count).
+///
+/// The loader streams parser events straight into node records: no DOM is
+/// materialized, and sibling/parent links are patched in place as the tree
+/// unfolds — this is the load path of the paper's native store.
+StatusOr<DocumentInfo> LoadDocument(NodeStore* store,
+                                    std::string_view document_name,
+                                    std::string_view xml_text);
+
+}  // namespace natix::storage
+
+#endif  // NATIX_STORAGE_DOCUMENT_LOADER_H_

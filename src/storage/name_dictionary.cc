@@ -1,0 +1,59 @@
+#include "storage/name_dictionary.h"
+
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace natix::storage {
+
+uint32_t NameDictionary::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+uint32_t NameDictionary::Lookup(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidNameId : it->second;
+}
+
+const std::string& NameDictionary::NameOf(uint32_t id) const {
+  NATIX_CHECK(id < names_.size());
+  return names_[id];
+}
+
+void NameDictionary::AppendTo(std::string* blob) const {
+  uint32_t count = static_cast<uint32_t>(names_.size());
+  blob->append(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const std::string& name : names_) {
+    uint32_t len = static_cast<uint32_t>(name.size());
+    blob->append(reinterpret_cast<const char*>(&len), sizeof(len));
+    blob->append(name);
+  }
+}
+
+size_t NameDictionary::ParseFrom(std::string_view blob) {
+  names_.clear();
+  index_.clear();
+  size_t pos = 0;
+  uint32_t count;
+  if (blob.size() < sizeof(count)) return 0;
+  std::memcpy(&count, blob.data(), sizeof(count));
+  pos += sizeof(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len;
+    if (blob.size() - pos < sizeof(len)) return 0;
+    std::memcpy(&len, blob.data() + pos, sizeof(len));
+    pos += sizeof(len);
+    if (blob.size() - pos < len) return 0;
+    names_.emplace_back(blob.substr(pos, len));
+    index_.emplace(names_.back(), i);
+    pos += len;
+  }
+  return pos;
+}
+
+}  // namespace natix::storage

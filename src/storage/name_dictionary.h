@@ -1,0 +1,43 @@
+#ifndef NATIX_STORAGE_NAME_DICTIONARY_H_
+#define NATIX_STORAGE_NAME_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace natix::storage {
+
+inline constexpr uint32_t kInvalidNameId = 0xFFFFFFFFu;
+
+/// Interns element/attribute/PI names to dense integer ids so node records
+/// store 4 bytes instead of strings, and name tests compare integers.
+/// Held fully in memory; (de)serialized into the store's metadata chain.
+class NameDictionary {
+ public:
+  /// Returns the id of `name`, inserting it if new.
+  uint32_t Intern(std::string_view name);
+
+  /// Returns the id of `name` or kInvalidNameId when not present.
+  uint32_t Lookup(std::string_view name) const;
+
+  /// The name for a valid id.
+  const std::string& NameOf(uint32_t id) const;
+
+  size_t size() const { return names_.size(); }
+
+  /// Serialization for the store metadata blob.
+  void AppendTo(std::string* blob) const;
+  /// Replaces the contents from a serialized blob; returns bytes consumed
+  /// or 0 on corruption.
+  size_t ParseFrom(std::string_view blob);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+}  // namespace natix::storage
+
+#endif  // NATIX_STORAGE_NAME_DICTIONARY_H_

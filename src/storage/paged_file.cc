@@ -1,0 +1,103 @@
+#include "storage/paged_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace natix::storage {
+
+PagedFile::~PagedFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<PagedFile>> PagedFile::Open(const std::string& path,
+                                                     bool create) {
+  int flags = O_RDWR;
+  if (create) flags |= O_CREAT | O_TRUNC;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat failed: " + std::string(std::strerror(errno)));
+  }
+  if (st.st_size % kPageSize != 0) {
+    ::close(fd);
+    return Status::Corruption("file size of '" + path +
+                              "' is not a multiple of the page size");
+  }
+  uint32_t pages = static_cast<uint32_t>(st.st_size / kPageSize);
+  return std::unique_ptr<PagedFile>(new PagedFile(fd, pages, path));
+}
+
+StatusOr<std::unique_ptr<PagedFile>> PagedFile::OpenTemp() {
+  const char* dir = std::getenv("TMPDIR");
+  std::string tmpl = std::string(dir != nullptr ? dir : "/tmp") +
+                     "/natix-store-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  int fd = ::mkstemp(buf.data());
+  if (fd < 0) {
+    return Status::IOError("mkstemp failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  // Unlink immediately; the fd keeps the file alive until close.
+  ::unlink(buf.data());
+  return std::unique_ptr<PagedFile>(new PagedFile(fd, 0, buf.data()));
+}
+
+StatusOr<PageId> PagedFile::AllocatePage() {
+  static const char kZeros[kPageSize] = {};
+  PageId id = page_count_;
+  off_t offset = static_cast<off_t>(id) * kPageSize;
+  ssize_t written = ::pwrite(fd_, kZeros, kPageSize, offset);
+  if (written != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("short write while allocating page");
+  }
+  ++page_count_;
+  return id;
+}
+
+Status PagedFile::ReadPage(PageId id, void* buffer) const {
+  if (id >= page_count_) {
+    return Status::InvalidArgument("page " + std::to_string(id) +
+                                   " is out of range");
+  }
+  off_t offset = static_cast<off_t>(id) * kPageSize;
+  ssize_t n = ::pread(fd_, buffer, kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("short read of page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status PagedFile::WritePage(PageId id, const void* buffer) {
+  if (id >= page_count_) {
+    return Status::InvalidArgument("page " + std::to_string(id) +
+                                   " is out of range");
+  }
+  off_t offset = static_cast<off_t>(id) * kPageSize;
+  ssize_t n = ::pwrite(fd_, buffer, kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("short write of page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status PagedFile::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError("fdatasync failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace natix::storage

@@ -1,0 +1,63 @@
+#ifndef NATIX_STORAGE_PAGED_FILE_H_
+#define NATIX_STORAGE_PAGED_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/status.h"
+#include "base/statusor.h"
+
+namespace natix::storage {
+
+/// Size of every page in a Natix store. 8 KiB, matching typical database
+/// page sizes (and the original system's default).
+inline constexpr size_t kPageSize = 8192;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+
+/// A file of fixed-size pages with explicit read/write/allocate calls.
+/// Page 0 is reserved for the store superblock. All I/O goes through the
+/// BufferManager in normal operation.
+class PagedFile {
+ public:
+  ~PagedFile();
+
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
+
+  /// Opens (or with `create` truncates/creates) a paged file on disk.
+  static StatusOr<std::unique_ptr<PagedFile>> Open(const std::string& path,
+                                                   bool create);
+
+  /// Creates an anonymous temporary paged file, removed on close. Used by
+  /// tests, examples, and benchmarks that need a scratch store.
+  static StatusOr<std::unique_ptr<PagedFile>> OpenTemp();
+
+  /// Appends a zeroed page and returns its id.
+  StatusOr<PageId> AllocatePage();
+
+  /// Reads page `id` into `buffer` (kPageSize bytes).
+  Status ReadPage(PageId id, void* buffer) const;
+
+  /// Writes `buffer` (kPageSize bytes) to page `id`.
+  Status WritePage(PageId id, const void* buffer);
+
+  /// Forces written pages to the OS.
+  Status Sync();
+
+  uint32_t page_count() const { return page_count_; }
+
+ private:
+  PagedFile(int fd, uint32_t page_count, std::string path)
+      : fd_(fd), page_count_(page_count), path_(std::move(path)) {}
+
+  int fd_;
+  uint32_t page_count_;
+  std::string path_;
+};
+
+}  // namespace natix::storage
+
+#endif  // NATIX_STORAGE_PAGED_FILE_H_

@@ -1,0 +1,48 @@
+#ifndef NATIX_STORAGE_SLOTTED_PAGE_H_
+#define NATIX_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "storage/paged_file.h"
+
+namespace natix::storage {
+
+/// Static helpers imposing a slotted-record layout on a raw page image:
+///
+///   [slot_count][free_end][slot 0][slot 1]...        records ...[page end]
+///
+/// The slot directory grows forward from the header; the record heap grows
+/// backward from the end of the page. Records are never moved, so a
+/// (page, slot) pair is a stable record id — the basis of node ids.
+class SlottedPage {
+ public:
+  /// Per-insert overhead: one directory entry.
+  static constexpr size_t kSlotEntrySize = 4;
+  /// Largest record that fits on a freshly initialized page.
+  static constexpr size_t kMaxRecordSize =
+      kPageSize - 4 /*header*/ - kSlotEntrySize;
+
+  /// Formats an empty page.
+  static void Init(uint8_t* page);
+
+  static uint16_t slot_count(const uint8_t* page);
+  static size_t FreeSpace(const uint8_t* page);
+  static bool HasRoomFor(const uint8_t* page, size_t record_size);
+
+  /// Appends a record; the caller must have checked HasRoomFor.
+  /// Returns the new record's slot number.
+  static uint16_t Insert(uint8_t* page, const void* record, uint16_t size);
+
+  /// Read access to record `slot`: pointer and length.
+  static std::pair<const uint8_t*, uint16_t> Read(const uint8_t* page,
+                                                  uint16_t slot);
+
+  /// Write access to record `slot` for in-place updates that keep the
+  /// record length unchanged.
+  static uint8_t* MutableRecord(uint8_t* page, uint16_t slot);
+};
+
+}  // namespace natix::storage
+
+#endif  // NATIX_STORAGE_SLOTTED_PAGE_H_

@@ -1,0 +1,54 @@
+#include "storage/stored_node.h"
+
+namespace natix::storage {
+
+StatusOr<StoredNodeKind> StoredNode::kind() const {
+  NodeRecord record;
+  NATIX_RETURN_IF_ERROR(store_->ReadNode(id_, &record));
+  return record.kind;
+}
+
+StatusOr<std::string> StoredNode::name() const {
+  NodeRecord record;
+  NATIX_RETURN_IF_ERROR(store_->ReadNode(id_, &record));
+  if (record.name_id == kInvalidNameId) return std::string();
+  return store_->names()->NameOf(record.name_id);
+}
+
+StatusOr<std::string> StoredNode::content() const {
+  return store_->ReadContent(id_);
+}
+
+StatusOr<std::string> StoredNode::string_value() const {
+  return store_->StringValue(id_);
+}
+
+StatusOr<uint64_t> StoredNode::order() const {
+  NodeRecord record;
+  NATIX_RETURN_IF_ERROR(store_->ReadNode(id_, &record));
+  return record.order;
+}
+
+StatusOr<StoredNode> StoredNode::Link(NodeId NodeRecord::* field) const {
+  NodeRecord record;
+  NATIX_RETURN_IF_ERROR(store_->ReadNode(id_, &record));
+  return StoredNode(store_, record.*field);
+}
+
+StatusOr<StoredNode> StoredNode::parent() const {
+  return Link(&NodeRecord::parent);
+}
+StatusOr<StoredNode> StoredNode::first_child() const {
+  return Link(&NodeRecord::first_child);
+}
+StatusOr<StoredNode> StoredNode::next_sibling() const {
+  return Link(&NodeRecord::next_sibling);
+}
+StatusOr<StoredNode> StoredNode::prev_sibling() const {
+  return Link(&NodeRecord::prev_sibling);
+}
+StatusOr<StoredNode> StoredNode::first_attribute() const {
+  return Link(&NodeRecord::first_attr);
+}
+
+}  // namespace natix::storage

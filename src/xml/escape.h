@@ -1,0 +1,17 @@
+#ifndef NATIX_XML_ESCAPE_H_
+#define NATIX_XML_ESCAPE_H_
+
+#include <string>
+#include <string_view>
+
+namespace natix::xml {
+
+/// Escapes `<`, `>`, `&` for element content.
+std::string EscapeText(std::string_view s);
+
+/// Escapes `<`, `&`, `"` for double-quoted attribute values.
+std::string EscapeAttribute(std::string_view s);
+
+}  // namespace natix::xml
+
+#endif  // NATIX_XML_ESCAPE_H_

@@ -1,0 +1,338 @@
+#include "xml/reader.h"
+
+#include <cstdint>
+
+#include "base/strings.h"
+
+namespace natix::xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':' || static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+}  // namespace
+
+bool Reader::LookingAt(std::string_view token) const {
+  return input_.substr(pos_, token.size()) == token;
+}
+
+void Reader::Advance(size_t n) {
+  for (size_t i = 0; i < n && pos_ < input_.size(); ++i) {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+}
+
+void Reader::SkipWhitespace() {
+  while (!AtEnd() && IsXmlWhitespace(Peek())) Advance(1);
+}
+
+Status Reader::Fail(std::string_view message) {
+  failed_ = true;
+  failure_ = Status::InvalidArgument("XML parse error at line " +
+                                     std::to_string(line_) + ": " +
+                                     std::string(message));
+  return failure_;
+}
+
+Status Reader::ParseName(std::string* name) {
+  if (AtEnd() || !IsNameStartChar(Peek())) return Fail("expected a name");
+  size_t begin = pos_;
+  while (!AtEnd() && IsNameChar(Peek())) Advance(1);
+  name->assign(input_.substr(begin, pos_ - begin));
+  return Status::OK();
+}
+
+Status Reader::ParseReference(std::string* out) {
+  // Caller consumed '&'.
+  if (LookingAt("#")) {
+    Advance(1);
+    uint32_t cp = 0;
+    bool hex = false;
+    if (LookingAt("x") || LookingAt("X")) {
+      hex = true;
+      Advance(1);
+    }
+    size_t digits = 0;
+    while (!AtEnd() && Peek() != ';') {
+      char c = Peek();
+      uint32_t d;
+      if (c >= '0' && c <= '9') {
+        d = c - '0';
+      } else if (hex && c >= 'a' && c <= 'f') {
+        d = c - 'a' + 10;
+      } else if (hex && c >= 'A' && c <= 'F') {
+        d = c - 'A' + 10;
+      } else {
+        return Fail("bad character reference");
+      }
+      cp = cp * (hex ? 16 : 10) + d;
+      if (cp > 0x10FFFF) return Fail("character reference out of range");
+      ++digits;
+      Advance(1);
+    }
+    if (digits == 0 || AtEnd()) return Fail("unterminated character reference");
+    Advance(1);  // ';'
+    Utf8Append(cp, *out);
+    return Status::OK();
+  }
+  std::string name;
+  size_t begin = pos_;
+  while (!AtEnd() && Peek() != ';' && pos_ - begin < 8) Advance(1);
+  if (AtEnd() || Peek() != ';') return Fail("unterminated entity reference");
+  name.assign(input_.substr(begin, pos_ - begin));
+  Advance(1);  // ';'
+  if (name == "lt") {
+    out->push_back('<');
+  } else if (name == "gt") {
+    out->push_back('>');
+  } else if (name == "amp") {
+    out->push_back('&');
+  } else if (name == "apos") {
+    out->push_back('\'');
+  } else if (name == "quot") {
+    out->push_back('"');
+  } else {
+    return Fail("unknown entity '&" + name + ";'");
+  }
+  return Status::OK();
+}
+
+Status Reader::ParseAttributeValue(std::string* value) {
+  if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+    return Fail("expected quoted attribute value");
+  }
+  char quote = Peek();
+  Advance(1);
+  while (!AtEnd() && Peek() != quote) {
+    char c = Peek();
+    if (c == '<') return Fail("'<' in attribute value");
+    if (c == '&') {
+      Advance(1);
+      NATIX_RETURN_IF_ERROR(ParseReference(value));
+    } else {
+      // Attribute-value normalization: whitespace becomes a space.
+      value->push_back(IsXmlWhitespace(c) ? ' ' : c);
+      Advance(1);
+    }
+  }
+  if (AtEnd()) return Fail("unterminated attribute value");
+  Advance(1);  // closing quote
+  return Status::OK();
+}
+
+Status Reader::ParseElementStart(Event* event) {
+  // Caller consumed '<'.
+  event->kind = EventKind::kStartElement;
+  NATIX_RETURN_IF_ERROR(ParseName(&event->name));
+  while (true) {
+    SkipWhitespace();
+    if (AtEnd()) return Fail("unterminated start tag");
+    if (Peek() == '>') {
+      Advance(1);
+      open_elements_.push_back(event->name);
+      return Status::OK();
+    }
+    if (LookingAt("/>")) {
+      Advance(2);
+      event->self_closing = true;
+      pending_end_ = true;
+      pending_end_name_ = event->name;
+      return Status::OK();
+    }
+    Attribute attr;
+    NATIX_RETURN_IF_ERROR(ParseName(&attr.name));
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '=') return Fail("expected '=' after attribute");
+    Advance(1);
+    SkipWhitespace();
+    NATIX_RETURN_IF_ERROR(ParseAttributeValue(&attr.value));
+    for (const Attribute& existing : event->attributes) {
+      if (existing.name == attr.name) {
+        return Fail("duplicate attribute '" + attr.name + "'");
+      }
+    }
+    event->attributes.push_back(std::move(attr));
+  }
+}
+
+Status Reader::ParseElementEnd(Event* event) {
+  // Caller consumed '</'.
+  event->kind = EventKind::kEndElement;
+  NATIX_RETURN_IF_ERROR(ParseName(&event->name));
+  SkipWhitespace();
+  if (AtEnd() || Peek() != '>') return Fail("expected '>' in end tag");
+  Advance(1);
+  if (open_elements_.empty() || open_elements_.back() != event->name) {
+    return Fail("mismatched end tag '</" + event->name + ">'");
+  }
+  open_elements_.pop_back();
+  return Status::OK();
+}
+
+Status Reader::ParseComment(Event* event) {
+  // Caller consumed '<!--'.
+  event->kind = EventKind::kComment;
+  size_t begin = pos_;
+  while (!AtEnd() && !LookingAt("--")) Advance(1);
+  if (!LookingAt("-->")) return Fail("'--' inside comment or unterminated");
+  event->text.assign(input_.substr(begin, pos_ - begin));
+  Advance(3);
+  return Status::OK();
+}
+
+Status Reader::ParsePIOrDeclaration(Event* event, bool* skipped) {
+  // Caller consumed '<?'.
+  *skipped = false;
+  std::string target;
+  NATIX_RETURN_IF_ERROR(ParseName(&target));
+  size_t begin = pos_;
+  while (!AtEnd() && !LookingAt("?>")) Advance(1);
+  if (AtEnd()) return Fail("unterminated processing instruction");
+  std::string data(input_.substr(begin, pos_ - begin));
+  Advance(2);
+  if (target == "xml" || target == "XML") {
+    *skipped = true;  // XML declaration is not a PI node
+    return Status::OK();
+  }
+  event->kind = EventKind::kProcessingInstruction;
+  event->name = target;
+  // Strip the single whitespace separating target and data.
+  size_t i = 0;
+  while (i < data.size() && IsXmlWhitespace(data[i])) ++i;
+  event->text = data.substr(i);
+  return Status::OK();
+}
+
+Status Reader::ParseCData(Event* event) {
+  // Caller consumed '<![CDATA['.
+  event->kind = EventKind::kText;
+  size_t begin = pos_;
+  while (!AtEnd() && !LookingAt("]]>")) Advance(1);
+  if (AtEnd()) return Fail("unterminated CDATA section");
+  event->text.assign(input_.substr(begin, pos_ - begin));
+  Advance(3);
+  return Status::OK();
+}
+
+Status Reader::SkipDoctype() {
+  // Caller consumed '<!DOCTYPE'. Skip to the matching '>' honoring an
+  // internal subset in brackets; entity declarations are not supported.
+  int bracket_depth = 0;
+  while (!AtEnd()) {
+    char c = Peek();
+    if (c == '[') {
+      ++bracket_depth;
+    } else if (c == ']') {
+      --bracket_depth;
+    } else if (c == '>' && bracket_depth == 0) {
+      Advance(1);
+      return Status::OK();
+    }
+    Advance(1);
+  }
+  return Fail("unterminated DOCTYPE");
+}
+
+Status Reader::ParseText(Event* event) {
+  event->kind = EventKind::kText;
+  while (!AtEnd() && Peek() != '<') {
+    char c = Peek();
+    if (c == '&') {
+      Advance(1);
+      NATIX_RETURN_IF_ERROR(ParseReference(&event->text));
+    } else {
+      if (LookingAt("]]>")) return Fail("']]>' in character data");
+      event->text.push_back(c);
+      Advance(1);
+    }
+  }
+  return Status::OK();
+}
+
+Status Reader::Next(Event* event) {
+  *event = Event();
+  if (failed_) return failure_;
+
+  if (pending_end_) {
+    pending_end_ = false;
+    event->kind = EventKind::kEndElement;
+    event->name = pending_end_name_;
+    return Status::OK();
+  }
+
+  while (true) {
+    if (AtEnd()) {
+      if (!open_elements_.empty()) {
+        return Fail("unexpected end of input: '<" + open_elements_.back() +
+                    ">' is not closed");
+      }
+      if (!seen_root_) return Fail("document has no root element");
+      event->kind = EventKind::kEndDocument;
+      return Status::OK();
+    }
+
+    if (Peek() != '<') {
+      if (open_elements_.empty()) {
+        // Whitespace is allowed outside the root element; anything else
+        // is a well-formedness violation.
+        size_t begin = pos_;
+        while (!AtEnd() && Peek() != '<') {
+          if (!IsXmlWhitespace(Peek())) {
+            return Fail("character data outside the root element");
+          }
+          Advance(1);
+        }
+        (void)begin;
+        continue;
+      }
+      NATIX_RETURN_IF_ERROR(ParseText(event));
+      if (event->text.empty()) continue;
+      return Status::OK();
+    }
+
+    Advance(1);  // '<'
+    if (LookingAt("!--")) {
+      Advance(3);
+      return ParseComment(event);
+    }
+    if (LookingAt("![CDATA[")) {
+      if (open_elements_.empty()) return Fail("CDATA outside root element");
+      Advance(8);
+      NATIX_RETURN_IF_ERROR(ParseCData(event));
+      if (event->text.empty()) continue;
+      return Status::OK();
+    }
+    if (LookingAt("!DOCTYPE")) {
+      if (seen_root_) return Fail("DOCTYPE after root element");
+      Advance(8);
+      NATIX_RETURN_IF_ERROR(SkipDoctype());
+      continue;
+    }
+    if (LookingAt("?")) {
+      Advance(1);
+      bool skipped = false;
+      NATIX_RETURN_IF_ERROR(ParsePIOrDeclaration(event, &skipped));
+      if (skipped) continue;
+      return Status::OK();
+    }
+    if (LookingAt("/")) {
+      Advance(1);
+      return ParseElementEnd(event);
+    }
+    if (open_elements_.empty() && seen_root_) {
+      return Fail("multiple root elements");
+    }
+    seen_root_ = true;
+    return ParseElementStart(event);
+  }
+}
+
+}  // namespace natix::xml

@@ -1,0 +1,105 @@
+#ifndef NATIX_XML_READER_H_
+#define NATIX_XML_READER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace natix::xml {
+
+/// One attribute of a start-element event.
+struct Attribute {
+  std::string name;
+  std::string value;  // entity references resolved, whitespace normalized
+};
+
+/// Event kinds produced by the pull parser, mirroring the XPath 1.0 data
+/// model node kinds (document and element structure, text, comments,
+/// processing instructions). CDATA sections surface as text.
+enum class EventKind {
+  kStartElement,
+  kEndElement,
+  kText,
+  kComment,
+  kProcessingInstruction,
+  kEndDocument
+};
+
+/// A non-validating XML 1.0 pull parser over an in-memory buffer.
+///
+/// Supports elements, attributes, character data, CDATA sections,
+/// comments, processing instructions, the five builtin entities, decimal
+/// and hexadecimal character references, and skips the XML declaration
+/// and DOCTYPE (internal subsets without entity declarations).
+///
+/// Usage:
+///   Reader r(input);
+///   while (true) {
+///     NATIX_ASSIGN_OR_RETURN(Reader::Event e, ...)  // or Next() + check
+///     if (e.kind == EventKind::kEndDocument) break;
+///   }
+class Reader {
+ public:
+  struct Event {
+    EventKind kind = EventKind::kEndDocument;
+    /// Element name (start/end element), PI target, or empty.
+    std::string name;
+    /// Text content, comment content, or PI data.
+    std::string text;
+    /// Attributes of a start element, in document order.
+    std::vector<Attribute> attributes;
+    /// True for `<a/>`: a start element with no matching end event emitted
+    /// separately — the reader synthesizes the end event itself, so
+    /// consumers never need to look at this flag; it is exposed for tests.
+    bool self_closing = false;
+  };
+
+  explicit Reader(std::string_view input) : input_(input) {}
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  /// Advances to the next event. After kEndDocument (or an error), further
+  /// calls keep returning kEndDocument (or the same error).
+  Status Next(Event* event);
+
+  /// 1-based line of the current parse position, for error messages.
+  int line() const { return line_; }
+
+ private:
+  Status Fail(std::string_view message);
+  Status ParseElementStart(Event* event);
+  Status ParseElementEnd(Event* event);
+  Status ParseComment(Event* event);
+  Status ParsePIOrDeclaration(Event* event, bool* skipped);
+  Status ParseCData(Event* event);
+  Status ParseText(Event* event);
+  Status ParseAttributeValue(std::string* value);
+  Status ParseName(std::string* name);
+  Status ParseReference(std::string* out);
+  Status SkipDoctype();
+  void SkipWhitespace();
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool LookingAt(std::string_view token) const;
+  void Advance(size_t n);
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  /// Open element stack for well-formedness checking.
+  std::vector<std::string> open_elements_;
+  /// Pending synthesized end-element event for self-closing tags.
+  bool pending_end_ = false;
+  std::string pending_end_name_;
+  bool seen_root_ = false;
+  bool failed_ = false;
+  Status failure_;
+};
+
+}  // namespace natix::xml
+
+#endif  // NATIX_XML_READER_H_

@@ -1,0 +1,93 @@
+#include "xml/writer.h"
+
+#include "xml/escape.h"
+
+namespace natix::xml {
+
+namespace {
+
+using storage::StoredNode;
+using storage::StoredNodeKind;
+
+Status Append(const StoredNode& node, std::string* out);
+
+Status AppendChildren(const StoredNode& node, std::string* out) {
+  NATIX_ASSIGN_OR_RETURN(StoredNode child, node.first_child());
+  while (child.valid()) {
+    NATIX_RETURN_IF_ERROR(Append(child, out));
+    NATIX_ASSIGN_OR_RETURN(child, child.next_sibling());
+  }
+  return Status::OK();
+}
+
+Status Append(const StoredNode& node, std::string* out) {
+  NATIX_ASSIGN_OR_RETURN(StoredNodeKind kind, node.kind());
+  switch (kind) {
+    case StoredNodeKind::kDocument:
+      return AppendChildren(node, out);
+    case StoredNodeKind::kElement: {
+      NATIX_ASSIGN_OR_RETURN(std::string name, node.name());
+      *out += "<" + name;
+      NATIX_ASSIGN_OR_RETURN(StoredNode attr, node.first_attribute());
+      while (attr.valid()) {
+        NATIX_ASSIGN_OR_RETURN(std::string attr_name, attr.name());
+        NATIX_ASSIGN_OR_RETURN(std::string attr_value, attr.content());
+        *out += " " + attr_name + "=\"" + EscapeAttribute(attr_value) + "\"";
+        NATIX_ASSIGN_OR_RETURN(attr, attr.next_sibling());
+      }
+      NATIX_ASSIGN_OR_RETURN(StoredNode first_child, node.first_child());
+      if (!first_child.valid()) {
+        *out += "/>";
+        return Status::OK();
+      }
+      *out += ">";
+      NATIX_RETURN_IF_ERROR(AppendChildren(node, out));
+      *out += "</" + name + ">";
+      return Status::OK();
+    }
+    case StoredNodeKind::kAttribute: {
+      NATIX_ASSIGN_OR_RETURN(std::string name, node.name());
+      NATIX_ASSIGN_OR_RETURN(std::string value, node.content());
+      *out += name + "=\"" + EscapeAttribute(value) + "\"";
+      return Status::OK();
+    }
+    case StoredNodeKind::kText: {
+      NATIX_ASSIGN_OR_RETURN(std::string text, node.content());
+      *out += EscapeText(text);
+      return Status::OK();
+    }
+    case StoredNodeKind::kComment: {
+      NATIX_ASSIGN_OR_RETURN(std::string text, node.content());
+      *out += "<!--" + text + "-->";
+      return Status::OK();
+    }
+    case StoredNodeKind::kProcessingInstruction: {
+      NATIX_ASSIGN_OR_RETURN(std::string target, node.name());
+      NATIX_ASSIGN_OR_RETURN(std::string data, node.content());
+      *out += "<?" + target + (data.empty() ? "" : " " + data) + "?>";
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown node kind");
+}
+
+}  // namespace
+
+StatusOr<std::string> OuterXml(const StoredNode& node) {
+  std::string out;
+  NATIX_RETURN_IF_ERROR(Append(node, &out));
+  return out;
+}
+
+StatusOr<std::string> InnerXml(const StoredNode& node) {
+  NATIX_ASSIGN_OR_RETURN(StoredNodeKind kind, node.kind());
+  if (kind != StoredNodeKind::kElement &&
+      kind != StoredNodeKind::kDocument) {
+    return node.content();
+  }
+  std::string out;
+  NATIX_RETURN_IF_ERROR(AppendChildren(node, &out));
+  return out;
+}
+
+}  // namespace natix::xml

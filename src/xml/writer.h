@@ -1,0 +1,28 @@
+#ifndef NATIX_XML_WRITER_H_
+#define NATIX_XML_WRITER_H_
+
+#include <string>
+
+#include "base/statusor.h"
+#include "storage/stored_node.h"
+
+namespace natix::xml {
+
+/// Serializes a stored node back to XML text:
+///  * elements as their full subtree (attributes, children),
+///  * the document node as the serialization of its children,
+///  * attributes as `name="value"`,
+///  * text content escaped, comments/PIs in their markup form.
+///
+/// Character data round-trips through EscapeText/EscapeAttribute; CDATA
+/// sections and entity references are not reconstructed (they were
+/// resolved at parse time).
+StatusOr<std::string> OuterXml(const storage::StoredNode& node);
+
+/// Serialization of the node's content only (for elements: children
+/// without the element tag itself).
+StatusOr<std::string> InnerXml(const storage::StoredNode& node);
+
+}  // namespace natix::xml
+
+#endif  // NATIX_XML_WRITER_H_

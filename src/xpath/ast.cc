@@ -1,0 +1,171 @@
+#include "xpath/ast.h"
+
+#include "base/xpath_number.h"
+
+namespace natix::xpath {
+
+const char* ExprTypeName(ExprType type) {
+  switch (type) {
+    case ExprType::kUnknown:
+      return "unknown";
+    case ExprType::kNodeSet:
+      return "node-set";
+    case ExprType::kBoolean:
+      return "boolean";
+    case ExprType::kNumber:
+      return "number";
+    case ExprType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr:
+      return "or";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "div";
+    case BinaryOp::kMod:
+      return "mod";
+  }
+  return "?";
+}
+
+std::string AstNodeTest::ToString() const {
+  switch (kind) {
+    case Kind::kName:
+      return name;
+    case Kind::kAnyName:
+      return "*";
+    case Kind::kText:
+      return "text()";
+    case Kind::kComment:
+      return "comment()";
+    case Kind::kPi:
+      return "processing-instruction()";
+    case Kind::kPiTarget:
+      return "processing-instruction('" + name + "')";
+    case Kind::kAnyKind:
+      return "node()";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string StepToString(const Step& step) {
+  std::string out = std::string(runtime::AxisName(step.axis)) +
+                    "::" + step.test.ToString();
+  for (const ExprPtr& p : step.predicates) out += "[" + p->ToString() + "]";
+  return out;
+}
+
+std::string StepsToString(const std::vector<Step>& steps, bool absolute) {
+  std::string out = absolute ? "/" : "";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) out += "/";
+    out += StepToString(steps[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kNumberLiteral:
+      return XPathNumberToString(number);
+    case ExprKind::kBooleanLiteral:
+      return boolean ? "true()" : "false()";
+    case ExprKind::kStringLiteral:
+      return "'" + string_value + "'";
+    case ExprKind::kVariable:
+      return "$" + name;
+    case ExprKind::kFunctionCall: {
+      std::string out = name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinaryOpName(op) + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kNegate:
+      return "-(" + children[0]->ToString() + ")";
+    case ExprKind::kUnion: {
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += " | ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kLocationPath:
+      return StepsToString(steps, absolute);
+    case ExprKind::kPathExpr:
+      return children[0]->ToString() + "/" + StepsToString(steps, false);
+    case ExprKind::kFilterExpr: {
+      std::string out = children[0]->ToString();
+      for (const ExprPtr& p : predicates) out += "[" + p->ToString() + "]";
+      return out;
+    }
+  }
+  return "?";
+}
+
+ExprPtr MakeExpr(ExprKind kind) { return std::make_unique<Expr>(kind); }
+
+ExprPtr CloneExpr(const Expr& e) {
+  ExprPtr out = MakeExpr(e.kind);
+  out->number = e.number;
+  out->boolean = e.boolean;
+  out->function_id = e.function_id;
+  out->string_value = e.string_value;
+  out->name = e.name;
+  out->op = e.op;
+  out->absolute = e.absolute;
+  out->type = e.type;
+  out->predicate_info = e.predicate_info;
+  for (const ExprPtr& child : e.children) {
+    out->children.push_back(CloneExpr(*child));
+  }
+  for (const ExprPtr& p : e.predicates) {
+    out->predicates.push_back(CloneExpr(*p));
+  }
+  for (const Step& step : e.steps) {
+    Step copy;
+    copy.axis = step.axis;
+    copy.test = step.test;
+    copy.predicate_info = step.predicate_info;
+    for (const ExprPtr& p : step.predicates) {
+      copy.predicates.push_back(CloneExpr(*p));
+    }
+    out->steps.push_back(std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace natix::xpath

@@ -1,0 +1,134 @@
+#ifndef NATIX_XPATH_AST_H_
+#define NATIX_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/node_ops.h"
+
+namespace natix::xpath {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// XPath 1.0 expression result types (Sec. 2.1 of the paper / Sec. 3.1 of
+/// the recommendation). Derived during semantic analysis.
+enum class ExprType : uint8_t {
+  kUnknown,
+  kNodeSet,
+  kBoolean,
+  kNumber,
+  kString
+};
+
+const char* ExprTypeName(ExprType type);
+
+enum class BinaryOp : uint8_t {
+  kOr,
+  kAnd,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+/// A node test as parsed (names still strings; resolved to dictionary ids
+/// at code generation time).
+struct AstNodeTest {
+  enum class Kind : uint8_t {
+    kName,      // QName (namespaces are not processed; names match
+                // literally, colons included)
+    kAnyName,   // *
+    kText,      // text()
+    kComment,   // comment()
+    kPi,        // processing-instruction()
+    kPiTarget,  // processing-instruction('target')
+    kAnyKind    // node()
+  };
+  Kind kind = Kind::kAnyKind;
+  std::string name;  // for kName / kPiTarget
+
+  std::string ToString() const;
+};
+
+struct PredicateInfo;
+
+/// One location step: axis, node test, predicates.
+struct Step {
+  runtime::Axis axis = runtime::Axis::kChild;
+  AstNodeTest test;
+  std::vector<ExprPtr> predicates;
+  /// Parallel to `predicates`; filled by the normalizer.
+  std::vector<PredicateInfo> predicate_info;
+};
+
+/// Expression node kinds. A single struct with a kind tag keeps the
+/// annotate-in-place compiler passes (normalize, sema, fold) simple.
+enum class ExprKind : uint8_t {
+  kNumberLiteral,
+  kStringLiteral,
+  kBooleanLiteral,  // introduced by constant folding of true()/false()
+  kVariable,      // $name
+  kFunctionCall,  // name(args...)
+  kBinary,        // op applied to children[0], children[1]
+  kNegate,        // unary minus on children[0]
+  kUnion,         // children[i] are the union branches (node-sets)
+  kLocationPath,  // steps, absolute or relative
+  kPathExpr,      // children[0] '/' steps  (general path expression)
+  kFilterExpr     // children[0] with predicates
+};
+
+/// Predicate classification computed by the normalizer (Sec. 3.3, 4.3).
+struct PredicateInfo {
+  bool uses_position = false;  // contains position()
+  bool uses_last = false;      // contains last()
+  bool has_nested_path = false;
+  bool expensive = false;      // cost model classification (Sec. 4.3.2)
+};
+
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+
+  ExprKind kind;
+
+  // -- kind-specific payload ----------------------------------------------
+  double number = 0;                   // kNumberLiteral
+  bool boolean = false;                // kBooleanLiteral
+  std::string string_value;            // kStringLiteral
+  std::string name;                    // kVariable / kFunctionCall
+  BinaryOp op = BinaryOp::kOr;         // kBinary
+  std::vector<ExprPtr> children;       // operands / arguments / branches
+  bool absolute = false;               // kLocationPath
+  std::vector<Step> steps;             // kLocationPath / kPathExpr
+  std::vector<ExprPtr> predicates;     // kFilterExpr
+  std::vector<PredicateInfo> predicate_info;  // parallel to `predicates`
+  // -- annotations ----------------------------------------------------------
+  ExprType type = ExprType::kUnknown;  // set by semantic analysis
+  /// Resolved function id (kFunctionCall only), set by semantic analysis.
+  /// Stored as int to avoid a header cycle with functions.h; cast to
+  /// FunctionId. -1 while unresolved.
+  int function_id = -1;
+
+  /// Grammar-faithful rendering, used by tests and -explain output.
+  std::string ToString() const;
+};
+
+ExprPtr MakeExpr(ExprKind kind);
+
+/// Deep copy (used by the constant folder and translator when expanding
+/// syntactic sugar).
+ExprPtr CloneExpr(const Expr& e);
+
+}  // namespace natix::xpath
+
+#endif  // NATIX_XPATH_AST_H_

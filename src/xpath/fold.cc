@@ -1,0 +1,229 @@
+#include "xpath/fold.h"
+
+#include <cmath>
+#include <optional>
+
+#include "base/strings.h"
+#include "base/xpath_number.h"
+#include "xpath/functions.h"
+
+namespace natix::xpath {
+
+namespace {
+
+bool IsLiteral(const Expr& e) {
+  return e.kind == ExprKind::kNumberLiteral ||
+         e.kind == ExprKind::kStringLiteral ||
+         e.kind == ExprKind::kBooleanLiteral;
+}
+
+ExprPtr NumberLit(double v) {
+  ExprPtr e = MakeExpr(ExprKind::kNumberLiteral);
+  e->number = v;
+  e->type = ExprType::kNumber;
+  return e;
+}
+
+ExprPtr StringLit(std::string v) {
+  ExprPtr e = MakeExpr(ExprKind::kStringLiteral);
+  e->string_value = std::move(v);
+  e->type = ExprType::kString;
+  return e;
+}
+
+ExprPtr BoolLit(bool v) {
+  ExprPtr e = MakeExpr(ExprKind::kBooleanLiteral);
+  e->boolean = v;
+  e->type = ExprType::kBoolean;
+  return e;
+}
+
+double LitToNumber(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kNumberLiteral:
+      return e.number;
+    case ExprKind::kBooleanLiteral:
+      return e.boolean ? 1.0 : 0.0;
+    default:
+      return StringToXPathNumber(e.string_value);
+  }
+}
+
+std::string LitToString(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kNumberLiteral:
+      return XPathNumberToString(e.number);
+    case ExprKind::kBooleanLiteral:
+      return e.boolean ? "true" : "false";
+    default:
+      return e.string_value;
+  }
+}
+
+bool LitToBoolean(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kNumberLiteral:
+      return e.number != 0 && !std::isnan(e.number);
+    case ExprKind::kBooleanLiteral:
+      return e.boolean;
+    default:
+      return !e.string_value.empty();
+  }
+}
+
+std::optional<ExprPtr> FoldBinary(const Expr& e) {
+  const Expr& a = *e.children[0];
+  const Expr& b = *e.children[1];
+  switch (e.op) {
+    case BinaryOp::kOr:
+      // One true literal suffices (the other operand is pure: XPath has
+      // no side effects, so short-circuit folding is safe).
+      if (IsLiteral(a) && LitToBoolean(a)) return BoolLit(true);
+      if (IsLiteral(b) && LitToBoolean(b) && IsLiteral(a)) {
+        return BoolLit(true);
+      }
+      if (IsLiteral(a) && IsLiteral(b)) {
+        return BoolLit(LitToBoolean(a) || LitToBoolean(b));
+      }
+      return std::nullopt;
+    case BinaryOp::kAnd:
+      if (IsLiteral(a) && !LitToBoolean(a)) return BoolLit(false);
+      if (IsLiteral(a) && IsLiteral(b)) {
+        return BoolLit(LitToBoolean(a) && LitToBoolean(b));
+      }
+      return std::nullopt;
+    default:
+      break;
+  }
+  if (!IsLiteral(a) || !IsLiteral(b)) return std::nullopt;
+  switch (e.op) {
+    case BinaryOp::kAdd:
+      return NumberLit(LitToNumber(a) + LitToNumber(b));
+    case BinaryOp::kSub:
+      return NumberLit(LitToNumber(a) - LitToNumber(b));
+    case BinaryOp::kMul:
+      return NumberLit(LitToNumber(a) * LitToNumber(b));
+    case BinaryOp::kDiv:
+      return NumberLit(LitToNumber(a) / LitToNumber(b));
+    case BinaryOp::kMod:
+      return NumberLit(std::fmod(LitToNumber(a), LitToNumber(b)));
+    case BinaryOp::kEq:
+    case BinaryOp::kNe: {
+      bool eq;
+      if (a.kind == ExprKind::kBooleanLiteral ||
+          b.kind == ExprKind::kBooleanLiteral) {
+        eq = LitToBoolean(a) == LitToBoolean(b);
+      } else if (a.kind == ExprKind::kNumberLiteral ||
+                 b.kind == ExprKind::kNumberLiteral) {
+        eq = LitToNumber(a) == LitToNumber(b);
+      } else {
+        eq = LitToString(a) == LitToString(b);
+      }
+      return BoolLit(e.op == BinaryOp::kEq ? eq : !eq);
+    }
+    case BinaryOp::kLt:
+      return BoolLit(LitToNumber(a) < LitToNumber(b));
+    case BinaryOp::kLe:
+      return BoolLit(LitToNumber(a) <= LitToNumber(b));
+    case BinaryOp::kGt:
+      return BoolLit(LitToNumber(a) > LitToNumber(b));
+    case BinaryOp::kGe:
+      return BoolLit(LitToNumber(a) >= LitToNumber(b));
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<ExprPtr> FoldCall(const Expr& e) {
+  auto id = static_cast<FunctionId>(e.function_id);
+  if (id == FunctionId::kTrue) return BoolLit(true);
+  if (id == FunctionId::kFalse) return BoolLit(false);
+  for (const ExprPtr& arg : e.children) {
+    if (!IsLiteral(*arg)) return std::nullopt;
+  }
+  auto arg = [&](size_t i) -> const Expr& { return *e.children[i]; };
+  switch (id) {
+    case FunctionId::kString:
+      return StringLit(LitToString(arg(0)));
+    case FunctionId::kNumber:
+      return NumberLit(LitToNumber(arg(0)));
+    case FunctionId::kBoolean:
+      return BoolLit(LitToBoolean(arg(0)));
+    case FunctionId::kNot:
+      return BoolLit(!LitToBoolean(arg(0)));
+    case FunctionId::kConcat: {
+      std::string out;
+      for (const ExprPtr& a : e.children) out += LitToString(*a);
+      return StringLit(std::move(out));
+    }
+    case FunctionId::kStartsWith:
+      return BoolLit(StartsWith(LitToString(arg(0)), LitToString(arg(1))));
+    case FunctionId::kContains:
+      return BoolLit(Contains(LitToString(arg(0)), LitToString(arg(1))));
+    case FunctionId::kSubstringBefore:
+      return StringLit(
+          SubstringBefore(LitToString(arg(0)), LitToString(arg(1))));
+    case FunctionId::kSubstringAfter:
+      return StringLit(
+          SubstringAfter(LitToString(arg(0)), LitToString(arg(1))));
+    case FunctionId::kStringLength:
+      return NumberLit(static_cast<double>(Utf8Length(LitToString(arg(0)))));
+    case FunctionId::kNormalizeSpace:
+      return StringLit(NormalizeSpace(LitToString(arg(0))));
+    case FunctionId::kTranslate:
+      return StringLit(TranslateChars(LitToString(arg(0)),
+                                      LitToString(arg(1)),
+                                      LitToString(arg(2))));
+    case FunctionId::kFloor:
+      return NumberLit(std::floor(LitToNumber(arg(0))));
+    case FunctionId::kCeiling:
+      return NumberLit(std::ceil(LitToNumber(arg(0))));
+    case FunctionId::kRound:
+      return NumberLit(XPathRound(LitToNumber(arg(0))));
+    default:
+      // substring() (float index edge cases live in one place: the NVM),
+      // positional, node-set and context-dependent functions stay.
+      return std::nullopt;
+  }
+}
+
+void FoldExpr(ExprPtr* slot) {
+  Expr* e = slot->get();
+  for (ExprPtr& child : e->children) FoldExpr(&child);
+  for (ExprPtr& p : e->predicates) FoldExpr(&p);
+  for (Step& step : e->steps) {
+    for (ExprPtr& p : step.predicates) FoldExpr(&p);
+  }
+  switch (e->kind) {
+    case ExprKind::kNegate:
+      if (IsLiteral(*e->children[0])) {
+        *slot = NumberLit(-LitToNumber(*e->children[0]));
+      }
+      return;
+    case ExprKind::kBinary: {
+      auto folded = FoldBinary(*e);
+      if (folded.has_value()) *slot = std::move(*folded);
+      return;
+    }
+    case ExprKind::kFunctionCall: {
+      auto folded = FoldCall(*e);
+      if (folded.has_value()) *slot = std::move(*folded);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+void FoldConstants(Expr* root) {
+  // The root Expr is held by the caller, not an ExprPtr slot we can
+  // replace; wrap the recursion so only children fold in place, and
+  // emulate a top-level fold by copying the folded child back.
+  ExprPtr holder = CloneExpr(*root);
+  FoldExpr(&holder);
+  *root = std::move(*holder);
+}
+
+}  // namespace natix::xpath

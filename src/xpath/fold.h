@@ -1,0 +1,17 @@
+#ifndef NATIX_XPATH_FOLD_H_
+#define NATIX_XPATH_FOLD_H_
+
+#include "xpath/ast.h"
+
+namespace natix::xpath {
+
+/// Constant folding (the "Rewrite" step 4 of the compiler pipeline,
+/// Sec. 5.1): evaluates operators and pure core functions whose operands
+/// are literals at compile time, bottom-up. true() and false() fold to
+/// boolean literals. Expressions involving the context (paths,
+/// position(), last()), variables, or id() are left untouched.
+void FoldConstants(Expr* root);
+
+}  // namespace natix::xpath
+
+#endif  // NATIX_XPATH_FOLD_H_

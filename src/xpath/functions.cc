@@ -1,0 +1,74 @@
+#include "xpath/functions.h"
+
+#include "base/logging.h"
+
+namespace natix::xpath {
+
+namespace {
+
+constexpr FunctionInfo kFunctions[] = {
+    // id, name, min, max, result type, node-set input
+    {FunctionId::kLast, "last", 0, 0, ExprType::kNumber, false},
+    {FunctionId::kPosition, "position", 0, 0, ExprType::kNumber, false},
+    {FunctionId::kCount, "count", 1, 1, ExprType::kNumber, true},
+    {FunctionId::kId, "id", 1, 1, ExprType::kNodeSet, false},
+    {FunctionId::kLocalName, "local-name", 0, 1, ExprType::kString, true},
+    {FunctionId::kNamespaceUri, "namespace-uri", 0, 1, ExprType::kString,
+     true},
+    {FunctionId::kName, "name", 0, 1, ExprType::kString, true},
+    {FunctionId::kString, "string", 0, 1, ExprType::kString, false},
+    {FunctionId::kConcat, "concat", 2, -1, ExprType::kString, false},
+    {FunctionId::kStartsWith, "starts-with", 2, 2, ExprType::kBoolean,
+     false},
+    {FunctionId::kContains, "contains", 2, 2, ExprType::kBoolean, false},
+    {FunctionId::kSubstringBefore, "substring-before", 2, 2,
+     ExprType::kString, false},
+    {FunctionId::kSubstringAfter, "substring-after", 2, 2, ExprType::kString,
+     false},
+    {FunctionId::kSubstring, "substring", 2, 3, ExprType::kString, false},
+    {FunctionId::kStringLength, "string-length", 0, 1, ExprType::kNumber,
+     false},
+    {FunctionId::kNormalizeSpace, "normalize-space", 0, 1, ExprType::kString,
+     false},
+    {FunctionId::kTranslate, "translate", 3, 3, ExprType::kString, false},
+    {FunctionId::kBoolean, "boolean", 1, 1, ExprType::kBoolean, false},
+    {FunctionId::kNot, "not", 1, 1, ExprType::kBoolean, false},
+    {FunctionId::kTrue, "true", 0, 0, ExprType::kBoolean, false},
+    {FunctionId::kFalse, "false", 0, 0, ExprType::kBoolean, false},
+    {FunctionId::kLang, "lang", 1, 1, ExprType::kBoolean, false},
+    {FunctionId::kNumber, "number", 0, 1, ExprType::kNumber, false},
+    {FunctionId::kSum, "sum", 1, 1, ExprType::kNumber, true},
+    {FunctionId::kFloor, "floor", 1, 1, ExprType::kNumber, false},
+    {FunctionId::kCeiling, "ceiling", 1, 1, ExprType::kNumber, false},
+    {FunctionId::kRound, "round", 1, 1, ExprType::kNumber, false},
+};
+
+constexpr FunctionInfo kInternal[] = {
+    {FunctionId::kExistsInternal, "exists*", 1, 1, ExprType::kBoolean, true},
+    {FunctionId::kMaxInternal, "max*", 1, 1, ExprType::kNumber, true},
+    {FunctionId::kMinInternal, "min*", 1, 1, ExprType::kNumber, true},
+    {FunctionId::kRootInternal, "root*", 1, 1, ExprType::kNodeSet, false},
+};
+
+}  // namespace
+
+const FunctionInfo* LookupFunction(std::string_view name) {
+  for (const FunctionInfo& info : kFunctions) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+const FunctionInfo& FunctionInfoFor(FunctionId id) {
+  for (const FunctionInfo& info : kFunctions) {
+    if (info.id == id) return info;
+  }
+  for (const FunctionInfo& info : kInternal) {
+    if (info.id == id) return info;
+  }
+  NATIX_CHECK(false);
+  static FunctionInfo unknown;
+  return unknown;
+}
+
+}  // namespace natix::xpath

@@ -1,0 +1,77 @@
+#ifndef NATIX_XPATH_FUNCTIONS_H_
+#define NATIX_XPATH_FUNCTIONS_H_
+
+#include <string_view>
+
+#include "xpath/ast.h"
+
+namespace natix::xpath {
+
+/// The XPath 1.0 core function library (recommendation Sec. 4), plus the
+/// internal functions the compiler introduces: conversions inserted by
+/// semantic analysis and the aggregate functions of Sec. 3.6.2 of the
+/// paper (exists, max, min).
+enum class FunctionId : uint8_t {
+  // Node-set functions.
+  kLast,
+  kPosition,
+  kCount,
+  kId,
+  kLocalName,
+  kNamespaceUri,
+  kName,
+  // String functions.
+  kString,
+  kConcat,
+  kStartsWith,
+  kContains,
+  kSubstringBefore,
+  kSubstringAfter,
+  kSubstring,
+  kStringLength,
+  kNormalizeSpace,
+  kTranslate,
+  // Boolean functions.
+  kBoolean,
+  kNot,
+  kTrue,
+  kFalse,
+  kLang,
+  // Number functions.
+  kNumber,
+  kSum,
+  kFloor,
+  kCeiling,
+  kRound,
+  // Internal aggregates (not user-callable; Sec. 3.6.2).
+  kExistsInternal,
+  kMaxInternal,
+  kMinInternal,
+  /// Internal: root(node) — the document node of a node's document, used
+  /// for absolute paths (Sec. 3.1.2).
+  kRootInternal,
+
+  kUnknown
+};
+
+struct FunctionInfo {
+  FunctionId id = FunctionId::kUnknown;
+  const char* name = "";
+  int min_args = 0;
+  int max_args = 0;  // -1 = unbounded (concat)
+  ExprType result_type = ExprType::kUnknown;
+  /// Index of the first argument that must stay a node set (no implicit
+  /// conversion), or -1. count/sum/id take node-set input.
+  bool node_set_input = false;
+};
+
+/// Looks up a core-library function by name; nullptr when unknown.
+/// Internal functions are not found by name.
+const FunctionInfo* LookupFunction(std::string_view name);
+
+/// Metadata for any id, including internal functions.
+const FunctionInfo& FunctionInfoFor(FunctionId id);
+
+}  // namespace natix::xpath
+
+#endif  // NATIX_XPATH_FUNCTIONS_H_

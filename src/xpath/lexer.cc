@@ -1,0 +1,215 @@
+#include "xpath/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace natix::xpath {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+// NCName chars plus ':' (QNames are kept as single literal names; this
+// build performs no namespace processing).
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.' || c == ':';
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+Status LexError(size_t pos, std::string_view message) {
+  return Status::InvalidArgument("XPath lex error at offset " +
+                                 std::to_string(pos) + ": " +
+                                 std::string(message));
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, size_t pos, std::string text = "",
+                  double number = 0) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.number = number;
+    t.position = pos;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    size_t pos = i;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, pos);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, pos);
+        ++i;
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, pos);
+        ++i;
+        continue;
+      case ']':
+        push(TokenKind::kRBracket, pos);
+        ++i;
+        continue;
+      case '@':
+        push(TokenKind::kAt, pos);
+        ++i;
+        continue;
+      case ',':
+        push(TokenKind::kComma, pos);
+        ++i;
+        continue;
+      case '|':
+        push(TokenKind::kPipe, pos);
+        ++i;
+        continue;
+      case '+':
+        push(TokenKind::kPlus, pos);
+        ++i;
+        continue;
+      case '-':
+        // '-' inside a name is consumed by the name scanner below; a
+        // freestanding '-' is the minus operator.
+        push(TokenKind::kMinus, pos);
+        ++i;
+        continue;
+      case '*':
+        push(TokenKind::kStar, pos);
+        ++i;
+        continue;
+      case '=':
+        push(TokenKind::kEq, pos);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kNe, pos);
+          i += 2;
+          continue;
+        }
+        return LexError(pos, "'!' is only valid as part of '!='");
+      case '<':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kLe, pos);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, pos);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kGe, pos);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, pos);
+          ++i;
+        }
+        continue;
+      case '/':
+        if (i + 1 < input.size() && input[i + 1] == '/') {
+          push(TokenKind::kDoubleSlash, pos);
+          i += 2;
+        } else {
+          push(TokenKind::kSlash, pos);
+          ++i;
+        }
+        continue;
+      case ':':
+        if (i + 1 < input.size() && input[i + 1] == ':') {
+          push(TokenKind::kDoubleColon, pos);
+          i += 2;
+          continue;
+        }
+        return LexError(pos, "unexpected ':'");
+      case '.':
+        if (i + 1 < input.size() && input[i + 1] == '.') {
+          push(TokenKind::kDotDot, pos);
+          i += 2;
+          continue;
+        }
+        if (i + 1 < input.size() && IsDigit(input[i + 1])) {
+          break;  // ".5" style number, handled below
+        }
+        push(TokenKind::kDot, pos);
+        ++i;
+        continue;
+      case '$': {
+        ++i;
+        if (i >= input.size() || !IsNameStart(input[i])) {
+          return LexError(pos, "expected variable name after '$'");
+        }
+        size_t begin = i;
+        while (i < input.size() && IsNameChar(input[i])) ++i;
+        push(TokenKind::kVariable, pos,
+             std::string(input.substr(begin, i - begin)));
+        continue;
+      }
+      case '\'':
+      case '"': {
+        char quote = c;
+        ++i;
+        size_t begin = i;
+        while (i < input.size() && input[i] != quote) ++i;
+        if (i >= input.size()) return LexError(pos, "unterminated literal");
+        push(TokenKind::kLiteral, pos,
+             std::string(input.substr(begin, i - begin)));
+        ++i;
+        continue;
+      }
+      default:
+        break;
+    }
+
+    if (IsDigit(c) || c == '.') {
+      size_t begin = i;
+      while (i < input.size() && IsDigit(input[i])) ++i;
+      if (i < input.size() && input[i] == '.') {
+        ++i;
+        while (i < input.size() && IsDigit(input[i])) ++i;
+      }
+      std::string text(input.substr(begin, i - begin));
+      push(TokenKind::kNumber, pos, text, std::strtod(text.c_str(), nullptr));
+      continue;
+    }
+    if (IsNameStart(c)) {
+      size_t begin = i;
+      while (i < input.size() && IsNameChar(input[i])) {
+        // Stop before "::" (axis separator) and ":*" so "axis::test" and
+        // "prefix:*" lex as separate tokens. A single ':' inside a QName
+        // is kept (no namespace processing; names match literally).
+        if (input[i] == ':' && i + 1 < input.size() &&
+            (input[i + 1] == ':' || input[i + 1] == '*')) {
+          break;
+        }
+        ++i;
+      }
+      // A name also must not end in ':'.
+      size_t end = i;
+      while (end > begin && input[end - 1] == ':') --end;
+      i = end;
+      push(TokenKind::kName, pos, std::string(input.substr(begin, end - begin)));
+      continue;
+    }
+    return LexError(pos, std::string("unexpected character '") + c + "'");
+  }
+  push(TokenKind::kEnd, input.size());
+  return tokens;
+}
+
+}  // namespace natix::xpath

@@ -1,0 +1,57 @@
+#ifndef NATIX_XPATH_LEXER_H_
+#define NATIX_XPATH_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "base/statusor.h"
+
+namespace natix::xpath {
+
+enum class TokenKind : uint8_t {
+  kEnd,
+  kName,        // NCName (possibly containing ':'), before disambiguation
+  kNumber,
+  kLiteral,     // 'string' or "string"
+  kVariable,    // $name
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kDot,
+  kDotDot,
+  kAt,
+  kComma,
+  kDoubleColon,
+  kSlash,
+  kDoubleSlash,
+  kPipe,
+  kPlus,
+  kMinus,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kStar         // '*': name test or multiply, resolved by the parser
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // name / literal content
+  double number = 0;  // kNumber
+  size_t position = 0;  // byte offset in the query, for error messages
+};
+
+/// Tokenizes an XPath 1.0 expression. The '*'-vs-multiply and
+/// operator-name ("and", "or", "div", "mod") ambiguities are resolved by
+/// the parser using the previous-token rule of the recommendation
+/// (Sec. 3.7); the lexer reports both simply as kStar / kName.
+StatusOr<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace natix::xpath
+
+#endif  // NATIX_XPATH_LEXER_H_

@@ -1,0 +1,125 @@
+#include "xpath/normalizer.h"
+
+#include "xpath/functions.h"
+
+namespace natix::xpath {
+
+namespace {
+
+/// Scans for position()/last() calls belonging to *this* predicate's
+/// context: the traversal does not descend into nested predicates (they
+/// have their own context position/size), but does descend into function
+/// arguments and operators.
+void ScanPositional(const Expr& e, bool* uses_position, bool* uses_last) {
+  switch (e.kind) {
+    case ExprKind::kFunctionCall: {
+      auto id = static_cast<FunctionId>(e.function_id);
+      if (id == FunctionId::kPosition) *uses_position = true;
+      if (id == FunctionId::kLast) *uses_last = true;
+      for (const ExprPtr& arg : e.children) {
+        ScanPositional(*arg, uses_position, uses_last);
+      }
+      return;
+    }
+    case ExprKind::kBinary:
+    case ExprKind::kNegate:
+    case ExprKind::kUnion:
+      for (const ExprPtr& child : e.children) {
+        ScanPositional(*child, uses_position, uses_last);
+      }
+      return;
+    case ExprKind::kLocationPath:
+    case ExprKind::kPathExpr:
+    case ExprKind::kFilterExpr:
+      // Steps' and filters' own predicates have their own context; the
+      // base of a path/filter expression could only be another node-set
+      // expression, which cannot contain free position()/last() either
+      // (they would belong to ITS predicates). Nothing to scan.
+      return;
+    default:
+      return;
+  }
+}
+
+/// True when the subtree contains any location path (descends everywhere).
+bool ContainsPath(const Expr& e) {
+  if (e.kind == ExprKind::kLocationPath || e.kind == ExprKind::kPathExpr) {
+    return true;
+  }
+  for (const ExprPtr& child : e.children) {
+    if (ContainsPath(*child)) return true;
+  }
+  for (const ExprPtr& p : e.predicates) {
+    if (ContainsPath(*p)) return true;
+  }
+  return false;
+}
+
+/// Cost model of Sec. 4.3.2 (instruction count, simplified): a nested
+/// path is cheap when every step stays local to the context node
+/// (attribute / self axes, no nested predicates) — such paths evaluate in
+/// a handful of navigation instructions, like "@id='3'". Anything that
+/// walks children or further is expensive.
+bool ContainsExpensivePath(const Expr& e) {
+  if (e.kind == ExprKind::kLocationPath || e.kind == ExprKind::kPathExpr) {
+    if (e.kind == ExprKind::kPathExpr || e.absolute) return true;
+    for (const Step& step : e.steps) {
+      if (step.axis != runtime::Axis::kAttribute &&
+          step.axis != runtime::Axis::kSelf) {
+        return true;
+      }
+      if (!step.predicates.empty()) return true;
+    }
+    // Fall through: a local path; still scan its (empty) children.
+  }
+  for (const ExprPtr& child : e.children) {
+    if (ContainsExpensivePath(*child)) return true;
+  }
+  for (const ExprPtr& p : e.predicates) {
+    if (ContainsExpensivePath(*p)) return true;
+  }
+  return false;
+}
+
+void NormalizeExpr(Expr* e);
+
+void NormalizeSteps(std::vector<Step>* steps) {
+  for (Step& step : *steps) {
+    step.predicate_info.clear();
+    for (ExprPtr& predicate : step.predicates) {
+      NormalizeExpr(predicate.get());
+      step.predicate_info.push_back(AnalyzePredicate(*predicate));
+    }
+  }
+}
+
+void NormalizeExpr(Expr* e) {
+  for (ExprPtr& child : e->children) NormalizeExpr(child.get());
+  NormalizeSteps(&e->steps);
+  if (e->kind == ExprKind::kFilterExpr) {
+    e->predicate_info.clear();
+    for (ExprPtr& predicate : e->predicates) {
+      NormalizeExpr(predicate.get());
+      e->predicate_info.push_back(AnalyzePredicate(*predicate));
+    }
+  }
+}
+
+}  // namespace
+
+PredicateInfo AnalyzePredicate(const Expr& predicate) {
+  PredicateInfo info;
+  ScanPositional(predicate, &info.uses_position, &info.uses_last);
+  // last() implies the position counter as well (Tmp^cs consumes cp).
+  if (info.uses_last) info.uses_position = true;
+  info.has_nested_path = ContainsPath(predicate);
+  // Simple instruction-count cost model (Sec. 4.3.2): a clause is
+  // expensive when it must evaluate a non-local nested path (one that
+  // leaves the context node); attribute tests like @id='3' stay cheap.
+  info.expensive = ContainsExpensivePath(predicate);
+  return info;
+}
+
+void Normalize(Expr* root) { NormalizeExpr(root); }
+
+}  // namespace natix::xpath

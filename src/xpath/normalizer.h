@@ -1,0 +1,29 @@
+#ifndef NATIX_XPATH_NORMALIZER_H_
+#define NATIX_XPATH_NORMALIZER_H_
+
+#include "xpath/ast.h"
+
+namespace natix::xpath {
+
+/// Normalization (step 2 of the compiler pipeline, Sec. 5.1): classifies
+/// every predicate of every location step and filter expression
+/// (Sec. 3.3 / 4.3):
+///
+///  * does it call position()? last()? (not counting calls belonging to
+///    nested predicate contexts),
+///  * does it contain a nested location path,
+///  * is it cheap or expensive to evaluate (the simple instruction-count
+///    cost model of Sec. 4.3.2: a clause is expensive when it must
+///    evaluate a nested path).
+///
+/// The results are stored in the predicate_info vectors, parallel to the
+/// predicate lists. Run after semantic analysis (the position() rewrite
+/// for number predicates must have happened).
+void Normalize(Expr* root);
+
+/// Classification of a single predicate (or conjunct thereof).
+PredicateInfo AnalyzePredicate(const Expr& predicate);
+
+}  // namespace natix::xpath
+
+#endif  // NATIX_XPATH_NORMALIZER_H_

@@ -1,0 +1,439 @@
+#include "xpath/parser.h"
+
+#include <optional>
+#include <utility>
+
+#include "xpath/lexer.h"
+
+namespace natix::xpath {
+
+namespace {
+
+using runtime::Axis;
+
+std::optional<Axis> LookupAxis(std::string_view name) {
+  // Standard names plus the abbreviations the paper uses in Fig. 5.
+  if (name == "child") return Axis::kChild;
+  if (name == "descendant" || name == "desc") return Axis::kDescendant;
+  if (name == "descendant-or-self" || name == "desc-or-self") {
+    return Axis::kDescendantOrSelf;
+  }
+  if (name == "parent" || name == "par") return Axis::kParent;
+  if (name == "ancestor" || name == "anc") return Axis::kAncestor;
+  if (name == "ancestor-or-self" || name == "anc-or-self") {
+    return Axis::kAncestorOrSelf;
+  }
+  if (name == "following" || name == "fol") return Axis::kFollowing;
+  if (name == "following-sibling" || name == "fol-sib") {
+    return Axis::kFollowingSibling;
+  }
+  if (name == "preceding" || name == "pre") return Axis::kPreceding;
+  if (name == "preceding-sibling" || name == "pre-sib") {
+    return Axis::kPrecedingSibling;
+  }
+  if (name == "attribute" || name == "attr") return Axis::kAttribute;
+  if (name == "self") return Axis::kSelf;
+  return std::nullopt;
+}
+
+bool IsNodeTypeName(std::string_view name) {
+  return name == "node" || name == "text" || name == "comment" ||
+         name == "processing-instruction";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<ExprPtr> Parse() {
+    NATIX_ASSIGN_OR_RETURN(ExprPtr expr, ParseOrExpr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenKind kind, std::string_view what) {
+    if (!Accept(kind)) return Error(std::string("expected ") + what.data());
+    return Status::OK();
+  }
+  Status Error(std::string_view message) const {
+    return Status::InvalidArgument(
+        "XPath parse error at offset " + std::to_string(Peek().position) +
+        ": " + std::string(message));
+  }
+
+  /// True when the next token is the operator name `op` at an operator
+  /// position (XPath 3.7 disambiguation: we only call this where a binary
+  /// operator is expected).
+  bool AcceptOperatorName(std::string_view op) {
+    if (Peek().kind == TokenKind::kName && Peek().text == op) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+    ExprPtr e = MakeExpr(ExprKind::kBinary);
+    e->op = op;
+    e->children.push_back(std::move(lhs));
+    e->children.push_back(std::move(rhs));
+    return e;
+  }
+
+  StatusOr<ExprPtr> ParseOrExpr() {
+    NATIX_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAndExpr());
+    while (AcceptOperatorName("or")) {
+      NATIX_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAndExpr());
+      lhs = Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseAndExpr() {
+    NATIX_ASSIGN_OR_RETURN(ExprPtr lhs, ParseEqualityExpr());
+    while (AcceptOperatorName("and")) {
+      NATIX_ASSIGN_OR_RETURN(ExprPtr rhs, ParseEqualityExpr());
+      lhs = Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseEqualityExpr() {
+    NATIX_ASSIGN_OR_RETURN(ExprPtr lhs, ParseRelationalExpr());
+    while (true) {
+      BinaryOp op;
+      if (Accept(TokenKind::kEq)) {
+        op = BinaryOp::kEq;
+      } else if (Accept(TokenKind::kNe)) {
+        op = BinaryOp::kNe;
+      } else {
+        return lhs;
+      }
+      NATIX_ASSIGN_OR_RETURN(ExprPtr rhs, ParseRelationalExpr());
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  StatusOr<ExprPtr> ParseRelationalExpr() {
+    NATIX_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditiveExpr());
+    while (true) {
+      BinaryOp op;
+      if (Accept(TokenKind::kLt)) {
+        op = BinaryOp::kLt;
+      } else if (Accept(TokenKind::kLe)) {
+        op = BinaryOp::kLe;
+      } else if (Accept(TokenKind::kGt)) {
+        op = BinaryOp::kGt;
+      } else if (Accept(TokenKind::kGe)) {
+        op = BinaryOp::kGe;
+      } else {
+        return lhs;
+      }
+      NATIX_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditiveExpr());
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  StatusOr<ExprPtr> ParseAdditiveExpr() {
+    NATIX_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicativeExpr());
+    while (true) {
+      BinaryOp op;
+      if (Accept(TokenKind::kPlus)) {
+        op = BinaryOp::kAdd;
+      } else if (Accept(TokenKind::kMinus)) {
+        op = BinaryOp::kSub;
+      } else {
+        return lhs;
+      }
+      NATIX_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicativeExpr());
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  StatusOr<ExprPtr> ParseMultiplicativeExpr() {
+    NATIX_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnaryExpr());
+    while (true) {
+      BinaryOp op;
+      if (Accept(TokenKind::kStar)) {
+        op = BinaryOp::kMul;
+      } else if (AcceptOperatorName("div")) {
+        op = BinaryOp::kDiv;
+      } else if (AcceptOperatorName("mod")) {
+        op = BinaryOp::kMod;
+      } else {
+        return lhs;
+      }
+      NATIX_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnaryExpr());
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  StatusOr<ExprPtr> ParseUnaryExpr() {
+    if (Accept(TokenKind::kMinus)) {
+      NATIX_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnaryExpr());
+      ExprPtr e = MakeExpr(ExprKind::kNegate);
+      e->children.push_back(std::move(operand));
+      return e;
+    }
+    return ParseUnionExpr();
+  }
+
+  StatusOr<ExprPtr> ParseUnionExpr() {
+    NATIX_ASSIGN_OR_RETURN(ExprPtr first, ParsePathExpr());
+    if (Peek().kind != TokenKind::kPipe) return first;
+    ExprPtr u = MakeExpr(ExprKind::kUnion);
+    u->children.push_back(std::move(first));
+    while (Accept(TokenKind::kPipe)) {
+      NATIX_ASSIGN_OR_RETURN(ExprPtr next, ParsePathExpr());
+      u->children.push_back(std::move(next));
+    }
+    return u;
+  }
+
+  /// Whether the upcoming tokens start a FilterExpr (primary expression)
+  /// rather than a location path.
+  bool StartsFilterExpr() const {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kVariable:
+      case TokenKind::kLParen:
+      case TokenKind::kLiteral:
+      case TokenKind::kNumber:
+        return true;
+      case TokenKind::kName:
+        // FunctionName '(' — but node-type names are node tests.
+        return Peek(1).kind == TokenKind::kLParen && !IsNodeTypeName(t.text) &&
+               !LookupAxis(t.text).has_value();
+      default:
+        return false;
+    }
+  }
+
+  StatusOr<ExprPtr> ParsePathExpr() {
+    if (!StartsFilterExpr()) return ParseLocationPath();
+
+    NATIX_ASSIGN_OR_RETURN(ExprPtr primary, ParsePrimaryExpr());
+    // Predicates make it a filter expression.
+    if (Peek().kind == TokenKind::kLBracket) {
+      ExprPtr filter = MakeExpr(ExprKind::kFilterExpr);
+      filter->children.push_back(std::move(primary));
+      while (Accept(TokenKind::kLBracket)) {
+        NATIX_ASSIGN_OR_RETURN(ExprPtr predicate, ParseOrExpr());
+        NATIX_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+        filter->predicates.push_back(std::move(predicate));
+      }
+      primary = std::move(filter);
+    }
+    // Optional trailing relative path: e/π or e//π.
+    if (Peek().kind == TokenKind::kSlash ||
+        Peek().kind == TokenKind::kDoubleSlash) {
+      ExprPtr path = MakeExpr(ExprKind::kPathExpr);
+      path->children.push_back(std::move(primary));
+      if (Accept(TokenKind::kDoubleSlash)) {
+        path->steps.push_back(DescendantOrSelfStep());
+      } else {
+        NATIX_RETURN_IF_ERROR(Expect(TokenKind::kSlash, "'/'"));
+      }
+      NATIX_RETURN_IF_ERROR(ParseRelativePathInto(&path->steps));
+      return path;
+    }
+    return primary;
+  }
+
+  StatusOr<ExprPtr> ParsePrimaryExpr() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kVariable: {
+        ExprPtr e = MakeExpr(ExprKind::kVariable);
+        e->name = Advance().text;
+        return e;
+      }
+      case TokenKind::kLiteral: {
+        ExprPtr e = MakeExpr(ExprKind::kStringLiteral);
+        e->string_value = Advance().text;
+        return e;
+      }
+      case TokenKind::kNumber: {
+        ExprPtr e = MakeExpr(ExprKind::kNumberLiteral);
+        e->number = Advance().number;
+        return e;
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        NATIX_ASSIGN_OR_RETURN(ExprPtr e, ParseOrExpr());
+        NATIX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return e;
+      }
+      case TokenKind::kName: {
+        ExprPtr e = MakeExpr(ExprKind::kFunctionCall);
+        e->name = Advance().text;
+        NATIX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+        if (!Accept(TokenKind::kRParen)) {
+          do {
+            NATIX_ASSIGN_OR_RETURN(ExprPtr arg, ParseOrExpr());
+            e->children.push_back(std::move(arg));
+          } while (Accept(TokenKind::kComma));
+          NATIX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        }
+        return e;
+      }
+      default:
+        return Error("expected a primary expression");
+    }
+  }
+
+  static Step DescendantOrSelfStep() {
+    Step step;
+    step.axis = Axis::kDescendantOrSelf;
+    step.test.kind = AstNodeTest::Kind::kAnyKind;
+    return step;
+  }
+
+  StatusOr<ExprPtr> ParseLocationPath() {
+    ExprPtr path = MakeExpr(ExprKind::kLocationPath);
+    if (Accept(TokenKind::kDoubleSlash)) {
+      path->absolute = true;
+      path->steps.push_back(DescendantOrSelfStep());
+      NATIX_RETURN_IF_ERROR(ParseRelativePathInto(&path->steps));
+      return path;
+    }
+    if (Accept(TokenKind::kSlash)) {
+      path->absolute = true;
+      // "/" alone selects the document root.
+      if (!StartsStep()) return path;
+      NATIX_RETURN_IF_ERROR(ParseRelativePathInto(&path->steps));
+      return path;
+    }
+    NATIX_RETURN_IF_ERROR(ParseRelativePathInto(&path->steps));
+    return path;
+  }
+
+  bool StartsStep() const {
+    switch (Peek().kind) {
+      case TokenKind::kName:
+      case TokenKind::kStar:
+      case TokenKind::kAt:
+      case TokenKind::kDot:
+      case TokenKind::kDotDot:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Status ParseRelativePathInto(std::vector<Step>* steps) {
+    while (true) {
+      NATIX_ASSIGN_OR_RETURN(Step step, ParseStep());
+      steps->push_back(std::move(step));
+      if (Accept(TokenKind::kDoubleSlash)) {
+        steps->push_back(DescendantOrSelfStep());
+        continue;
+      }
+      if (Accept(TokenKind::kSlash)) continue;
+      return Status::OK();
+    }
+  }
+
+  StatusOr<Step> ParseStep() {
+    Step step;
+    if (Accept(TokenKind::kDot)) {
+      step.axis = Axis::kSelf;
+      step.test.kind = AstNodeTest::Kind::kAnyKind;
+      return step;
+    }
+    if (Accept(TokenKind::kDotDot)) {
+      step.axis = Axis::kParent;
+      step.test.kind = AstNodeTest::Kind::kAnyKind;
+      return step;
+    }
+    if (Accept(TokenKind::kAt)) {
+      step.axis = Axis::kAttribute;
+    } else if (Peek().kind == TokenKind::kName &&
+               Peek(1).kind == TokenKind::kDoubleColon) {
+      const std::string& axis_name = Peek().text;
+      if (axis_name == "namespace") {
+        return Status::NotSupported(
+            "the namespace axis is not supported (namespace nodes are not "
+            "materialized)");
+      }
+      std::optional<Axis> axis = LookupAxis(axis_name);
+      if (!axis.has_value()) {
+        return Error("unknown axis '" + axis_name + "'");
+      }
+      step.axis = *axis;
+      Advance();  // axis name
+      Advance();  // '::'
+    } else {
+      step.axis = Axis::kChild;
+    }
+    NATIX_ASSIGN_OR_RETURN(step.test, ParseNodeTest());
+    while (Accept(TokenKind::kLBracket)) {
+      NATIX_ASSIGN_OR_RETURN(ExprPtr predicate, ParseOrExpr());
+      NATIX_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+      step.predicates.push_back(std::move(predicate));
+    }
+    return step;
+  }
+
+  StatusOr<AstNodeTest> ParseNodeTest() {
+    AstNodeTest test;
+    if (Accept(TokenKind::kStar)) {
+      test.kind = AstNodeTest::Kind::kAnyName;
+      return test;
+    }
+    if (Peek().kind != TokenKind::kName) {
+      return Error("expected a node test");
+    }
+    std::string name = Advance().text;
+    if (Peek().kind == TokenKind::kLParen && IsNodeTypeName(name)) {
+      Advance();  // '('
+      if (name == "node") {
+        test.kind = AstNodeTest::Kind::kAnyKind;
+      } else if (name == "text") {
+        test.kind = AstNodeTest::Kind::kText;
+      } else if (name == "comment") {
+        test.kind = AstNodeTest::Kind::kComment;
+      } else {  // processing-instruction, optional target literal
+        if (Peek().kind == TokenKind::kLiteral) {
+          test.kind = AstNodeTest::Kind::kPiTarget;
+          test.name = Advance().text;
+        } else {
+          test.kind = AstNodeTest::Kind::kPi;
+        }
+      }
+      NATIX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return test;
+    }
+    test.kind = AstNodeTest::Kind::kName;
+    test.name = std::move(name);
+    return test;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<ExprPtr> ParseXPath(std::string_view query) {
+  NATIX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace natix::xpath

@@ -1,0 +1,303 @@
+#include "xpath/sema.h"
+
+#include <utility>
+
+#include "xpath/functions.h"
+
+namespace natix::xpath {
+
+namespace {
+
+ExprPtr MakeSelfNodePath() {
+  ExprPtr path = MakeExpr(ExprKind::kLocationPath);
+  Step step;
+  step.axis = runtime::Axis::kSelf;
+  step.test.kind = AstNodeTest::Kind::kAnyKind;
+  path->steps.push_back(std::move(step));
+  path->type = ExprType::kNodeSet;
+  return path;
+}
+
+ExprPtr MakeResolvedCall(FunctionId id, ExprPtr arg) {
+  const FunctionInfo& info = FunctionInfoFor(id);
+  ExprPtr call = MakeExpr(ExprKind::kFunctionCall);
+  call->name = info.name;
+  call->function_id = static_cast<int>(id);
+  call->type = info.result_type;
+  call->children.push_back(std::move(arg));
+  return call;
+}
+
+class Analyzer {
+ public:
+  Status Run(Expr* root) { return AnalyzeExpr(root); }
+
+ private:
+  /// Wraps `*slot` in a conversion call so its static type becomes
+  /// `target` (one of string/number/boolean). No-op when already typed
+  /// so. Unknown-typed operands (variables) are wrapped too: the
+  /// conversion functions accept any runtime type.
+  void Convert(ExprPtr* slot, ExprType target) {
+    if ((*slot)->type == target) return;
+    FunctionId id;
+    switch (target) {
+      case ExprType::kString:
+        id = FunctionId::kString;
+        break;
+      case ExprType::kNumber:
+        id = FunctionId::kNumber;
+        break;
+      case ExprType::kBoolean:
+        id = FunctionId::kBoolean;
+        break;
+      default:
+        return;
+    }
+    *slot = MakeResolvedCall(id, std::move(*slot));
+  }
+
+  Status AnalyzePredicates(std::vector<ExprPtr>* predicates) {
+    for (ExprPtr& predicate : *predicates) {
+      NATIX_RETURN_IF_ERROR(AnalyzeExpr(predicate.get()));
+      if (predicate->type == ExprType::kNumber) {
+        // PredicateExpr of type number: true iff position() equals it.
+        ExprPtr position = MakeExpr(ExprKind::kFunctionCall);
+        position->name = "position";
+        position->function_id = static_cast<int>(FunctionId::kPosition);
+        position->type = ExprType::kNumber;
+        ExprPtr cmp = MakeExpr(ExprKind::kBinary);
+        cmp->op = BinaryOp::kEq;
+        cmp->type = ExprType::kBoolean;
+        cmp->children.push_back(std::move(position));
+        cmp->children.push_back(std::move(predicate));
+        predicate = std::move(cmp);
+      } else if (predicate->type != ExprType::kBoolean) {
+        // Everything else converts through boolean(); for node sets this
+        // becomes the internal exists() aggregate during translation.
+        Convert(&predicate, ExprType::kBoolean);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status AnalyzeSteps(std::vector<Step>* steps) {
+    for (Step& step : *steps) {
+      NATIX_RETURN_IF_ERROR(AnalyzePredicates(&step.predicates));
+    }
+    return Status::OK();
+  }
+
+  Status AnalyzeCall(Expr* e) {
+    const FunctionInfo* info = LookupFunction(e->name);
+    if (info == nullptr) {
+      return Status::InvalidArgument("unknown function '" + e->name + "()'");
+    }
+    int argc = static_cast<int>(e->children.size());
+    if (argc < info->min_args ||
+        (info->max_args >= 0 && argc > info->max_args)) {
+      return Status::InvalidArgument(
+          "wrong number of arguments to '" + e->name + "()': got " +
+          std::to_string(argc));
+    }
+    e->function_id = static_cast<int>(info->id);
+    e->type = info->result_type;
+    for (ExprPtr& arg : e->children) {
+      NATIX_RETURN_IF_ERROR(AnalyzeExpr(arg.get()));
+    }
+
+    auto require_node_set_arg = [&](size_t index) -> Status {
+      const Expr& arg = *e->children[index];
+      if (arg.type == ExprType::kNodeSet) return Status::OK();
+      if (arg.type == ExprType::kUnknown) {
+        return Status::NotSupported(
+            "variables holding node-sets are not supported ('" + e->name +
+            "()' argument)");
+      }
+      return Status::InvalidArgument("'" + e->name +
+                                     "()' requires a node-set argument");
+    };
+
+    switch (info->id) {
+      case FunctionId::kLast:
+      case FunctionId::kPosition:
+      case FunctionId::kTrue:
+      case FunctionId::kFalse:
+        break;
+      case FunctionId::kCount:
+      case FunctionId::kSum:
+        NATIX_RETURN_IF_ERROR(require_node_set_arg(0));
+        break;
+      case FunctionId::kId:
+        break;  // both node-set and atomic inputs are valid (Sec. 3.6.3)
+      case FunctionId::kLocalName:
+      case FunctionId::kNamespaceUri:
+      case FunctionId::kName:
+        if (e->children.empty()) {
+          e->children.push_back(MakeSelfNodePath());
+        } else {
+          NATIX_RETURN_IF_ERROR(require_node_set_arg(0));
+        }
+        break;
+      case FunctionId::kString:
+      case FunctionId::kNumber:
+        if (e->children.empty()) e->children.push_back(MakeSelfNodePath());
+        break;
+      case FunctionId::kStringLength:
+      case FunctionId::kNormalizeSpace:
+        if (e->children.empty()) {
+          e->children.push_back(
+              MakeResolvedCall(FunctionId::kString, MakeSelfNodePath()));
+        } else {
+          Convert(&e->children[0], ExprType::kString);
+        }
+        break;
+      case FunctionId::kConcat:
+      case FunctionId::kStartsWith:
+      case FunctionId::kContains:
+      case FunctionId::kSubstringBefore:
+      case FunctionId::kSubstringAfter:
+      case FunctionId::kTranslate:
+        for (ExprPtr& arg : e->children) Convert(&arg, ExprType::kString);
+        break;
+      case FunctionId::kSubstring:
+        Convert(&e->children[0], ExprType::kString);
+        Convert(&e->children[1], ExprType::kNumber);
+        if (e->children.size() == 3) {
+          Convert(&e->children[2], ExprType::kNumber);
+        }
+        break;
+      case FunctionId::kBoolean:
+        break;  // accepts any type
+      case FunctionId::kNot:
+        Convert(&e->children[0], ExprType::kBoolean);
+        break;
+      case FunctionId::kLang:
+        Convert(&e->children[0], ExprType::kString);
+        break;
+      case FunctionId::kFloor:
+      case FunctionId::kCeiling:
+      case FunctionId::kRound:
+        Convert(&e->children[0], ExprType::kNumber);
+        break;
+      case FunctionId::kExistsInternal:
+      case FunctionId::kMaxInternal:
+      case FunctionId::kMinInternal:
+      case FunctionId::kRootInternal:
+      case FunctionId::kUnknown:
+        return Status::Internal("unexpected internal function in source");
+    }
+    return Status::OK();
+  }
+
+  Status AnalyzeExpr(Expr* e) {
+    switch (e->kind) {
+      case ExprKind::kNumberLiteral:
+        e->type = ExprType::kNumber;
+        return Status::OK();
+      case ExprKind::kBooleanLiteral:
+        e->type = ExprType::kBoolean;
+        return Status::OK();
+      case ExprKind::kStringLiteral:
+        e->type = ExprType::kString;
+        return Status::OK();
+      case ExprKind::kVariable:
+        e->type = ExprType::kUnknown;  // bound at execution time
+        return Status::OK();
+      case ExprKind::kFunctionCall:
+        return AnalyzeCall(e);
+      case ExprKind::kNegate:
+        NATIX_RETURN_IF_ERROR(AnalyzeExpr(e->children[0].get()));
+        Convert(&e->children[0], ExprType::kNumber);
+        e->type = ExprType::kNumber;
+        return Status::OK();
+      case ExprKind::kBinary: {
+        NATIX_RETURN_IF_ERROR(AnalyzeExpr(e->children[0].get()));
+        NATIX_RETURN_IF_ERROR(AnalyzeExpr(e->children[1].get()));
+        switch (e->op) {
+          case BinaryOp::kOr:
+          case BinaryOp::kAnd:
+            Convert(&e->children[0], ExprType::kBoolean);
+            Convert(&e->children[1], ExprType::kBoolean);
+            e->type = ExprType::kBoolean;
+            break;
+          case BinaryOp::kAdd:
+          case BinaryOp::kSub:
+          case BinaryOp::kMul:
+          case BinaryOp::kDiv:
+          case BinaryOp::kMod:
+            Convert(&e->children[0], ExprType::kNumber);
+            Convert(&e->children[1], ExprType::kNumber);
+            e->type = ExprType::kNumber;
+            break;
+          case BinaryOp::kEq:
+          case BinaryOp::kNe:
+          case BinaryOp::kLt:
+          case BinaryOp::kLe:
+          case BinaryOp::kGt:
+          case BinaryOp::kGe:
+            // Node-set comparisons keep their operands (existential
+            // semantics handled by the translator, Sec. 3.6.2); atomic
+            // comparisons promote at runtime.
+            e->type = ExprType::kBoolean;
+            break;
+        }
+        return Status::OK();
+      }
+      case ExprKind::kUnion: {
+        for (ExprPtr& child : e->children) {
+          NATIX_RETURN_IF_ERROR(AnalyzeExpr(child.get()));
+          if (child->type != ExprType::kNodeSet) {
+            return Status::InvalidArgument(
+                "operands of '|' must be node-sets");
+          }
+        }
+        e->type = ExprType::kNodeSet;
+        return Status::OK();
+      }
+      case ExprKind::kLocationPath:
+        NATIX_RETURN_IF_ERROR(AnalyzeSteps(&e->steps));
+        e->type = ExprType::kNodeSet;
+        return Status::OK();
+      case ExprKind::kPathExpr: {
+        NATIX_RETURN_IF_ERROR(AnalyzeExpr(e->children[0].get()));
+        if (e->children[0]->type != ExprType::kNodeSet) {
+          if (e->children[0]->type == ExprType::kUnknown) {
+            return Status::NotSupported(
+                "variables holding node-sets are not supported (path "
+                "expression base)");
+          }
+          return Status::InvalidArgument(
+              "the base of a path expression must be a node-set");
+        }
+        NATIX_RETURN_IF_ERROR(AnalyzeSteps(&e->steps));
+        e->type = ExprType::kNodeSet;
+        return Status::OK();
+      }
+      case ExprKind::kFilterExpr: {
+        NATIX_RETURN_IF_ERROR(AnalyzeExpr(e->children[0].get()));
+        if (e->children[0]->type != ExprType::kNodeSet) {
+          if (e->children[0]->type == ExprType::kUnknown) {
+            return Status::NotSupported(
+                "variables holding node-sets are not supported (filter "
+                "expression base)");
+          }
+          return Status::InvalidArgument(
+              "predicates can only filter node-sets");
+        }
+        NATIX_RETURN_IF_ERROR(AnalyzePredicates(&e->predicates));
+        e->type = ExprType::kNodeSet;
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown expression kind");
+  }
+};
+
+}  // namespace
+
+Status Analyze(Expr* root) {
+  Analyzer analyzer;
+  return analyzer.Run(root);
+}
+
+}  // namespace natix::xpath

@@ -1,0 +1,31 @@
+#ifndef NATIX_XPATH_SEMA_H_
+#define NATIX_XPATH_SEMA_H_
+
+#include "base/status.h"
+#include "xpath/ast.h"
+
+namespace natix::xpath {
+
+/// Semantic analysis (step 3 of the compiler pipeline, Sec. 5.1):
+///
+///  * resolves function calls against the core library and validates
+///    argument counts,
+///  * derives the static ExprType of every expression,
+///  * inserts the implicit conversions of the recommendation as explicit
+///    function calls (Sec. 3.3.1 of the paper: "All implicit conversions
+///    have also been added as function calls"), including expanding
+///    optional context-node arguments (string() -> string(self::node())),
+///  * rewrites number-valued predicates into position() comparisons
+///    ("a[3]" -> "a[position() = 3]"),
+///  * wraps non-boolean predicates in boolean() (node-set predicates later
+///    become the internal exists() aggregate, Sec. 3.3.2),
+///  * validates node-set contexts (union branches, filter/path bases,
+///    count()/sum() arguments).
+///
+/// Variables are supported with atomic values; a variable in a context
+/// that statically requires a node set is rejected with kNotSupported.
+Status Analyze(Expr* root);
+
+}  // namespace natix::xpath
+
+#endif  // NATIX_XPATH_SEMA_H_

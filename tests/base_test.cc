@@ -1,0 +1,145 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+#include "base/statusor.h"
+#include "base/strings.h"
+#include "base/xpath_number.h"
+
+namespace natix {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad query");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad query");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad query");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> sor = 42;
+  ASSERT_TRUE(sor.ok());
+  EXPECT_EQ(*sor, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> sor = Status::NotFound("nope");
+  ASSERT_FALSE(sor.ok());
+  EXPECT_EQ(sor.status().code(), StatusCode::kNotFound);
+}
+
+TEST(XPathNumberTest, ParseBasics) {
+  EXPECT_DOUBLE_EQ(StringToXPathNumber("12"), 12.0);
+  EXPECT_DOUBLE_EQ(StringToXPathNumber("-3.5"), -3.5);
+  EXPECT_DOUBLE_EQ(StringToXPathNumber("  7.25  "), 7.25);
+  EXPECT_DOUBLE_EQ(StringToXPathNumber(".5"), 0.5);
+  EXPECT_DOUBLE_EQ(StringToXPathNumber("5."), 5.0);
+}
+
+TEST(XPathNumberTest, ParseRejectsGarbage) {
+  EXPECT_TRUE(std::isnan(StringToXPathNumber("")));
+  EXPECT_TRUE(std::isnan(StringToXPathNumber("  ")));
+  EXPECT_TRUE(std::isnan(StringToXPathNumber("abc")));
+  EXPECT_TRUE(std::isnan(StringToXPathNumber("12a")));
+  EXPECT_TRUE(std::isnan(StringToXPathNumber("1e3")));  // no exponents
+  EXPECT_TRUE(std::isnan(StringToXPathNumber("+1")));   // no unary plus
+  EXPECT_TRUE(std::isnan(StringToXPathNumber("-")));
+  EXPECT_TRUE(std::isnan(StringToXPathNumber(".")));
+  EXPECT_TRUE(std::isnan(StringToXPathNumber("1 2")));
+}
+
+TEST(XPathNumberTest, FormatSpecials) {
+  EXPECT_EQ(XPathNumberToString(std::nan("")), "NaN");
+  EXPECT_EQ(XPathNumberToString(HUGE_VAL), "Infinity");
+  EXPECT_EQ(XPathNumberToString(-HUGE_VAL), "-Infinity");
+  EXPECT_EQ(XPathNumberToString(0.0), "0");
+  EXPECT_EQ(XPathNumberToString(-0.0), "0");
+}
+
+TEST(XPathNumberTest, FormatIntegers) {
+  EXPECT_EQ(XPathNumberToString(17), "17");
+  EXPECT_EQ(XPathNumberToString(-4), "-4");
+  EXPECT_EQ(XPathNumberToString(1e15), "1000000000000000");
+}
+
+TEST(XPathNumberTest, FormatDecimalsWithoutExponent) {
+  EXPECT_EQ(XPathNumberToString(0.5), "0.5");
+  EXPECT_EQ(XPathNumberToString(-2.25), "-2.25");
+  EXPECT_EQ(XPathNumberToString(1e-7), "0.0000001");
+  EXPECT_EQ(XPathNumberToString(1.5e21), "1500000000000000000000");
+}
+
+TEST(XPathNumberTest, FormatRoundTrips) {
+  for (double v : {0.1, 1.0 / 3.0, 123.456, 1e-12, 3.14159265358979}) {
+    EXPECT_EQ(StringToXPathNumber(XPathNumberToString(v)), v) << v;
+  }
+}
+
+TEST(XPathNumberTest, RoundHalfTowardsPositiveInfinity) {
+  EXPECT_DOUBLE_EQ(XPathRound(2.5), 3.0);
+  EXPECT_DOUBLE_EQ(XPathRound(-2.5), -2.0);
+  EXPECT_DOUBLE_EQ(XPathRound(2.4), 2.0);
+  EXPECT_DOUBLE_EQ(XPathRound(-2.6), -3.0);
+  EXPECT_TRUE(std::isnan(XPathRound(std::nan(""))));
+  EXPECT_EQ(XPathRound(HUGE_VAL), HUGE_VAL);
+  // -0.2 rounds to negative zero.
+  double r = XPathRound(-0.2);
+  EXPECT_EQ(r, 0.0);
+  EXPECT_TRUE(std::signbit(r));
+}
+
+TEST(StringsTest, NormalizeSpace) {
+  EXPECT_EQ(NormalizeSpace("  a  b \t\n c  "), "a b c");
+  EXPECT_EQ(NormalizeSpace(""), "");
+  EXPECT_EQ(NormalizeSpace("   "), "");
+  EXPECT_EQ(NormalizeSpace("x"), "x");
+}
+
+TEST(StringsTest, TranslateChars) {
+  EXPECT_EQ(TranslateChars("bar", "abc", "ABC"), "BAr");
+  EXPECT_EQ(TranslateChars("--aaa--", "abc-", "ABC"), "AAA");
+  // First occurrence in `from` wins.
+  EXPECT_EQ(TranslateChars("a", "aa", "xy"), "x");
+}
+
+TEST(StringsTest, SubstringBeforeAfter) {
+  EXPECT_EQ(SubstringBefore("1999/04/01", "/"), "1999");
+  EXPECT_EQ(SubstringAfter("1999/04/01", "/"), "04/01");
+  EXPECT_EQ(SubstringBefore("abc", "x"), "");
+  EXPECT_EQ(SubstringAfter("abc", "x"), "");
+  EXPECT_EQ(SubstringAfter("abc", ""), "abc");
+}
+
+TEST(StringsTest, Utf8LengthCountsCodepoints) {
+  EXPECT_EQ(Utf8Length("abc"), 3u);
+  EXPECT_EQ(Utf8Length(""), 0u);
+  EXPECT_EQ(Utf8Length("\xC3\xA9"), 1u);          // é
+  EXPECT_EQ(Utf8Length("a\xE2\x82\xACz"), 3u);    // a€z
+}
+
+TEST(StringsTest, Utf8Substring) {
+  EXPECT_EQ(Utf8Substring("12345", 1, 3), "234");
+  EXPECT_EQ(Utf8Substring("a\xE2\x82\xACz", 1, 1), "\xE2\x82\xAC");
+  EXPECT_EQ(Utf8Substring("abc", 5, 2), "");
+  EXPECT_EQ(Utf8Substring("abc", 0, 100), "abc");
+}
+
+TEST(StringsTest, SplitWhitespace) {
+  auto tokens = SplitWhitespace("  id1 \t id2\nid3 ");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "id1");
+  EXPECT_EQ(tokens[1], "id2");
+  EXPECT_EQ(tokens[2], "id3");
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,78 @@
+// Concurrent read-only queries sharing one store: each thread owns its
+// compiled plan (plans are not thread-safe), but all plans hammer the
+// same buffer manager, whose bookkeeping is serialized internally.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/database.h"
+#include "gen/xdoc_generator.h"
+
+namespace natix {
+namespace {
+
+TEST(ConcurrencyTest, ParallelQueriesShareOneTinyBufferPool) {
+  Database::Options options;
+  options.buffer_pages = 64;  // still far below the document size, but
+                              // enough frames for 8 threads' worth of pins
+  auto db = Database::CreateTemp(options);
+  ASSERT_TRUE(db.ok());
+  gen::XDocOptions gen_options;
+  gen_options.max_elements = 4000;
+  gen_options.fanout = 6;
+  gen_options.depth = 6;
+  auto info = (*db)->LoadDocument("doc", gen::GenerateXDoc(gen_options));
+  ASSERT_TRUE(info.ok());
+
+  const char* workloads[] = {
+      "count(//n)",
+      "count(//*[@id])",
+      "count(/xdoc/n)",
+      "count(//n/parent::*)",
+      "count(//*[@id='17'])",
+      "sum(/xdoc/n/@id)",
+  };
+  // Expected values computed single-threaded; all threads must agree.
+  std::vector<double> expected(std::size(workloads));
+  for (size_t i = 0; i < std::size(workloads); ++i) {
+    auto value = (*db)->QueryNumber("doc", workloads[i]);
+    ASSERT_TRUE(value.ok());
+    expected[i] = *value;
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 5; ++round) {
+        size_t i = static_cast<size_t>(t + round) % std::size(workloads);
+        auto query = (*db)->Compile(workloads[i]);
+        if (!query.ok()) {
+          ++failures;
+          return;
+        }
+        auto value = (*query)->EvaluateValue(info->root);
+        if (!value.ok()) {
+          ++failures;
+          return;
+        }
+        runtime::EvalContext ctx;
+        ctx.store = (*db)->store();
+        auto number = runtime::ToNumber(*value, ctx);
+        if (!number.ok() || *number != expected[i]) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,237 @@
+// Conformance cross-check: the paper's central claim is a complete,
+// semantics-preserving translation of XPath 1.0 into the algebra. These
+// property tests generate pseudo-random documents and run a broad query
+// corpus through four evaluators — the algebraic engine with the
+// canonical and the improved translation, and the main-memory interpreter
+// with and without memoization — requiring identical results.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "base/xpath_number.h"
+#include "dom/dom_builder.h"
+#include "interp/evaluator.h"
+
+namespace natix {
+namespace {
+
+/// Deterministic random XML generator.
+std::string RandomDocument(uint32_t seed) {
+  std::mt19937 rng(seed);
+  const char* names[] = {"a", "b", "c", "d"};
+  std::uniform_int_distribution<int> name_dist(0, 3);
+  std::uniform_int_distribution<int> children_dist(0, 4);
+  std::uniform_int_distribution<int> kind_dist(0, 9);
+  int id = 0;
+
+  std::string out;
+  std::function<void(int)> emit = [&](int depth) {
+    const char* name = names[name_dist(rng)];
+    out += "<";
+    out += name;
+    if (kind_dist(rng) < 4) {
+      out += " id='n" + std::to_string(id++) + "'";
+    }
+    if (kind_dist(rng) < 2) {
+      out += " x='" + std::to_string(kind_dist(rng)) + "'";
+    }
+    out += ">";
+    int children = depth >= 4 ? 0 : children_dist(rng);
+    for (int i = 0; i < children; ++i) {
+      int kind = kind_dist(rng);
+      if (kind < 6) {
+        emit(depth + 1);
+      } else if (kind < 8) {
+        out += "t" + std::to_string(kind_dist(rng));
+      } else if (kind == 8) {
+        out += "<!--c-->";
+      } else {
+        out += "<?pi d?>";
+      }
+    }
+    out += "</";
+    out += name;
+    out += ">";
+  };
+  out += "<root>";
+  for (int i = 0; i < 3; ++i) emit(1);
+  out += "</root>";
+  return out;
+}
+
+const char* kQueryCorpus[] = {
+    "/root/a",
+    "//a",
+    "//a/b",
+    "//*[@id]",
+    "//*[@x='1']",
+    "/root//c/d",
+    "//a/ancestor::*",
+    "//b/ancestor-or-self::*",
+    "//c/parent::*",
+    "//d/preceding-sibling::*",
+    "//a/following-sibling::b",
+    "//b/following::c",
+    "//c/preceding::a",
+    "//a/descendant-or-self::b",
+    "//a[1]",
+    "//a[last()]",
+    "//a[position() = 2]",
+    "//b[position() < 3]",
+    "//a[position() = last()]",
+    "//a[position() = last() - 1]",
+    "//*[b][c]",
+    "//*[b or c]",
+    "//*[b and @id]",
+    "//a[b[position()=1]]",
+    "//a[count(b) > 1]",
+    "//a[count(.//b) >= 2]",
+    "//*[not(@id)]",
+    "//a/text()",
+    "//comment()",
+    "//processing-instruction()",
+    "//node()",
+    "//a/@*",
+    "//a[@id]/@id",
+    "(//a)[2]",
+    "(//b)[last()]",
+    "(//a | //b)[3]",
+    "//a | //b/c | //d",
+    "//a[.//text()]",
+    "//*[starts-with(@id, 'n1')]",
+    "//*[contains(string(@x), '1')]",
+    "//a[string-length(string(.)) > 2]",
+    "//b[. = ../c]",
+    "//a[@x = //b/@x]",
+    "//a[@x < //b/@x]",
+    "//*[sum(.//@x) > 2]",
+    "count(//a)",
+    "count(//a/b) + count(//b)",
+    "sum(//@x)",
+    "string(//a)",
+    "string(//a/@id)",
+    "boolean(//a[@x])",
+    "not(//zzz)",
+    "name(//*[@id][1])",
+    "normalize-space(string(/root))",
+    "count(//a[descendant::b]/following::c)",
+    "//a[following::b[position()=2]]",
+    "//*[self::a or self::b][@id]",
+    "//a/..",
+    "//a/../b",
+    "id('n1')",
+    "id('n0 n2')/b",
+    "//a[../b]",
+};
+
+/// Renders an interpreter result for comparison.
+std::string RenderInterp(const interp::Object& v) {
+  switch (v.kind) {
+    case interp::Object::Kind::kNodeSet: {
+      std::string out = "nodes:";
+      for (const dom::Node* n : v.nodes) {
+        out += " " + std::to_string(n->order);
+      }
+      return out;
+    }
+    case interp::Object::Kind::kBoolean:
+      return v.boolean ? "bool: true" : "bool: false";
+    case interp::Object::Kind::kNumber:
+      return "num: " + XPathNumberToString(v.number);
+    case interp::Object::Kind::kString:
+      return "str: " + v.string;
+  }
+  return "?";
+}
+
+class ConformanceTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ConformanceTest, FourEvaluatorsAgree) {
+  std::string xml = RandomDocument(GetParam());
+
+  auto db = Database::CreateTemp();
+  ASSERT_TRUE(db.ok());
+  auto info = (*db)->LoadDocument("doc", xml);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+
+  auto dom_doc = dom::ParseDocument(xml);
+  ASSERT_TRUE(dom_doc.ok());
+
+  for (const char* query : kQueryCorpus) {
+    // Reference: memoized interpreter.
+    interp::EvaluatorOptions memo;
+    auto expected = interp::Evaluator::Run(dom_doc->get(), query,
+                                           (*dom_doc)->root(), memo);
+    ASSERT_TRUE(expected.ok())
+        << query << ": " << expected.status().ToString();
+    std::string expected_str = RenderInterp(*expected);
+
+    // Naive interpreter must agree.
+    interp::EvaluatorOptions naive;
+    naive.memoize = false;
+    auto naive_result = interp::Evaluator::Run(dom_doc->get(), query,
+                                               (*dom_doc)->root(), naive);
+    ASSERT_TRUE(naive_result.ok()) << query;
+    EXPECT_EQ(RenderInterp(*naive_result), expected_str)
+        << "naive interpreter diverges on " << query;
+
+    // The straw-man (no step consolidation) is exponential on adversarial
+    // inputs but must still be *correct* on this corpus.
+    interp::EvaluatorOptions straw;
+    straw.memoize = false;
+    straw.consolidate_steps = false;
+    auto straw_result = interp::Evaluator::Run(dom_doc->get(), query,
+                                               (*dom_doc)->root(), straw);
+    ASSERT_TRUE(straw_result.ok()) << query;
+    EXPECT_EQ(RenderInterp(*straw_result), expected_str)
+        << "straw-man interpreter diverges on " << query;
+
+    // Algebraic engine, both translations.
+    for (bool improved : {false, true}) {
+      auto options = improved ? translate::TranslatorOptions::Improved()
+                              : translate::TranslatorOptions::Canonical();
+      auto compiled = (*db)->Compile(query, options);
+      ASSERT_TRUE(compiled.ok())
+          << query << ": " << compiled.status().ToString();
+      std::string actual;
+      if ((*compiled)->result_type() == xpath::ExprType::kNodeSet) {
+        auto nodes = (*compiled)->EvaluateNodes(info->root);
+        ASSERT_TRUE(nodes.ok())
+            << query << ": " << nodes.status().ToString();
+        actual = "nodes:";
+        for (const storage::StoredNode& n : *nodes) {
+          actual += " " + std::to_string(*n.order());
+        }
+      } else {
+        auto value = (*compiled)->EvaluateValue(info->root);
+        ASSERT_TRUE(value.ok())
+            << query << ": " << value.status().ToString();
+        switch (value->kind()) {
+          case runtime::ValueKind::kBoolean:
+            actual = value->AsBoolean() ? "bool: true" : "bool: false";
+            break;
+          case runtime::ValueKind::kNumber:
+            actual = "num: " + XPathNumberToString(value->AsNumber());
+            break;
+          default:
+            actual = "str: " + value->AsString();
+        }
+      }
+      EXPECT_EQ(actual, expected_str)
+          << (improved ? "improved" : "canonical")
+          << " translation diverges on " << query << "\ndocument: " << xml;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConformanceTest,
+                         ::testing::Range(1u, 21u));
+
+}  // namespace
+}  // namespace natix

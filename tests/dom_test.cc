@@ -1,0 +1,93 @@
+#include "dom/dom.h"
+
+#include <gtest/gtest.h>
+
+#include "dom/dom_builder.h"
+
+namespace natix::dom {
+namespace {
+
+TEST(DomBuilderTest, BuildsTree) {
+  auto doc = ParseDocument("<a><b>one</b><c x='1'>two</c></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const Node* root = (*doc)->root();
+  ASSERT_EQ(root->children.size(), 1u);
+  const Node* a = root->children[0];
+  EXPECT_EQ(a->kind, NodeKind::kElement);
+  EXPECT_EQ(a->name, "a");
+  ASSERT_EQ(a->children.size(), 2u);
+  EXPECT_EQ(a->children[0]->name, "b");
+  EXPECT_EQ(a->children[1]->name, "c");
+  ASSERT_EQ(a->children[1]->attributes.size(), 1u);
+  EXPECT_EQ(a->children[1]->attributes[0]->name, "x");
+  EXPECT_EQ(a->children[1]->attributes[0]->value, "1");
+}
+
+TEST(DomBuilderTest, MergesAdjacentText) {
+  auto doc = ParseDocument("<a>one<![CDATA[two]]>three</a>");
+  ASSERT_TRUE(doc.ok());
+  const Node* a = (*doc)->root()->children[0];
+  ASSERT_EQ(a->children.size(), 1u);
+  EXPECT_EQ(a->children[0]->kind, NodeKind::kText);
+  EXPECT_EQ(a->children[0]->value, "onetwothree");
+}
+
+TEST(DomBuilderTest, ParseErrorPropagates) {
+  auto doc = ParseDocument("<a><b></a>");
+  EXPECT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DomTest, StringValueConcatenatesDescendants) {
+  auto doc = ParseDocument("<a>x<b>y<c>z</c></b>w</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->root()->StringValue(), "xyzw");
+  EXPECT_EQ((*doc)->root()->children[0]->StringValue(), "xyzw");
+  EXPECT_EQ((*doc)->root()->children[0]->children[1]->StringValue(), "yz");
+}
+
+TEST(DomTest, StringValueOfLeafKinds) {
+  auto doc = ParseDocument("<a p='v'><!--c--><?t d?></a>");
+  ASSERT_TRUE(doc.ok());
+  const Node* a = (*doc)->root()->children[0];
+  EXPECT_EQ(a->attributes[0]->StringValue(), "v");
+  EXPECT_EQ(a->children[0]->StringValue(), "c");
+  EXPECT_EQ(a->children[1]->StringValue(), "d");
+}
+
+TEST(DomTest, DocumentOrderIsTotalAndAttributesFollowElement) {
+  auto doc = ParseDocument("<a x='1' y='2'><b/><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  const Node* root = (*doc)->root();
+  const Node* a = root->children[0];
+  EXPECT_LT(root->order, a->order);
+  EXPECT_LT(a->order, a->attributes[0]->order);
+  EXPECT_LT(a->attributes[0]->order, a->attributes[1]->order);
+  EXPECT_LT(a->attributes[1]->order, a->children[0]->order);
+  EXPECT_LT(a->children[0]->order, a->children[1]->order);
+}
+
+TEST(DomTest, Siblings) {
+  auto doc = ParseDocument("<a><b/><c/><d/></a>");
+  ASSERT_TRUE(doc.ok());
+  const Node* a = (*doc)->root()->children[0];
+  Node* b = a->children[0];
+  Node* c = a->children[1];
+  Node* d = a->children[2];
+  EXPECT_EQ(b->NextSibling(), c);
+  EXPECT_EQ(c->NextSibling(), d);
+  EXPECT_EQ(d->NextSibling(), nullptr);
+  EXPECT_EQ(d->PreviousSibling(), c);
+  EXPECT_EQ(b->PreviousSibling(), nullptr);
+  EXPECT_EQ((*doc)->root()->NextSibling(), nullptr);
+}
+
+TEST(DomTest, SizeCountsAllNodes) {
+  auto doc = ParseDocument("<a x='1'><b>t</b></a>");
+  ASSERT_TRUE(doc.ok());
+  // document + a + @x + b + text
+  EXPECT_EQ((*doc)->size(), 5u);
+}
+
+}  // namespace
+}  // namespace natix::dom

@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+
+namespace natix {
+namespace {
+
+using translate::TranslatorOptions;
+
+constexpr char kBookstore[] = R"(<bookstore>
+  <book category="cooking" id="b1">
+    <title lang="en" xml:lang="en">Everyday Italian</title>
+    <author>Giada De Laurentiis</author>
+    <year>2005</year>
+    <price>30.00</price>
+  </book>
+  <book category="children" id="b2">
+    <title lang="en" xml:lang="en">Harry Potter</title>
+    <author>J K. Rowling</author>
+    <year>2005</year>
+    <price>29.99</price>
+  </book>
+  <book category="web" id="b3">
+    <title lang="en-US" xml:lang="en-US">XQuery Kick Start</title>
+    <author>James McGovern</author>
+    <author>Per Bothner</author>
+    <year>2003</year>
+    <price>49.99</price>
+  </book>
+  <book category="web" id="b4">
+    <title lang="de" xml:lang="de">Learning XML</title>
+    <author>Erik T. Ray</author>
+    <year>2003</year>
+    <price>39.95</price>
+  </book>
+</bookstore>)";
+
+/// Both translation strategies must agree with the expected results.
+class E2EQueryTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    auto db = Database::CreateTemp();
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db.value());
+    auto info = db_->LoadDocument("books", kBookstore);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    root_ = info->root;
+  }
+
+  TranslatorOptions Options() const {
+    return GetParam() ? TranslatorOptions::Improved()
+                      : TranslatorOptions::Canonical();
+  }
+
+  /// Runs a node-set query; returns "name=string-value" per result node
+  /// in document order, joined by "; ".
+  std::string Nodes(const std::string& query) {
+    auto compiled = db_->Compile(query, Options());
+    if (!compiled.ok()) return "ERROR " + compiled.status().ToString();
+    auto nodes = (*compiled)->EvaluateNodes(root_);
+    if (!nodes.ok()) return "ERROR " + nodes.status().ToString();
+    std::string out;
+    for (const storage::StoredNode& node : *nodes) {
+      if (!out.empty()) out += "; ";
+      auto name = node.name();
+      auto value = node.string_value();
+      if (!name.ok() || !value.ok()) return "ERROR accessor";
+      out += (name->empty() ? "#" : *name) + "=" + *value;
+    }
+    return out;
+  }
+
+  std::string Str(const std::string& query) {
+    auto compiled = db_->Compile(query, Options());
+    if (!compiled.ok()) return "ERROR " + compiled.status().ToString();
+    auto s = (*compiled)->EvaluateString(root_);
+    if (!s.ok()) return "ERROR " + s.status().ToString();
+    return *s;
+  }
+
+  std::unique_ptr<Database> db_;
+  storage::NodeId root_;
+};
+
+TEST_P(E2EQueryTest, SimpleChildPaths) {
+  EXPECT_EQ(Nodes("/bookstore/book/title"),
+            "title=Everyday Italian; title=Harry Potter; "
+            "title=XQuery Kick Start; title=Learning XML");
+  EXPECT_EQ(Nodes("/bookstore/book/year"),
+            "year=2005; year=2005; year=2003; year=2003");
+  EXPECT_EQ(Nodes("/nosuch"), "");
+}
+
+TEST_P(E2EQueryTest, RootOnly) {
+  EXPECT_EQ(Nodes("/"),
+            "#=" + Str("string(/)"));
+}
+
+TEST_P(E2EQueryTest, Wildcards) {
+  EXPECT_EQ(Nodes("/bookstore/book[1]/*"),
+            "title=Everyday Italian; author=Giada De Laurentiis; "
+            "year=2005; price=30.00");
+}
+
+TEST_P(E2EQueryTest, Attributes) {
+  EXPECT_EQ(Nodes("/bookstore/book/@category"),
+            "category=cooking; category=children; category=web; "
+            "category=web");
+  EXPECT_EQ(Nodes("/bookstore/book[@category='web']/title"),
+            "title=XQuery Kick Start; title=Learning XML");
+}
+
+TEST_P(E2EQueryTest, DescendantAxis) {
+  EXPECT_EQ(Nodes("//author"),
+            "author=Giada De Laurentiis; author=J K. Rowling; "
+            "author=James McGovern; author=Per Bothner; author=Erik T. Ray");
+  EXPECT_EQ(Nodes("/descendant::price[2]"), "price=29.99");
+}
+
+TEST_P(E2EQueryTest, PositionalPredicates) {
+  EXPECT_EQ(Nodes("/bookstore/book[1]/title"), "title=Everyday Italian");
+  EXPECT_EQ(Nodes("/bookstore/book[position() = 2]/title"),
+            "title=Harry Potter");
+  EXPECT_EQ(Nodes("/bookstore/book[last()]/title"), "title=Learning XML");
+  EXPECT_EQ(Nodes("/bookstore/book[last() - 1]/title"),
+            "title=XQuery Kick Start");
+  EXPECT_EQ(Nodes("/bookstore/book[position() < 3]/@id"),
+            "id=b1; id=b2");
+  EXPECT_EQ(Nodes("/bookstore/book[position() = last()]/title"),
+            "title=Learning XML");
+}
+
+TEST_P(E2EQueryTest, ValuePredicates) {
+  EXPECT_EQ(Nodes("/bookstore/book[year='2003']/@id"), "id=b3; id=b4");
+  EXPECT_EQ(Nodes("/bookstore/book[price > 35]/title"),
+            "title=XQuery Kick Start; title=Learning XML");
+  EXPECT_EQ(Nodes("/bookstore/book[author='Per Bothner']/@id"), "id=b3");
+}
+
+TEST_P(E2EQueryTest, NestedPathPredicates) {
+  EXPECT_EQ(Nodes("/bookstore/book[count(author) = 2]/@id"), "id=b3");
+  EXPECT_EQ(Nodes("/bookstore/book[count(author) > 1]/@id"), "id=b3");
+  EXPECT_EQ(Nodes("/bookstore/book[author]/@id"),
+            "id=b1; id=b2; id=b3; id=b4");
+  EXPECT_EQ(Nodes("/bookstore/book[not(author)]/@id"), "");
+}
+
+TEST_P(E2EQueryTest, MultiplePredicates) {
+  EXPECT_EQ(Nodes("/bookstore/book[year='2003'][2]/@id"), "id=b4");
+  EXPECT_EQ(Nodes("/bookstore/book[year='2003'][position()=last()]/@id"),
+            "id=b4");
+  EXPECT_EQ(Nodes("/bookstore/book[@category='web' and price < 45]/@id"),
+            "id=b4");
+  EXPECT_EQ(Nodes("/bookstore/book[@category='web' or year='2005']/@id"),
+            "id=b1; id=b2; id=b3; id=b4");
+}
+
+TEST_P(E2EQueryTest, ReverseAxes) {
+  EXPECT_EQ(Nodes("//author/parent::book/@id"),
+            "id=b1; id=b2; id=b3; id=b4");
+  EXPECT_EQ(Nodes("//price/ancestor::*"),
+            "bookstore=" + Str("string(/bookstore)") +
+                "; book=" + Str("string(/bookstore/book[1])") +
+                "; book=" + Str("string(/bookstore/book[2])") +
+                "; book=" + Str("string(/bookstore/book[3])") +
+                "; book=" + Str("string(/bookstore/book[4])"));
+  EXPECT_EQ(Nodes("/bookstore/book[3]/preceding-sibling::book/@id"),
+            "id=b1; id=b2");
+  EXPECT_EQ(Nodes("/bookstore/book[2]/following-sibling::book/@id"),
+            "id=b3; id=b4");
+}
+
+TEST_P(E2EQueryTest, ReverseAxisPositionsCountProximity) {
+  // position() on a reverse axis counts in reverse document order.
+  EXPECT_EQ(Nodes("/bookstore/book[4]/preceding-sibling::book[1]/@id"),
+            "id=b3");
+  EXPECT_EQ(Nodes("/bookstore/book[4]/preceding-sibling::book[last()]/@id"),
+            "id=b1");
+}
+
+TEST_P(E2EQueryTest, FollowingPrecedingAxes) {
+  EXPECT_EQ(Nodes("/bookstore/book[3]/following::year"), "year=2003");
+  EXPECT_EQ(Nodes("/bookstore/book[2]/preceding::author"),
+            "author=Giada De Laurentiis");
+}
+
+TEST_P(E2EQueryTest, DuplicateGeneratingPathsStaySets) {
+  // Every author's ancestor chain reaches the same bookstore element:
+  // the result must contain it once.
+  EXPECT_EQ(Nodes("//author/ancestor::bookstore"),
+            "bookstore=" + Str("string(/bookstore)"));
+  // parent-then-descendant fans out and back in.
+  EXPECT_EQ(Nodes("/bookstore/book/parent::*/book[1]/@id"), "id=b1");
+}
+
+TEST_P(E2EQueryTest, Unions) {
+  EXPECT_EQ(Nodes("/bookstore/book[1]/title | /bookstore/book[2]/title"),
+            "title=Everyday Italian; title=Harry Potter");
+  // Overlap collapses.
+  EXPECT_EQ(Nodes("//book[@id='b1'] | /bookstore/book[1]"),
+            "book=" + Str("string(/bookstore/book[1])"));
+}
+
+TEST_P(E2EQueryTest, FilterExpressions) {
+  EXPECT_EQ(Nodes("(//author)[2]"), "author=J K. Rowling");
+  EXPECT_EQ(Nodes("(//author)[last()]"), "author=Erik T. Ray");
+  EXPECT_EQ(Nodes("(/bookstore/book/title | /bookstore/book/author)[3]"),
+            "title=Harry Potter");
+}
+
+TEST_P(E2EQueryTest, FilterOnOrderedPipelines) {
+  // These filter expressions are where the simplifier removes the sort
+  // (the child chain is provably in document order); results must be
+  // unchanged.
+  EXPECT_EQ(Nodes("(/bookstore/book/title)[2]"), "title=Harry Potter");
+  EXPECT_EQ(Nodes("(/bookstore/book/title)[last()]"),
+            "title=Learning XML");
+  EXPECT_EQ(Nodes("(/bookstore/book/@id)[3]"), "id=b3");
+  EXPECT_EQ(Nodes("(/descendant::author)[2]"), "author=J K. Rowling");
+}
+
+TEST_P(E2EQueryTest, PathAfterFilter) {
+  EXPECT_EQ(Nodes("(//book)[2]/title"), "title=Harry Potter");
+}
+
+TEST_P(E2EQueryTest, IdFunction) {
+  EXPECT_EQ(Nodes("id('b2')/title"), "title=Harry Potter");
+  EXPECT_EQ(Nodes("id('b4 b1')/year"), "year=2005; year=2003");
+  EXPECT_EQ(Nodes("id('nope')"), "");
+}
+
+TEST_P(E2EQueryTest, ScalarQueries) {
+  EXPECT_EQ(Str("count(//book)"), "4");
+  EXPECT_EQ(Str("count(//author)"), "5");
+  EXPECT_EQ(Str("sum(/bookstore/book/price)"), "149.93");
+  EXPECT_EQ(Str("1 + 2 * 3"), "7");
+  EXPECT_EQ(Str("string(/bookstore/book[1]/title)"), "Everyday Italian");
+  EXPECT_EQ(Str("concat(name(/bookstore/book[1]/@id), ':', "
+                "/bookstore/book[1]/@id)"),
+            "id:b1");
+  EXPECT_EQ(Str("local-name(/*)"), "bookstore");
+  EXPECT_EQ(Str("boolean(//book[price > 100])"), "false");
+  EXPECT_EQ(Str("boolean(//book[price > 40])"), "true");
+  EXPECT_EQ(Str("string-length(string(/bookstore/book[1]/title))"), "16");
+  EXPECT_EQ(Str("normalize-space('  a  b  ')"), "a b");
+}
+
+TEST_P(E2EQueryTest, NodeSetComparisons) {
+  // Existential semantics.
+  EXPECT_EQ(Str("boolean(/bookstore/book/year = '2003')"), "true");
+  EXPECT_EQ(Str("boolean(/bookstore/book/year = '1999')"), "false");
+  EXPECT_EQ(Str("boolean(/bookstore/book/year != '2003')"), "true");
+  EXPECT_EQ(Str("boolean(//price < 30)"), "true");
+  EXPECT_EQ(Str("boolean(//price > 49.99)"), "false");
+  EXPECT_EQ(Str("boolean(//price >= 49.99)"), "true");
+  // Two node sets.
+  EXPECT_EQ(Str("boolean(//book[1]/year = //book[2]/year)"), "true");
+  EXPECT_EQ(Str("boolean(//book[1]/year = //book[3]/year)"), "false");
+  EXPECT_EQ(Str("boolean(//book[1]/price < //book[3]/price)"), "true");
+}
+
+TEST_P(E2EQueryTest, StringFunctionsOnNodes) {
+  EXPECT_EQ(Nodes("//book[starts-with(title, 'Harry')]/@id"), "id=b2");
+  EXPECT_EQ(Nodes("//book[contains(title, 'XML')]/@id"), "id=b4");
+  EXPECT_EQ(Str("substring-before(/bookstore/book[1]/price, '.')"), "30");
+  EXPECT_EQ(Str("translate(string(//book[1]/@category), 'cokig', 'COKIG')"),
+            "COOKInG");
+}
+
+TEST_P(E2EQueryTest, LangFunction) {
+  EXPECT_EQ(Nodes("//title[lang('en')]"),
+            "title=Everyday Italian; title=Harry Potter; "
+            "title=XQuery Kick Start");
+  EXPECT_EQ(Nodes("//title[lang('de')]"), "title=Learning XML");
+  EXPECT_EQ(Nodes("//title[lang('en-US')]"), "title=XQuery Kick Start");
+}
+
+TEST_P(E2EQueryTest, SelfAndParentAbbreviations) {
+  EXPECT_EQ(Nodes("/bookstore/book[1]/title/.."),
+            "book=" + Str("string(/bookstore/book[1])"));
+  EXPECT_EQ(Nodes("/bookstore/book[1]/self::book/@id"), "id=b1");
+  EXPECT_EQ(Nodes("//title/./."),
+            Nodes("//title"));
+}
+
+TEST_P(E2EQueryTest, Variables) {
+  auto compiled = db_->Compile("/bookstore/book[year = $y]/@id", Options());
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  (*compiled)->SetVariable("y", runtime::Value::String("2003"));
+  auto nodes = (*compiled)->EvaluateNodes(root_);
+  ASSERT_TRUE(nodes.ok()) << nodes.status().ToString();
+  ASSERT_EQ(nodes->size(), 2u);
+  EXPECT_EQ(*(*nodes)[0].content(), "b3");
+  (*compiled)->SetVariable("y", runtime::Value::String("2005"));
+  nodes = (*compiled)->EvaluateNodes(root_);
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ(*(*nodes)[0].content(), "b1");
+}
+
+TEST_P(E2EQueryTest, RelativePathsFromInnerContext) {
+  auto compiled = db_->Compile("title", Options());
+  ASSERT_TRUE(compiled.ok());
+  // Evaluate relative to the second book element.
+  auto books = db_->QueryNodes("books", "/bookstore/book");
+  ASSERT_TRUE(books.ok());
+  auto titles = (*compiled)->EvaluateNodes((*books)[1].id());
+  ASSERT_TRUE(titles.ok());
+  ASSERT_EQ(titles->size(), 1u);
+  EXPECT_EQ(*(*titles)[0].string_value(), "Harry Potter");
+}
+
+TEST_P(E2EQueryTest, AbsolutePathFromInnerContext) {
+  auto compiled = db_->Compile("/bookstore/book[1]/@id", Options());
+  ASSERT_TRUE(compiled.ok());
+  auto books = db_->QueryNodes("books", "/bookstore/book");
+  ASSERT_TRUE(books.ok());
+  auto ids = (*compiled)->EvaluateNodes((*books)[3].id());
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), 1u);
+  EXPECT_EQ(*(*ids)[0].content(), "b1");
+}
+
+TEST_P(E2EQueryTest, PaperInnerPathExample) {
+  // The memoization showcase of Sec. 4.2.2 (shape, small scale).
+  // following::* counts per book: b1 reaches 19 elements, b2 reaches 13,
+  // b3 reaches 8 (the union of both authors' following sets), b4 only 2.
+  EXPECT_EQ(Nodes("/bookstore/book[count(./descendant::author"
+                  "/following::*) > 10]/@id"),
+            "id=b1; id=b2");
+  EXPECT_EQ(Nodes("/bookstore/book[count(./descendant::author"
+                  "/following::*) > 7]/@id"),
+            "id=b1; id=b2; id=b3");
+}
+
+TEST_P(E2EQueryTest, NonElementNodeResults) {
+  // Comments, processing instructions and text nodes are first-class
+  // results.
+  EXPECT_EQ(Nodes("//book[1]/title/text()"), "#=Everyday Italian");
+  EXPECT_EQ(Nodes("count(//text())"),
+            "ERROR InvalidArgument: ExecuteNodes called on a non-node-set "
+            "query");
+  EXPECT_EQ(Str("count(//title/text())"), "4");
+}
+
+TEST_P(E2EQueryTest, DeepNesting) {
+  EXPECT_EQ(Nodes("//book[author[starts-with(., 'Per')]]/@id"), "id=b3");
+  EXPECT_EQ(Nodes("//book[title[@lang='de']]/@id"), "id=b4");
+}
+
+INSTANTIATE_TEST_SUITE_P(Translations, E2EQueryTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Improved" : "Canonical";
+                         });
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,178 @@
+#include "gen/auction_generator.h"
+#include "gen/dblp_generator.h"
+#include "gen/xdoc_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "api/database.h"
+
+namespace natix::gen {
+namespace {
+
+TEST(XDocGeneratorTest, CompleteTreeCounts) {
+  // fanout 2, depth 2 (levels below the root): 1 + 2 + 4 = 7 elements.
+  XDocOptions options;
+  options.max_elements = 100;
+  options.fanout = 2;
+  options.depth = 2;
+  EXPECT_EQ(XDocElementCount(options), 7u);
+}
+
+TEST(XDocGeneratorTest, ElementBudgetCapsGeneration) {
+  XDocOptions options;
+  options.max_elements = 5;
+  options.fanout = 10;
+  options.depth = 10;
+  EXPECT_EQ(XDocElementCount(options), 5u);
+}
+
+TEST(XDocGeneratorTest, DocumentParsesAndMatchesPaperShape) {
+  XDocOptions options;
+  options.max_elements = 2000;
+  options.fanout = 6;
+  options.depth = 5;
+  std::string xml = GenerateXDoc(options);
+
+  auto db = Database::CreateTemp();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->LoadDocument("x", xml).ok());
+
+  // Root is named xdoc.
+  auto name = (*db)->QueryString("x", "name(/*)");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "xdoc");
+
+  // Every element has an id attribute; ids are consecutive from 0.
+  auto elements = (*db)->QueryNumber("x", "count(//*)");
+  auto with_id = (*db)->QueryNumber("x", "count(//*[@id])");
+  ASSERT_TRUE(elements.ok() && with_id.ok());
+  EXPECT_EQ(*elements, *with_id);
+  EXPECT_EQ(*elements, 2000);
+  EXPECT_EQ(*(*db)->QueryNumber("x", "count(//*[@id='0'])"), 1);
+  EXPECT_EQ(*(*db)->QueryNumber("x", "count(//*[@id='1999'])"), 1);
+  EXPECT_EQ(*(*db)->QueryNumber("x", "count(//*[@id='2000'])"), 0);
+
+  // Depth never exceeds the configured limit of 5 levels below the root;
+  // the budget runs out while filling level 5 breadth-first.
+  EXPECT_EQ(*(*db)->QueryNumber("x", "count(/xdoc/*/*/*/*/*/*)"), 0);
+  EXPECT_EQ(*(*db)->QueryNumber("x", "count(/xdoc/*/*/*/*/*)"),
+            2000 - 1555);
+  EXPECT_EQ(*(*db)->QueryNumber("x", "count(/xdoc/*/*/*/*)"), 1296);
+
+  // Breadth-first fill: the root has exactly `fanout` children.
+  EXPECT_EQ(*(*db)->QueryNumber("x", "count(/xdoc/*)"), 6);
+}
+
+TEST(XDocGeneratorTest, PaperDocumentSizes) {
+  // The paper cites (fanout 6, depth 4) for 2000-8000 elements, but a
+  // complete 6-ary tree of depth 4 holds only 1+6+36+216+1296 = 1555
+  // elements, so its depth must count one level differently; the bench
+  // harness uses depth 5 so the element budget binds and the documents
+  // have exactly the sizes on the paper's x-axes (see EXPERIMENTS.md).
+  XDocOptions small;
+  small.fanout = 6;
+  small.depth = 4;
+  small.max_elements = 8000;
+  EXPECT_EQ(XDocElementCount(small), 1555u);
+
+  XDocOptions small5;
+  small5.fanout = 6;
+  small5.depth = 5;
+  small5.max_elements = 8000;
+  EXPECT_EQ(XDocElementCount(small5), 8000u);
+
+  XDocOptions large;
+  large.fanout = 10;
+  large.depth = 5;
+  large.max_elements = 80000;
+  EXPECT_EQ(XDocElementCount(large), 80000u);
+}
+
+TEST(DblpGeneratorTest, ContainsQueryableWorkload) {
+  DblpOptions options;
+  options.publications = 500;
+  std::string xml = GenerateDblp(options);
+
+  auto db = Database::CreateTemp();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->LoadDocument("dblp", xml).ok());
+
+  EXPECT_EQ(*(*db)->QueryNumber("dblp", "count(/dblp/*)"), 500);
+  EXPECT_GT(*(*db)->QueryNumber("dblp", "count(/dblp/article)"), 100);
+  EXPECT_GT(*(*db)->QueryNumber("dblp", "count(/dblp/inproceedings)"), 100);
+  // Every publication has key, title, year and at least one author
+  // (books/phdtheses included).
+  EXPECT_EQ(*(*db)->QueryNumber("dblp", "count(/dblp/*[@key])"), 500);
+  EXPECT_EQ(*(*db)->QueryNumber("dblp", "count(/dblp/*[title])"), 500);
+  EXPECT_EQ(*(*db)->QueryNumber("dblp", "count(/dblp/*[year])"), 500);
+  EXPECT_EQ(*(*db)->QueryNumber("dblp", "count(/dblp/*[author])"), 500);
+
+  // The specific records Fig. 10's queries look for are present.
+  EXPECT_EQ(*(*db)->QueryNumber(
+                "dblp",
+                "count(/dblp/inproceedings"
+                "[@key='conf/er/LockemannM91'])"),
+            1);
+  EXPECT_GT(*(*db)->QueryNumber(
+                "dblp", "count(/dblp/*[author='Guido Moerkotte'])"),
+            0);
+  EXPECT_GT(*(*db)->QueryNumber("dblp", "count(/dblp/*[year='1991'])"), 0);
+  EXPECT_GT(*(*db)->QueryNumber("dblp",
+                                "count(/dblp/article[count(author)=4])"),
+            0);
+}
+
+TEST(DblpGeneratorTest, DeterministicForSeed) {
+  DblpOptions options;
+  options.publications = 50;
+  EXPECT_EQ(GenerateDblp(options), GenerateDblp(options));
+  DblpOptions other = options;
+  other.seed = 7;
+  EXPECT_NE(GenerateDblp(options), GenerateDblp(other));
+}
+
+TEST(AuctionGeneratorTest, CrossReferencesResolve) {
+  AuctionOptions options;
+  options.people = 40;
+  options.items = 60;
+  options.auctions = 50;
+  auto db = Database::CreateTemp();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(
+      (*db)->LoadDocument("site", GenerateAuctionSite(options)).ok());
+
+  EXPECT_EQ(*(*db)->QueryNumber("site", "count(//person)"), 40);
+  EXPECT_EQ(*(*db)->QueryNumber("site", "count(//item)"), 60);
+  EXPECT_EQ(*(*db)->QueryNumber("site", "count(//auction)"), 50);
+  // Every auction's item and seller reference resolves through id().
+  EXPECT_EQ(*(*db)->QueryNumber("site",
+                                "count(//auction[id(@item)/self::item])"),
+            50);
+  EXPECT_EQ(
+      *(*db)->QueryNumber("site",
+                          "count(//auction[id(@seller)/self::person])"),
+      50);
+  // Every bid's person resolves.
+  auto bids = (*db)->QueryNumber("site", "count(//bid)");
+  auto resolved = (*db)->QueryNumber(
+      "site", "count(//bid[id(@person)/self::person])");
+  ASSERT_TRUE(bids.ok() && resolved.ok());
+  EXPECT_EQ(*bids, *resolved);
+  // Bid amounts ascend within an auction: the last bid is the maximum.
+  EXPECT_EQ(*(*db)->QueryNumber(
+                "site",
+                "count(//auction[bid][bid[last()]/amount < "
+                "bid/amount])"),
+            0);
+}
+
+TEST(AuctionGeneratorTest, Deterministic) {
+  AuctionOptions options;
+  options.people = 10;
+  options.items = 10;
+  options.auctions = 10;
+  EXPECT_EQ(GenerateAuctionSite(options), GenerateAuctionSite(options));
+}
+
+}  // namespace
+}  // namespace natix::gen

@@ -1,0 +1,169 @@
+// Direct tests of the baseline main-memory interpreter (beyond the
+// conformance cross-checks): result types, context semantics, and the
+// work-saving behaviour of memoization / step consolidation that the
+// complexity benches rely on.
+
+#include "interp/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dom/dom_builder.h"
+#include "xpath/normalizer.h"
+#include "xpath/parser.h"
+#include "xpath/sema.h"
+
+namespace natix::interp {
+namespace {
+
+struct Fixture {
+  explicit Fixture(const std::string& xml) {
+    auto parsed = dom::ParseDocument(xml);
+    NATIX_CHECK(parsed.ok());
+    doc = std::move(parsed.value());
+  }
+
+  Object Run(const std::string& query,
+             EvaluatorOptions options = EvaluatorOptions()) {
+    auto result = Evaluator::Run(doc.get(), query, doc->root(), options);
+    NATIX_CHECK(result.ok());
+    return std::move(result.value());
+  }
+
+  std::unique_ptr<dom::Document> doc;
+};
+
+TEST(InterpTest, NodeSetResultsAreSortedAndUnique) {
+  Fixture f("<r><a><b/></a><a><b/></a></r>");
+  Object result = f.Run("//b/ancestor::r");
+  ASSERT_EQ(result.kind, Object::Kind::kNodeSet);
+  EXPECT_EQ(result.nodes.size(), 1u);
+  Object all = f.Run("//a | //b | //a");
+  EXPECT_EQ(all.nodes.size(), 4u);
+  for (size_t i = 1; i < all.nodes.size(); ++i) {
+    EXPECT_LT(all.nodes[i - 1]->order, all.nodes[i]->order);
+  }
+}
+
+TEST(InterpTest, ScalarResults) {
+  Fixture f("<r><a>3</a><a>4</a></r>");
+  Object count = f.Run("count(//a)");
+  ASSERT_EQ(count.kind, Object::Kind::kNumber);
+  EXPECT_EQ(count.number, 2);
+  Object sum = f.Run("sum(//a)");
+  EXPECT_EQ(sum.number, 7);
+  Object text = f.Run("string(//a[2])");
+  ASSERT_EQ(text.kind, Object::Kind::kString);
+  EXPECT_EQ(text.string, "4");
+  Object has = f.Run("boolean(//a[. = '3'])");
+  ASSERT_EQ(has.kind, Object::Kind::kBoolean);
+  EXPECT_TRUE(has.boolean);
+}
+
+TEST(InterpTest, PositionAndLastInPredicates) {
+  Fixture f("<r><a/><a/><a/></r>");
+  EXPECT_EQ(f.Run("//a[2]").nodes.size(), 1u);
+  EXPECT_EQ(f.Run("//a[last()]").nodes.front()->order,
+            f.Run("//a[3]").nodes.front()->order);
+  EXPECT_EQ(f.Run("count(//a[position() != last()])").number, 2);
+}
+
+TEST(InterpTest, VariablesBind) {
+  Fixture f("<r><a x='1'/><a x='2'/></r>");
+  auto ast = xpath::ParseXPath("//a[@x = $v]");
+  ASSERT_TRUE(ast.ok());
+  ASSERT_TRUE(xpath::Analyze(ast->get()).ok());
+  Evaluator evaluator(f.doc.get(), EvaluatorOptions());
+  evaluator.SetVariable("v", Object::String("2"));
+  auto result = evaluator.Evaluate(**ast, f.doc->root());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->nodes.size(), 1u);
+}
+
+TEST(InterpTest, UnboundVariableFails) {
+  Fixture f("<r/>");
+  auto result =
+      Evaluator::Run(f.doc.get(), "$nope", f.doc->root(),
+                     EvaluatorOptions());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(InterpTest, MemoizationSavesStepEvaluations) {
+  // Each b's ancestor chain re-reaches the same nodes; the memoized
+  // interpreter evaluates (step, context) pairs once.
+  std::string xml = "<r>";
+  for (int i = 0; i < 10; ++i) xml += "<a><b/><b/><b/></a>";
+  xml += "</r>";
+  Fixture f(xml);
+
+  auto ast = xpath::ParseXPath("//b[count(ancestor::*/descendant::b) > 0]");
+  ASSERT_TRUE(ast.ok());
+  ASSERT_TRUE(xpath::Analyze(ast->get()).ok());
+  xpath::Normalize(ast->get());
+
+  EvaluatorOptions memo;
+  Evaluator with_memo(f.doc.get(), memo);
+  ASSERT_TRUE(with_memo.Evaluate(**ast, f.doc->root()).ok());
+
+  EvaluatorOptions no_memo;
+  no_memo.memoize = false;
+  Evaluator without_memo(f.doc.get(), no_memo);
+  ASSERT_TRUE(without_memo.Evaluate(**ast, f.doc->root()).ok());
+
+  EXPECT_LT(with_memo.steps_evaluated(), without_memo.steps_evaluated());
+}
+
+TEST(InterpTest, UnconsolidatedStepsMultiplyWork) {
+  Fixture f("<a><b/><b/></a>");
+  std::string query = "/a/b";
+  for (int i = 0; i < 8; ++i) query += "/parent::a/b";
+
+  EvaluatorOptions straw;
+  straw.memoize = false;
+  straw.consolidate_steps = false;
+  Evaluator straw_eval(f.doc.get(), straw);
+  auto ast = xpath::ParseXPath(query);
+  ASSERT_TRUE(ast.ok());
+  ASSERT_TRUE(xpath::Analyze(ast->get()).ok());
+  auto straw_result = straw_eval.Evaluate(**ast, f.doc->root());
+  ASSERT_TRUE(straw_result.ok());
+  // The result is still correct (two b nodes)...
+  EXPECT_EQ(straw_result->nodes.size(), 2u);
+
+  EvaluatorOptions consolidated;
+  consolidated.memoize = false;
+  Evaluator cons_eval(f.doc.get(), consolidated);
+  auto cons_result = cons_eval.Evaluate(**ast, f.doc->root());
+  ASSERT_TRUE(cons_result.ok());
+  EXPECT_EQ(cons_result->nodes.size(), 2u);
+
+  // ...but the straw-man evaluated exponentially more steps (2^k).
+  EXPECT_GT(straw_eval.steps_evaluated(),
+            cons_eval.steps_evaluated() * 20);
+}
+
+TEST(InterpTest, ComparisonSemantics) {
+  Fixture f("<r><a>1</a><a>2</a><b>2</b></r>");
+  EXPECT_TRUE(f.Run("boolean(//a = //b)").boolean);   // 2 == 2
+  EXPECT_TRUE(f.Run("boolean(//a != //b)").boolean);  // 1 != 2
+  EXPECT_FALSE(f.Run("boolean(//b != //b)").boolean); // single value
+  EXPECT_TRUE(f.Run("boolean(//a < //b)").boolean);
+  EXPECT_FALSE(f.Run("boolean(//b < //a)").boolean);  // 2 < max(1,2)? no
+  EXPECT_TRUE(f.Run("boolean(//b <= //a)").boolean);
+  EXPECT_TRUE(f.Run("boolean(//a = 1)").boolean);
+  EXPECT_TRUE(f.Run("boolean(//a = '1')").boolean);
+  // node-set vs boolean compares boolean(node-set).
+  EXPECT_TRUE(f.Run("boolean(//a = true())").boolean);
+  EXPECT_TRUE(f.Run("boolean(//zzz = false())").boolean);
+}
+
+TEST(InterpTest, IdFunction) {
+  Fixture f("<r><x id='one'/><x id='two'><y id='three'/></x></r>");
+  EXPECT_EQ(f.Run("count(id('one two three'))").number, 3);
+  EXPECT_EQ(f.Run("string(id('three')/../@id)").string, "two");
+  EXPECT_EQ(f.Run("count(id('nope'))").number, 0);
+}
+
+}  // namespace
+}  // namespace natix::interp

@@ -1,0 +1,164 @@
+#include "xpath/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace natix::xpath {
+namespace {
+
+/// Renders the token stream compactly for assertions.
+std::string Lex(const std::string& input) {
+  auto tokens = Tokenize(input);
+  if (!tokens.ok()) return "ERROR";
+  std::string out;
+  for (const Token& t : *tokens) {
+    if (!out.empty()) out += " ";
+    switch (t.kind) {
+      case TokenKind::kEnd:
+        out += "$";
+        break;
+      case TokenKind::kName:
+        out += "N(" + t.text + ")";
+        break;
+      case TokenKind::kNumber:
+        out += "#(" + t.text + ")";
+        break;
+      case TokenKind::kLiteral:
+        out += "L(" + t.text + ")";
+        break;
+      case TokenKind::kVariable:
+        out += "$(" + t.text + ")";
+        break;
+      case TokenKind::kLParen:
+        out += "(";
+        break;
+      case TokenKind::kRParen:
+        out += ")";
+        break;
+      case TokenKind::kLBracket:
+        out += "[";
+        break;
+      case TokenKind::kRBracket:
+        out += "]";
+        break;
+      case TokenKind::kDot:
+        out += ".";
+        break;
+      case TokenKind::kDotDot:
+        out += "..";
+        break;
+      case TokenKind::kAt:
+        out += "@";
+        break;
+      case TokenKind::kComma:
+        out += ",";
+        break;
+      case TokenKind::kDoubleColon:
+        out += "::";
+        break;
+      case TokenKind::kSlash:
+        out += "/";
+        break;
+      case TokenKind::kDoubleSlash:
+        out += "//";
+        break;
+      case TokenKind::kPipe:
+        out += "|";
+        break;
+      case TokenKind::kPlus:
+        out += "+";
+        break;
+      case TokenKind::kMinus:
+        out += "-";
+        break;
+      case TokenKind::kEq:
+        out += "=";
+        break;
+      case TokenKind::kNe:
+        out += "!=";
+        break;
+      case TokenKind::kLt:
+        out += "<";
+        break;
+      case TokenKind::kLe:
+        out += "<=";
+        break;
+      case TokenKind::kGt:
+        out += ">";
+        break;
+      case TokenKind::kGe:
+        out += ">=";
+        break;
+      case TokenKind::kStar:
+        out += "*";
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(LexerTest, PathTokens) {
+  EXPECT_EQ(Lex("/a//b"), "/ N(a) // N(b) $");
+  EXPECT_EQ(Lex("child::a"), "N(child) :: N(a) $");
+  EXPECT_EQ(Lex("@id"), "@ N(id) $");
+  EXPECT_EQ(Lex(".."), ".. $");
+  EXPECT_EQ(Lex("."), ". $");
+}
+
+TEST(LexerTest, NamesWithDashesAndDots) {
+  EXPECT_EQ(Lex("pre-sib"), "N(pre-sib) $");
+  EXPECT_EQ(Lex("a.b-c"), "N(a.b-c) $");
+  // A freestanding minus is an operator; inside a name it is part of it.
+  EXPECT_EQ(Lex("a - b"), "N(a) - N(b) $");
+  EXPECT_EQ(Lex("a -b"), "N(a) - N(b) $");
+}
+
+TEST(LexerTest, QNamesKeepSingleColons) {
+  EXPECT_EQ(Lex("xml:lang"), "N(xml:lang) $");
+  // "axis::test" splits at the double colon, even after a QName.
+  EXPECT_EQ(Lex("ns:a::b"), "N(ns:a) :: N(b) $");
+  EXPECT_EQ(Lex("ancestor::x"), "N(ancestor) :: N(x) $");
+}
+
+TEST(LexerTest, NumbersAndLiterals) {
+  EXPECT_EQ(Lex("3.14"), "#(3.14) $");
+  EXPECT_EQ(Lex(".5"), "#(.5) $");
+  EXPECT_EQ(Lex("10."), "#(10.) $");
+  EXPECT_EQ(Lex("'abc'"), "L(abc) $");
+  EXPECT_EQ(Lex("\"x y\""), "L(x y) $");
+  EXPECT_EQ(Lex("''"), "L() $");
+}
+
+TEST(LexerTest, Operators) {
+  EXPECT_EQ(Lex("a=b!=c<d<=e>f>=g"),
+            "N(a) = N(b) != N(c) < N(d) <= N(e) > N(f) >= N(g) $");
+  EXPECT_EQ(Lex("a+b*c|d"), "N(a) + N(b) * N(c) | N(d) $");
+}
+
+TEST(LexerTest, Variables) {
+  EXPECT_EQ(Lex("$x + $long-name"), "$(x) + $(long-name) $");
+}
+
+TEST(LexerTest, Whitespace) {
+  EXPECT_EQ(Lex("  a \t\n /  b  "), "N(a) / N(b) $");
+  EXPECT_EQ(Lex(""), "$");
+}
+
+TEST(LexerTest, Positions) {
+  auto tokens = Tokenize("ab + cd");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].position, 0u);
+  EXPECT_EQ((*tokens)[1].position, 3u);
+  EXPECT_EQ((*tokens)[2].position, 5u);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_EQ(Lex("'unterminated"), "ERROR");
+  EXPECT_EQ(Lex("$"), "ERROR");
+  EXPECT_EQ(Lex("!"), "ERROR");
+  EXPECT_EQ(Lex("#"), "ERROR");
+}
+
+}  // namespace
+}  // namespace natix::xpath

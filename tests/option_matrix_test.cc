@@ -1,0 +1,78 @@
+// Every combination of the Sec. 4 translation switches must produce the
+// same results — the improvements are performance rewrites, never
+// semantic ones. Runs a query corpus under all 2^5 option combinations
+// and requires agreement with the all-off (canonical) baseline.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+
+namespace natix {
+namespace {
+
+constexpr char kDoc[] =
+    "<r><a i='1'><b/><b><c/></b></a><a i='2'><b><c/><c/></b></a>"
+    "<a i='3'/>t<a i='4'><b/><b/><b/></a></r>";
+// (note: intentionally includes nesting, text, repeated names)
+
+const char* kQueries[] = {
+    "//b",
+    "//a/b/c",
+    "//c/ancestor::a/@i",
+    "//b[1]",
+    "//b[last()]",
+    "//a[b][2]/@i",
+    "//a[count(b) > 1]/@i",
+    "//a[b/c]/@i",
+    "(//b)[3]",
+    "(//b/ancestor::a)[last()]/@i",
+    "//a[.//c and @i != '9']/@i",
+    "count(//a[descendant::c]/following::b)",
+    "sum(//@i)",
+};
+
+TEST(OptionMatrixTest, AllCombinationsAgree) {
+  auto db = Database::CreateTemp();
+  ASSERT_TRUE(db.ok());
+  auto info = (*db)->LoadDocument("d", kDoc);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+
+  for (const char* query : kQueries) {
+    std::vector<std::string> results;
+    for (int mask = 0; mask < 32; ++mask) {
+      translate::TranslatorOptions options;
+      options.stacked_outer_paths = (mask & 1) != 0;
+      options.push_duplicate_elimination = (mask & 2) != 0;
+      options.memoize_inner_paths = (mask & 4) != 0;
+      options.split_expensive_predicates = (mask & 8) != 0;
+      options.simplify_plan = (mask & 16) != 0;
+      auto compiled = (*db)->Compile(query, options);
+      ASSERT_TRUE(compiled.ok())
+          << query << " mask=" << mask << ": "
+          << compiled.status().ToString();
+      std::string rendered;
+      if ((*compiled)->result_type() == xpath::ExprType::kNodeSet) {
+        auto nodes = (*compiled)->EvaluateNodes(info->root);
+        ASSERT_TRUE(nodes.ok()) << query << " mask=" << mask;
+        for (const auto& node : *nodes) {
+          rendered += std::to_string(*node.order()) + " ";
+        }
+      } else {
+        auto value = (*compiled)->EvaluateString(info->root);
+        ASSERT_TRUE(value.ok()) << query << " mask=" << mask;
+        rendered = *value;
+      }
+      results.push_back(std::move(rendered));
+    }
+    for (size_t i = 1; i < results.size(); ++i) {
+      EXPECT_EQ(results[i], results[0])
+          << query << " diverges at option mask " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,177 @@
+// Randomized stress tests of the storage layer: the buffer manager
+// against a shadow model, and page-spanning documents navigated under
+// heavy eviction.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <vector>
+
+#include "storage/buffer_manager.h"
+#include "storage/document_loader.h"
+#include "storage/node_store.h"
+#include "storage/paged_file.h"
+#include "storage/stored_node.h"
+
+namespace natix::storage {
+namespace {
+
+TEST(BufferManagerStressTest, MatchesShadowModel) {
+  auto file = PagedFile::OpenTemp();
+  ASSERT_TRUE(file.ok());
+  BufferManager bm(file->get(), 8);
+
+  std::mt19937 rng(1234);
+  std::map<PageId, uint8_t> shadow;  // page -> expected first byte
+  std::vector<PageId> pages;
+
+  for (int step = 0; step < 5000; ++step) {
+    int action = std::uniform_int_distribution<int>(0, 9)(rng);
+    if (pages.empty() || action == 0) {
+      // Allocate a new page and stamp it.
+      auto page = bm.NewPage();
+      ASSERT_TRUE(page.ok());
+      uint8_t stamp = static_cast<uint8_t>(rng());
+      page->mutable_data()[0] = stamp;
+      shadow[page->page_id()] = stamp;
+      pages.push_back(page->page_id());
+    } else if (action < 7) {
+      // Read a random page and verify its stamp.
+      PageId id = pages[std::uniform_int_distribution<size_t>(
+          0, pages.size() - 1)(rng)];
+      auto page = bm.FixPage(id);
+      ASSERT_TRUE(page.ok());
+      EXPECT_EQ(page->data()[0], shadow[id]) << "page " << id;
+    } else {
+      // Overwrite a random page's stamp.
+      PageId id = pages[std::uniform_int_distribution<size_t>(
+          0, pages.size() - 1)(rng)];
+      auto page = bm.FixPage(id);
+      ASSERT_TRUE(page.ok());
+      uint8_t stamp = static_cast<uint8_t>(rng());
+      page->mutable_data()[0] = stamp;
+      shadow[id] = stamp;
+    }
+  }
+  // Everything must be readable after a flush, straight from the file.
+  ASSERT_TRUE(bm.FlushAll().ok());
+  for (const auto& [id, stamp] : shadow) {
+    uint8_t buffer[kPageSize];
+    ASSERT_TRUE((*file)->ReadPage(id, buffer).ok());
+    EXPECT_EQ(buffer[0], stamp) << "page " << id;
+  }
+  EXPECT_GT(bm.eviction_count(), 100u);  // the pool really was tiny
+}
+
+TEST(StorageStressTest, RandomTreeSurvivesTinyPoolNavigation) {
+  NodeStore::Options options;
+  options.buffer_pages = 4;  // brutal
+  auto store = NodeStore::CreateTemp(options);
+  ASSERT_TRUE(store.ok());
+
+  // A random document with text of many sizes (hitting the overflow
+  // threshold from both sides).
+  std::mt19937 rng(99);
+  std::string xml = "<root>";
+  std::vector<size_t> sizes;
+  for (int i = 0; i < 200; ++i) {
+    size_t len = std::uniform_int_distribution<size_t>(0, 6000)(rng);
+    sizes.push_back(len);
+    xml += "<t n='" + std::to_string(i) + "'>" + std::string(len, 'x') +
+           "</t>";
+  }
+  xml += "</root>";
+  auto info = LoadDocument(store->get(), "doc", xml);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+
+  // Forward navigation with content checks.
+  StoredNode root(store->get(), info->root);
+  StoredNode t = *(*root.first_child()).first_child();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(t.valid()) << i;
+    EXPECT_EQ(*(*t.first_attribute()).content(), std::to_string(i));
+    EXPECT_EQ(t.string_value()->size(), sizes[static_cast<size_t>(i)]);
+    t = *t.next_sibling();
+  }
+  EXPECT_FALSE(t.valid());
+
+  // Backward navigation via prev links.
+  StoredNode last = *(*root.first_child()).first_child();
+  while ((*last.next_sibling()).valid()) last = *last.next_sibling();
+  for (int i = 199; i >= 0; --i) {
+    ASSERT_TRUE(last.valid());
+    EXPECT_EQ(*(*last.first_attribute()).content(), std::to_string(i));
+    last = *last.prev_sibling();
+  }
+}
+
+TEST(StorageStressTest, ManySmallDocuments) {
+  NodeStore::Options options;
+  options.buffer_pages = 32;
+  auto store = NodeStore::CreateTemp(options);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 100; ++i) {
+    std::string name = "doc" + std::to_string(i);
+    std::string xml =
+        "<d n='" + std::to_string(i) + "'><v>" + std::to_string(i * i) +
+        "</v></d>";
+    ASSERT_TRUE(LoadDocument(store->get(), name, xml).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  // All documents remain reachable and correct.
+  for (int i = 0; i < 100; ++i) {
+    auto info = (*store)->FindDocument("doc" + std::to_string(i));
+    ASSERT_TRUE(info.ok());
+    StoredNode root(store->get(), info->root);
+    EXPECT_EQ(*root.string_value(), std::to_string(i * i));
+  }
+  EXPECT_EQ((*store)->documents().size(), 100u);
+}
+
+TEST(StorageStressTest, PinnedCursorOverflowFailsCleanly) {
+  // Every open axis cursor keeps one page pinned. A plan deeper than the
+  // buffer pool must fail with ResourceExhausted — never crash or
+  // corrupt.
+  NodeStore::Options options;
+  options.buffer_pages = 2;
+  auto store = NodeStore::CreateTemp(options);
+  ASSERT_TRUE(store.ok());
+  // Build a deep chain so navigation needs several concurrently pinned
+  // pages (each element's subtree spills onto later pages).
+  std::string xml;
+  for (int i = 0; i < 40; ++i) {
+    xml += "<e" + std::to_string(i) + " pad='" + std::string(500, 'p') +
+           "'>";
+  }
+  for (int i = 39; i >= 0; --i) xml += "</e" + std::to_string(i) + ">";
+  auto info = LoadDocument(store->get(), "doc", xml);
+  // Either the load or a deep navigation may exhaust the pool; both must
+  // surface a clean status.
+  if (!info.ok()) {
+    EXPECT_EQ(info.status().code(), StatusCode::kResourceExhausted);
+    return;
+  }
+  StoredNode node(store->get(), info->root);
+  // Walk down keeping every handle alive to force concurrent pins.
+  std::vector<StoredNode> held;
+  Status last = Status::OK();
+  while (node.valid()) {
+    held.push_back(node);
+    auto child = node.first_child();
+    if (!child.ok()) {
+      last = child.status();
+      break;
+    }
+    node = *child;
+  }
+  // Holding StoredNode values does not pin pages (they re-fix on use), so
+  // the walk usually succeeds; the invariant under test is simply that
+  // nothing crashed and any failure is the documented one.
+  if (!last.ok()) {
+    EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+  }
+}
+
+}  // namespace
+}  // namespace natix::storage

@@ -1,0 +1,183 @@
+#include "xml/reader.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "xml/escape.h"
+
+namespace natix::xml {
+namespace {
+
+/// Drains the reader, rendering events compactly for assertions:
+/// "S:name(attrs) E:name T:text C:comment P:target|data".
+std::string Render(std::string_view input) {
+  Reader reader(input);
+  std::string out;
+  while (true) {
+    Reader::Event event;
+    Status st = reader.Next(&event);
+    if (!st.ok()) return "ERROR " + st.ToString();
+    switch (event.kind) {
+      case EventKind::kEndDocument:
+        return out;
+      case EventKind::kStartElement: {
+        out += "S:" + event.name;
+        if (!event.attributes.empty()) {
+          out += "(";
+          for (size_t i = 0; i < event.attributes.size(); ++i) {
+            if (i > 0) out += ",";
+            out += event.attributes[i].name + "=" + event.attributes[i].value;
+          }
+          out += ")";
+        }
+        out += " ";
+        break;
+      }
+      case EventKind::kEndElement:
+        out += "E:" + event.name + " ";
+        break;
+      case EventKind::kText:
+        out += "T:" + event.text + " ";
+        break;
+      case EventKind::kComment:
+        out += "C:" + event.text + " ";
+        break;
+      case EventKind::kProcessingInstruction:
+        out += "P:" + event.name + "|" + event.text + " ";
+        break;
+    }
+  }
+}
+
+TEST(XmlReaderTest, SimpleElement) {
+  EXPECT_EQ(Render("<a/>"), "S:a E:a ");
+  EXPECT_EQ(Render("<a></a>"), "S:a E:a ");
+}
+
+TEST(XmlReaderTest, NestedElementsAndText) {
+  EXPECT_EQ(Render("<a><b>hi</b>x</a>"), "S:a S:b T:hi E:b T:x E:a ");
+}
+
+TEST(XmlReaderTest, Attributes) {
+  EXPECT_EQ(Render("<a x=\"1\" y='two'/>"), "S:a(x=1,y=two) E:a ");
+}
+
+TEST(XmlReaderTest, AttributeValueNormalization) {
+  // Tabs and newlines in attribute values become spaces.
+  EXPECT_EQ(Render("<a x=\"p\tq\nr\"/>"), "S:a(x=p q r) E:a ");
+}
+
+TEST(XmlReaderTest, BuiltinEntities) {
+  EXPECT_EQ(Render("<a>&lt;&gt;&amp;&apos;&quot;</a>"), "S:a T:<>&'\" E:a ");
+}
+
+TEST(XmlReaderTest, CharacterReferences) {
+  EXPECT_EQ(Render("<a>&#65;&#x42;</a>"), "S:a T:AB E:a ");
+  EXPECT_EQ(Render("<a>&#233;</a>"), "S:a T:\xC3\xA9 E:a ");
+}
+
+TEST(XmlReaderTest, EntitiesInAttributes) {
+  EXPECT_EQ(Render("<a x=\"&amp;&#48;\"/>"), "S:a(x=&0) E:a ");
+}
+
+TEST(XmlReaderTest, CData) {
+  EXPECT_EQ(Render("<a><![CDATA[<not> &markup;]]></a>"),
+            "S:a T:<not> &markup; E:a ");
+}
+
+TEST(XmlReaderTest, EmptyCDataProducesNoEvent) {
+  EXPECT_EQ(Render("<a><![CDATA[]]></a>"), "S:a E:a ");
+}
+
+TEST(XmlReaderTest, Comment) {
+  EXPECT_EQ(Render("<a><!-- hello --></a>"), "S:a C: hello  E:a ");
+}
+
+TEST(XmlReaderTest, CommentBeforeRoot) {
+  EXPECT_EQ(Render("<!--top--><a/>"), "C:top S:a E:a ");
+}
+
+TEST(XmlReaderTest, ProcessingInstruction) {
+  EXPECT_EQ(Render("<a><?php echo 1; ?></a>"), "S:a P:php|echo 1;  E:a ");
+}
+
+TEST(XmlReaderTest, XmlDeclarationIsSkipped) {
+  EXPECT_EQ(Render("<?xml version=\"1.0\"?><a/>"), "S:a E:a ");
+}
+
+TEST(XmlReaderTest, DoctypeIsSkipped) {
+  EXPECT_EQ(Render("<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>"), "S:a E:a ");
+}
+
+TEST(XmlReaderTest, WhitespaceAroundRootIgnored) {
+  EXPECT_EQ(Render("  \n<a/>\n  "), "S:a E:a ");
+}
+
+TEST(XmlReaderTest, MismatchedTagFails) {
+  EXPECT_TRUE(Render("<a><b></a></b>").starts_with("ERROR"));
+}
+
+TEST(XmlReaderTest, UnclosedElementFails) {
+  EXPECT_TRUE(Render("<a><b>").starts_with("ERROR"));
+}
+
+TEST(XmlReaderTest, MultipleRootsFail) {
+  EXPECT_TRUE(Render("<a/><b/>").starts_with("ERROR"));
+}
+
+TEST(XmlReaderTest, TextOutsideRootFails) {
+  EXPECT_TRUE(Render("<a/>junk").starts_with("ERROR"));
+  EXPECT_TRUE(Render("junk<a/>").starts_with("ERROR"));
+}
+
+TEST(XmlReaderTest, UnknownEntityFails) {
+  EXPECT_TRUE(Render("<a>&unknown;</a>").starts_with("ERROR"));
+}
+
+TEST(XmlReaderTest, DuplicateAttributeFails) {
+  EXPECT_TRUE(Render("<a x='1' x='2'/>").starts_with("ERROR"));
+}
+
+TEST(XmlReaderTest, LtInAttributeFails) {
+  EXPECT_TRUE(Render("<a x='<'/>").starts_with("ERROR"));
+}
+
+TEST(XmlReaderTest, EmptyInputFails) {
+  EXPECT_TRUE(Render("").starts_with("ERROR"));
+  EXPECT_TRUE(Render("   ").starts_with("ERROR"));
+}
+
+TEST(XmlReaderTest, CDataEndMarkerInTextFails) {
+  EXPECT_TRUE(Render("<a>x]]>y</a>").starts_with("ERROR"));
+}
+
+TEST(XmlReaderTest, ErrorsIncludeLineNumbers) {
+  Reader reader("<a>\n<b>\n</c>\n</a>");
+  Reader::Event event;
+  Status st;
+  do {
+    st = reader.Next(&event);
+  } while (st.ok() && event.kind != EventKind::kEndDocument);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 3"), std::string::npos) << st.ToString();
+}
+
+TEST(XmlEscapeTest, EscapeText) {
+  EXPECT_EQ(EscapeText("a<b>&c"), "a&lt;b&gt;&amp;c");
+}
+
+TEST(XmlEscapeTest, EscapeAttribute) {
+  EXPECT_EQ(EscapeAttribute("a\"b<c&d"), "a&quot;b&lt;c&amp;d");
+}
+
+TEST(XmlEscapeTest, RoundTripThroughReader) {
+  std::string payload = "x < y & \"z\"";
+  std::string doc = "<a t=\"" + EscapeAttribute(payload) + "\">" +
+                    EscapeText(payload) + "</a>";
+  EXPECT_EQ(Render(doc), "S:a(t=" + payload + ") T:" + payload + " E:a ");
+}
+
+}  // namespace
+}  // namespace natix::xml

@@ -1,0 +1,91 @@
+#include "xml/writer.h"
+
+#include <gtest/gtest.h>
+
+#include "api/database.h"
+
+namespace natix::xml {
+namespace {
+
+struct Fixture {
+  explicit Fixture(const std::string& xml) {
+    auto database = Database::CreateTemp();
+    NATIX_CHECK(database.ok());
+    db = std::move(database.value());
+    auto info = db->LoadDocument("doc", xml);
+    NATIX_CHECK(info.ok());
+    root = storage::StoredNode(db->store(), info->root);
+  }
+  std::unique_ptr<Database> db;
+  storage::StoredNode root;
+};
+
+TEST(XmlWriterTest, RoundTripsSimpleDocuments) {
+  const char* docs[] = {
+      "<a/>",
+      "<a><b/><c/></a>",
+      "<a x=\"1\" y=\"2\"><b>text</b></a>",
+      "<a><!--comment--><?pi data?></a>",
+      "<r><a>one</a>two<b/>three</r>",
+  };
+  for (const char* doc : docs) {
+    Fixture f(doc);
+    auto out = OuterXml(f.root);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, doc);
+  }
+}
+
+TEST(XmlWriterTest, EscapesSpecialCharacters) {
+  Fixture f("<a x=\"&quot;&amp;&lt;\">&lt;tag&gt; &amp; text</a>");
+  auto out = OuterXml(f.root);
+  ASSERT_TRUE(out.ok());
+  // Reparse the output: the data model must be identical.
+  Fixture again(*out);
+  EXPECT_EQ(*again.root.string_value(), *f.root.string_value());
+  auto attr = *(*f.root.first_child()).first_attribute();
+  auto attr2 = *(*again.root.first_child()).first_attribute();
+  EXPECT_EQ(*attr.content(), *attr2.content());
+}
+
+TEST(XmlWriterTest, SerializesQueryResults) {
+  Fixture f("<books><book id=\"1\"><t>A</t></book>"
+            "<book id=\"2\"><t>B</t></book></books>");
+  auto nodes = f.db->QueryNodes("doc", "//book[@id='2']");
+  ASSERT_TRUE(nodes.ok());
+  ASSERT_EQ(nodes->size(), 1u);
+  auto out = OuterXml(nodes->front());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "<book id=\"2\"><t>B</t></book>");
+}
+
+TEST(XmlWriterTest, AttributeNodeSerialization) {
+  Fixture f("<a x=\"v&quot;\"/>");
+  auto attrs = f.db->QueryNodes("doc", "//@x");
+  ASSERT_TRUE(attrs.ok());
+  ASSERT_EQ(attrs->size(), 1u);
+  auto out = OuterXml(attrs->front());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "x=\"v&quot;\"");
+}
+
+TEST(XmlWriterTest, InnerXmlOmitsTheTag) {
+  Fixture f("<a><b>x</b><c/></a>");
+  auto a = *f.root.first_child();
+  auto inner = InnerXml(a);
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(*inner, "<b>x</b><c/>");
+  auto outer = OuterXml(a);
+  EXPECT_EQ(*outer, "<a><b>x</b><c/></a>");
+}
+
+TEST(XmlWriterTest, LongContentThroughOverflowChain) {
+  std::string long_text(50000, 'z');
+  Fixture f("<a>" + long_text + "</a>");
+  auto out = OuterXml(f.root);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "<a>" + long_text + "</a>");
+}
+
+}  // namespace
+}  // namespace natix::xml

@@ -1,0 +1,233 @@
+#include "xpath/sema.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "xpath/fold.h"
+#include "xpath/functions.h"
+#include "xpath/normalizer.h"
+#include "xpath/parser.h"
+
+namespace natix::xpath {
+namespace {
+
+/// Runs parse + sema and renders the annotated AST.
+std::string Annotated(const std::string& query) {
+  auto expr = ParseXPath(query);
+  if (!expr.ok()) return "ERROR " + expr.status().ToString();
+  Status st = Analyze(expr->get());
+  if (!st.ok()) return "ERROR " + st.ToString();
+  return (*expr)->ToString();
+}
+
+ExprType TypeOf(const std::string& query) {
+  auto expr = ParseXPath(query);
+  NATIX_CHECK(expr.ok());
+  NATIX_CHECK(Analyze(expr->get()).ok());
+  return (*expr)->type;
+}
+
+TEST(SemaTest, DerivesTypes) {
+  EXPECT_EQ(TypeOf("1 + 2"), ExprType::kNumber);
+  EXPECT_EQ(TypeOf("'x'"), ExprType::kString);
+  EXPECT_EQ(TypeOf("1 = 2"), ExprType::kBoolean);
+  EXPECT_EQ(TypeOf("a/b"), ExprType::kNodeSet);
+  EXPECT_EQ(TypeOf("a | b"), ExprType::kNodeSet);
+  EXPECT_EQ(TypeOf("count(a)"), ExprType::kNumber);
+  EXPECT_EQ(TypeOf("concat('a', 'b')"), ExprType::kString);
+  EXPECT_EQ(TypeOf("not(a)"), ExprType::kBoolean);
+  EXPECT_EQ(TypeOf("$v"), ExprType::kUnknown);
+}
+
+TEST(SemaTest, NumberPredicateBecomesPositionTest) {
+  EXPECT_EQ(Annotated("a[3]"), "child::a[(position() = 3)]");
+  EXPECT_EQ(Annotated("a[last()]"), "child::a[(position() = last())]");
+  EXPECT_EQ(Annotated("a[last() - 1]"),
+            "child::a[(position() = (last() - 1))]");
+}
+
+TEST(SemaTest, NodeSetPredicateGetsBooleanConversion) {
+  EXPECT_EQ(Annotated("a[b]"), "child::a[boolean(child::b)]");
+}
+
+TEST(SemaTest, StringPredicateGetsBooleanConversion) {
+  EXPECT_EQ(Annotated("a['x']"), "child::a[boolean('x')]");
+}
+
+TEST(SemaTest, BooleanPredicateUnchanged) {
+  EXPECT_EQ(Annotated("a[b = 'x']"),
+            "child::a[(child::b = 'x')]");
+}
+
+TEST(SemaTest, ArithmeticOperandsGetNumberConversion) {
+  EXPECT_EQ(Annotated("'1' + 2"), "(number('1') + 2)");
+  EXPECT_EQ(Annotated("a + 1"), "(number(child::a) + 1)");
+}
+
+TEST(SemaTest, LogicalOperandsGetBooleanConversion) {
+  EXPECT_EQ(Annotated("a and 1"),
+            "(boolean(child::a) and boolean(1))");
+}
+
+TEST(SemaTest, StringFunctionArgsGetStringConversion) {
+  EXPECT_EQ(Annotated("contains(a, 1)"),
+            "contains(string(child::a), string(1))");
+}
+
+TEST(SemaTest, OptionalContextArgumentsExpanded) {
+  EXPECT_EQ(Annotated("string()"), "string(self::node())");
+  EXPECT_EQ(Annotated("number()"), "number(self::node())");
+  EXPECT_EQ(Annotated("string-length()"),
+            "string-length(string(self::node()))");
+  EXPECT_EQ(Annotated("normalize-space()"),
+            "normalize-space(string(self::node()))");
+  EXPECT_EQ(Annotated("name()"), "name(self::node())");
+  EXPECT_EQ(Annotated("local-name()"), "local-name(self::node())");
+}
+
+TEST(SemaTest, ComparisonOperandsKeptForTranslator) {
+  // Node-set comparisons keep node-set operands.
+  EXPECT_EQ(Annotated("a = 'x'"), "(child::a = 'x')");
+  EXPECT_EQ(Annotated("a < b"), "(child::a < child::b)");
+}
+
+TEST(SemaTest, Errors) {
+  EXPECT_TRUE(Annotated("frobnicate()").starts_with("ERROR"));
+  EXPECT_TRUE(Annotated("count()").starts_with("ERROR"));
+  EXPECT_TRUE(Annotated("count(1, 2)").starts_with("ERROR"));
+  EXPECT_TRUE(Annotated("count(1)").starts_with("ERROR"));
+  EXPECT_TRUE(Annotated("sum('x')").starts_with("ERROR"));
+  EXPECT_TRUE(Annotated("1 | 2").starts_with("ERROR"));
+  EXPECT_TRUE(Annotated("count($v)").starts_with("ERROR NotSupported"));
+  EXPECT_TRUE(Annotated("$v/a").starts_with("ERROR NotSupported"));
+  EXPECT_TRUE(Annotated("$v[1]").starts_with("ERROR NotSupported"));
+}
+
+TEST(SemaTest, FunctionIdsResolved) {
+  auto expr = ParseXPath("count(a)");
+  ASSERT_TRUE(expr.ok());
+  ASSERT_TRUE(Analyze(expr->get()).ok());
+  EXPECT_EQ(static_cast<FunctionId>((*expr)->function_id),
+            FunctionId::kCount);
+}
+
+/// Parse + sema + normalize, then inspect the first step's first
+/// predicate classification.
+PredicateInfo FirstPredicateInfo(const std::string& query) {
+  auto expr = ParseXPath(query);
+  NATIX_CHECK(expr.ok());
+  NATIX_CHECK(Analyze(expr->get()).ok());
+  Normalize(expr->get());
+  NATIX_CHECK(!(*expr)->steps.empty());
+  NATIX_CHECK(!(*expr)->steps[0].predicate_info.empty());
+  return (*expr)->steps[0].predicate_info[0];
+}
+
+TEST(NormalizerTest, PositionDetected) {
+  PredicateInfo info = FirstPredicateInfo("a[position() = 2]");
+  EXPECT_TRUE(info.uses_position);
+  EXPECT_FALSE(info.uses_last);
+  EXPECT_FALSE(info.has_nested_path);
+}
+
+TEST(NormalizerTest, NumberPredicateCountsAsPositional) {
+  PredicateInfo info = FirstPredicateInfo("a[2]");
+  EXPECT_TRUE(info.uses_position);
+  EXPECT_FALSE(info.uses_last);
+}
+
+TEST(NormalizerTest, LastDetectedAndImpliesPosition) {
+  PredicateInfo info = FirstPredicateInfo("a[last()]");
+  EXPECT_TRUE(info.uses_last);
+  EXPECT_TRUE(info.uses_position);
+}
+
+TEST(NormalizerTest, NestedPathDetected) {
+  PredicateInfo info = FirstPredicateInfo("a[b/c]");
+  EXPECT_TRUE(info.has_nested_path);
+  EXPECT_TRUE(info.expensive);
+  EXPECT_FALSE(info.uses_position);
+}
+
+TEST(NormalizerTest, PositionInsideNestedPredicateDoesNotCount) {
+  // The position() belongs to the nested step b's context.
+  PredicateInfo info = FirstPredicateInfo("a[b[position() = 1]]");
+  EXPECT_FALSE(info.uses_position);
+  EXPECT_TRUE(info.has_nested_path);
+}
+
+TEST(NormalizerTest, PositionInFunctionArgCounts) {
+  PredicateInfo info = FirstPredicateInfo("a[position() + 1 = 2]");
+  EXPECT_TRUE(info.uses_position);
+}
+
+TEST(NormalizerTest, AtomicComparisonIsCheap) {
+  PredicateInfo info = FirstPredicateInfo("a[position() = 2]");
+  EXPECT_FALSE(info.expensive);
+}
+
+/// Full pipeline then fold; render.
+std::string Folded(const std::string& query) {
+  auto expr = ParseXPath(query);
+  NATIX_CHECK(expr.ok());
+  NATIX_CHECK(Analyze(expr->get()).ok());
+  FoldConstants(expr->get());
+  return (*expr)->ToString();
+}
+
+TEST(FoldTest, Arithmetic) {
+  EXPECT_EQ(Folded("1 + 2 * 3"), "7");
+  EXPECT_EQ(Folded("10 div 4"), "2.5");
+  EXPECT_EQ(Folded("7 mod 3"), "1");
+  EXPECT_EQ(Folded("-(2 + 3)"), "-5");
+  EXPECT_EQ(Folded("1 div 0"), "Infinity");
+  EXPECT_EQ(Folded("0 div 0"), "NaN");
+}
+
+TEST(FoldTest, Comparisons) {
+  EXPECT_EQ(Folded("1 < 2"), "true()");
+  EXPECT_EQ(Folded("'a' = 'b'"), "false()");
+  EXPECT_EQ(Folded("2 >= 2"), "true()");
+}
+
+TEST(FoldTest, BooleanFunctionsAndOperators) {
+  EXPECT_EQ(Folded("true() and false()"), "false()");
+  EXPECT_EQ(Folded("true() or false()"), "true()");
+  EXPECT_EQ(Folded("not(true())"), "false()");
+  // Short-circuit folding with a non-literal operand.
+  EXPECT_EQ(Folded("false() and a"), "false()");
+  EXPECT_EQ(Folded("true() or a"), "true()");
+}
+
+TEST(FoldTest, StringFunctions) {
+  EXPECT_EQ(Folded("concat('a', 'b', 'c')"), "'abc'");
+  EXPECT_EQ(Folded("contains('hello', 'ell')"), "true()");
+  EXPECT_EQ(Folded("string-length('four')"), "4");
+  EXPECT_EQ(Folded("normalize-space('  a  b ')"), "'a b'");
+  EXPECT_EQ(Folded("translate('bar', 'abc', 'ABC')"), "'BAr'");
+  EXPECT_EQ(Folded("substring-before('1999/04', '/')"), "'1999'");
+  EXPECT_EQ(Folded("starts-with('abc', 'ab')"), "true()");
+}
+
+TEST(FoldTest, NumberFunctions) {
+  EXPECT_EQ(Folded("floor(2.7)"), "2");
+  EXPECT_EQ(Folded("ceiling(2.1)"), "3");
+  EXPECT_EQ(Folded("round(2.5)"), "3");
+  EXPECT_EQ(Folded("number('12')"), "12");
+  EXPECT_EQ(Folded("string(12)"), "'12'");
+}
+
+TEST(FoldTest, FoldsInsidePredicates) {
+  EXPECT_EQ(Folded("a[position() = 1 + 1]"),
+            "child::a[(position() = 2)]");
+}
+
+TEST(FoldTest, LeavesContextDependentAlone) {
+  EXPECT_EQ(Folded("position() + 1"), "(position() + 1)");
+  EXPECT_EQ(Folded("count(a) + 1"), "(count(child::a) + 1)");
+  EXPECT_EQ(Folded("$v + 1"), "(number($v) + 1)");
+}
+
+}  // namespace
+}  // namespace natix::xpath

@@ -1,0 +1,137 @@
+// natixq — command-line XPath for XML files (xmllint --xpath flavored),
+// running the full algebraic pipeline.
+//
+// Usage:
+//   natixq [options] <file.xml> <xpath>
+//   options:
+//     --explain     print logical + physical plans instead of evaluating
+//     --canonical   use the canonical (Sec. 3) translation
+//     --values      print string-values instead of XML serialization
+//     --count       print only the number of result nodes
+//     --stats       print execution statistics to stderr after running
+//     --var k=v     bind $k to the string v (repeatable)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "xml/writer.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: natixq [--explain] [--canonical] [--values] "
+               "[--count] [--var k=v]... <file.xml> <xpath>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool explain = false;
+  bool canonical = false;
+  bool values = false;
+  bool count_only = false;
+  bool stats = false;
+  std::vector<std::pair<std::string, std::string>> variables;
+  std::vector<std::string> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--canonical") {
+      canonical = true;
+    } else if (arg == "--values") {
+      values = true;
+    } else if (arg == "--count") {
+      count_only = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--var") {
+      if (++i >= argc) return Usage();
+      std::string binding = argv[i];
+      auto eq = binding.find('=');
+      if (eq == std::string::npos) return Usage();
+      variables.emplace_back(binding.substr(0, eq), binding.substr(eq + 1));
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) return Usage();
+
+  auto db = natix::Database::CreateTemp();
+  if (!db.ok()) {
+    std::fprintf(stderr, "natixq: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  auto info = (*db)->LoadDocumentFile("doc", positional[0]);
+  if (!info.ok()) {
+    std::fprintf(stderr, "natixq: %s\n", info.status().ToString().c_str());
+    return 1;
+  }
+
+  auto options = canonical ? natix::translate::TranslatorOptions::Canonical()
+                           : natix::translate::TranslatorOptions::Improved();
+  auto query = (*db)->Compile(positional[1], options);
+  if (!query.ok()) {
+    std::fprintf(stderr, "natixq: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& [name, value] : variables) {
+    (*query)->SetVariable(name, natix::runtime::Value::String(value));
+  }
+
+  if (explain) {
+    std::printf("=== logical plan ===\n%s\n=== physical plan ===\n%s",
+                (*query)->ExplainLogical().c_str(),
+                (*query)->ExplainPhysical().c_str());
+    return 0;
+  }
+
+  auto print_stats = [&] {
+    if (!stats) return;
+    const natix::ExecutionStats& s = (*query)->last_stats();
+    std::fprintf(stderr,
+                 "stats: %llu step tuples, %llu page faults\n",
+                 static_cast<unsigned long long>(s.step_tuples),
+                 static_cast<unsigned long long>(s.page_faults));
+  };
+
+  if ((*query)->result_type() == natix::xpath::ExprType::kNodeSet) {
+    auto nodes = (*query)->EvaluateNodes(info->root);
+    if (!nodes.ok()) {
+      std::fprintf(stderr, "natixq: %s\n",
+                   nodes.status().ToString().c_str());
+      return 1;
+    }
+    print_stats();
+    if (count_only) {
+      std::printf("%zu\n", nodes->size());
+      return 0;
+    }
+    for (const auto& node : *nodes) {
+      if (values) {
+        auto text = node.string_value();
+        if (text.ok()) std::printf("%s\n", text->c_str());
+      } else {
+        auto xml = natix::xml::OuterXml(node);
+        if (xml.ok()) std::printf("%s\n", xml->c_str());
+      }
+    }
+    return nodes->empty() ? 3 : 0;  // xmllint-style: 3 = empty node set
+  }
+
+  auto result = (*query)->EvaluateString(info->root);
+  if (!result.ok()) {
+    std::fprintf(stderr, "natixq: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  print_stats();
+  std::printf("%s\n", result->c_str());
+  return 0;
+}
