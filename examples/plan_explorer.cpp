@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "analysis/plan_verifier.h"
 #include "api/database.h"
 #include "gen/xdoc_generator.h"
 
@@ -16,6 +17,10 @@ int main(int argc, char** argv) {
   std::string query = argc > 1
                           ? argv[1]
                           : "/xdoc/n[n/n][position() = last()]/n";
+
+  // Run every compiled plan through the static verifier so the explorer
+  // demonstrates the verdict even in release builds.
+  natix::analysis::SetVerificationEnabled(true);
 
   natix::gen::XDocOptions gen_options;
   gen_options.max_elements = 400;
@@ -45,6 +50,9 @@ int main(int argc, char** argv) {
               (*improved)->ExplainLogical().c_str());
   std::printf("\n=== physical plan (register assignments) ===\n%s",
               (*improved)->ExplainPhysical().c_str());
+  std::printf("\n=== static verification ===\ncanonical: %s\nimproved:  %s\n",
+              (*canonical)->VerificationReport().c_str(),
+              (*improved)->VerificationReport().c_str());
 
   if ((*improved)->result_type() == natix::xpath::ExprType::kNodeSet) {
     auto canonical_nodes = (*canonical)->EvaluateNodes(info->root);

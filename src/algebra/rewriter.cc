@@ -1,5 +1,7 @@
 #include "algebra/rewriter.h"
 
+#include "algebra/properties.h"
+#include "analysis/plan_verifier.h"
 #include "runtime/node_ops.h"
 
 namespace natix::algebra {
@@ -160,25 +162,53 @@ SequenceProperties InferProperties(const Operator& op) {
 
 namespace {
 
-size_t SimplifyScalar(Scalar* scalar);
+/// Rewrite session state: the plan root (for whole-plan re-verification
+/// after each rule), the attributes the plan may legitimately read from
+/// its context, and the first verification failure (which stops further
+/// rewriting and names the rule that caused it).
+struct SimplifyCtx {
+  const OpPtr* root = nullptr;
+  bool verify = false;
+  std::set<std::string> outer;
+  Status status;
+};
 
-size_t SimplifyNode(OpPtr* slot) {
+/// Re-verifies the whole plan after `rule` fired.
+void CheckAfterRule(SimplifyCtx* ctx, const char* rule) {
+  if (!ctx->verify || !ctx->status.ok()) return;
+  Status st = analysis::VerifyLogicalPlan(**ctx->root, ctx->outer);
+  if (!st.ok()) {
+    ctx->status = Status::Internal(
+        std::string("rewrite rule '") + rule +
+        "' produced a malformed plan: " + st.message());
+  }
+}
+
+size_t SimplifyScalar(Scalar* scalar, SimplifyCtx* ctx);
+
+size_t SimplifyNode(OpPtr* slot, SimplifyCtx* ctx) {
+  if (!ctx->status.ok()) return 0;
   size_t removed = 0;
   Operator* op = slot->get();
 
   // Bottom-up.
-  for (OpPtr& child : op->children) removed += SimplifyNode(&child);
-  if (op->scalar != nullptr) removed += SimplifyScalar(op->scalar.get());
+  for (OpPtr& child : op->children) removed += SimplifyNode(&child, ctx);
+  if (op->scalar != nullptr) {
+    removed += SimplifyScalar(op->scalar.get(), ctx);
+  }
+  if (!ctx->status.ok()) return removed;
 
   if (op->kind == OpKind::kSelect &&
       op->scalar->kind == ScalarKind::kBoolConst && op->scalar->boolean) {
     *slot = std::move(op->children[0]);
+    CheckAfterRule(ctx, "drop-constant-true-selection");
     return removed + 1;
   }
   if (op->kind == OpKind::kDupElim) {
     SequenceProperties props = InferProperties(*op->children[0]);
     if (props.singleton || props.duplicate_free.count(op->attr) > 0) {
       *slot = std::move(op->children[0]);
+      CheckAfterRule(ctx, "drop-redundant-duplicate-elimination");
       return removed + 1;
     }
   }
@@ -186,25 +216,47 @@ size_t SimplifyNode(OpPtr* slot) {
     SequenceProperties props = InferProperties(*op->children[0]);
     if (props.singleton || props.ordered_by.count(op->attr) > 0) {
       *slot = std::move(op->children[0]);
+      CheckAfterRule(ctx, "drop-redundant-sort");
       return removed + 1;
     }
   }
   return removed;
 }
 
-size_t SimplifyScalar(Scalar* scalar) {
+size_t SimplifyScalar(Scalar* scalar, SimplifyCtx* ctx) {
   size_t removed = 0;
   if (scalar->kind == ScalarKind::kNested) {
-    removed += SimplifyNode(&scalar->plan);
+    removed += SimplifyNode(&scalar->plan, ctx);
   }
   for (ScalarPtr& child : scalar->children) {
-    removed += SimplifyScalar(child.get());
+    removed += SimplifyScalar(child.get(), ctx);
   }
   return removed;
 }
 
 }  // namespace
 
-size_t SimplifyPlan(OpPtr* plan) { return SimplifyNode(plan); }
+size_t SimplifyPlan(OpPtr* plan) {
+  SimplifyCtx ctx;
+  ctx.root = plan;
+  return SimplifyNode(plan, &ctx);
+}
+
+StatusOr<size_t> SimplifyPlanChecked(OpPtr* plan) {
+  SimplifyCtx ctx;
+  ctx.root = plan;
+  ctx.verify = analysis::VerificationEnabled();
+  if (ctx.verify) {
+    // Whatever the plan legitimately read from its context before
+    // rewriting stays legitimate afterwards; rewrites must not introduce
+    // new free attributes.
+    ctx.outer = analysis::ExecutionContextAttributes();
+    std::set<std::string> free = FreeAttributes(**plan);
+    ctx.outer.insert(free.begin(), free.end());
+  }
+  size_t removed = SimplifyNode(plan, &ctx);
+  NATIX_RETURN_IF_ERROR(ctx.status);
+  return removed;
+}
 
 }  // namespace natix::algebra

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "algebra/operator.h"
+#include "base/statusor.h"
 
 namespace natix::algebra {
 
@@ -37,6 +38,13 @@ SequenceProperties InferProperties(const Operator& op);
 /// Returns the number of operators removed. Also rewrites nested
 /// subplans inside scalar subscripts.
 size_t SimplifyPlan(OpPtr* plan);
+
+/// Like SimplifyPlan, but when plan verification is enabled
+/// (analysis::VerificationEnabled — on by default in debug builds) the
+/// Layer-1 verifier re-checks the whole plan after every rule
+/// application. A violation aborts rewriting and names the offending
+/// rule, instead of letting a malformed plan flow on to code generation.
+StatusOr<size_t> SimplifyPlanChecked(OpPtr* plan);
 
 }  // namespace natix::algebra
 

@@ -1,0 +1,253 @@
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "analysis/plan_verifier.h"
+#include "runtime/conversions.h"
+
+namespace natix::analysis {
+
+namespace {
+
+using nvm::Instruction;
+using nvm::OpCode;
+using nvm::OpCodeName;
+using nvm::Program;
+
+/// Operand roles of one instruction, derived from the VM's dispatch
+/// loop: which fields name frame registers (read/written), table
+/// indices, or jump targets.
+struct OperandRoles {
+  uint16_t reads[3];
+  int read_count = 0;
+  bool writes_a = false;
+  bool const_b = false;    // b indexes program.constants
+  bool var_b = false;      // b indexes program.variable_names
+  bool attr_b = false;     // b indexes the plan (tuple) register file
+  bool nested_b = false;   // b indexes the nested-iterator table
+  bool jump_b = false;     // b is a jump target
+  bool cmp_d = false;      // d encodes a runtime::CompareOp
+};
+
+OperandRoles RolesOf(const Instruction& ins) {
+  OperandRoles roles;
+  auto read = [&roles](uint16_t reg) { roles.reads[roles.read_count++] = reg; };
+  switch (ins.op) {
+    case OpCode::kLoadConst:
+      roles.writes_a = true;
+      roles.const_b = true;
+      break;
+    case OpCode::kLoadAttr:
+      roles.writes_a = true;
+      roles.attr_b = true;
+      break;
+    case OpCode::kLoadVar:
+      roles.writes_a = true;
+      roles.var_b = true;
+      break;
+    case OpCode::kAdd:
+    case OpCode::kSub:
+    case OpCode::kMul:
+    case OpCode::kDiv:
+    case OpCode::kMod:
+    case OpCode::kConcat2:
+    case OpCode::kStartsWith:
+    case OpCode::kContains:
+    case OpCode::kSubstringBefore:
+    case OpCode::kSubstringAfter:
+    case OpCode::kSubstring2:
+    case OpCode::kLang:
+      roles.writes_a = true;
+      read(ins.b);
+      read(ins.c);
+      break;
+    case OpCode::kCompare:
+      roles.writes_a = true;
+      read(ins.b);
+      read(ins.c);
+      roles.cmp_d = true;
+      break;
+    case OpCode::kSubstring3:
+    case OpCode::kTranslate:
+      roles.writes_a = true;
+      read(ins.b);
+      read(ins.c);
+      read(ins.d);
+      break;
+    case OpCode::kNeg:
+    case OpCode::kNot:
+    case OpCode::kToBool:
+    case OpCode::kToNum:
+    case OpCode::kToStr:
+    case OpCode::kStringLength:
+    case OpCode::kNormalizeSpace:
+    case OpCode::kFloor:
+    case OpCode::kCeiling:
+    case OpCode::kRound:
+    case OpCode::kRoot:
+    case OpCode::kNodeName:
+    case OpCode::kNodeLocalName:
+      roles.writes_a = true;
+      read(ins.b);
+      break;
+    case OpCode::kJump:
+      roles.jump_b = true;
+      break;
+    case OpCode::kJumpIfTrue:
+    case OpCode::kJumpIfFalse:
+      read(ins.a);
+      roles.jump_b = true;
+      break;
+    case OpCode::kEvalNested:
+      roles.writes_a = true;
+      roles.nested_b = true;
+      break;
+    case OpCode::kHalt:
+      read(ins.a);
+      break;
+  }
+  return roles;
+}
+
+Status Malformed(size_t pc, const Instruction& ins,
+                 const std::string& detail) {
+  return Status::Internal("plan verifier (nvm): pc " + std::to_string(pc) +
+                          " " + OpCodeName(ins.op) + ": " + detail);
+}
+
+/// Definitely-written frame registers, merged by intersection at control
+/// flow joins.
+using Defs = std::vector<bool>;
+
+void Intersect(Defs* into, const Defs& other) {
+  for (size_t i = 0; i < into->size(); ++i) {
+    (*into)[i] = (*into)[i] && other[i];
+  }
+}
+
+}  // namespace
+
+Status VerifyProgram(const Program& program, size_t tuple_register_count,
+                     size_t nested_count) {
+  const std::vector<Instruction>& code = program.code;
+  if (code.empty()) {
+    return Status::Internal("plan verifier (nvm): empty program");
+  }
+
+  // Structural pass: operand bounds for every instruction, reachable or
+  // not, and no instruction whose fall-through leaves the program.
+  for (size_t pc = 0; pc < code.size(); ++pc) {
+    const Instruction& ins = code[pc];
+    OperandRoles roles = RolesOf(ins);
+    if (roles.writes_a && ins.a >= program.register_count) {
+      return Malformed(pc, ins,
+                       "writes register r" + std::to_string(ins.a) +
+                           " outside the frame of " +
+                           std::to_string(program.register_count));
+    }
+    for (int i = 0; i < roles.read_count; ++i) {
+      if (roles.reads[i] >= program.register_count) {
+        return Malformed(pc, ins,
+                         "reads register r" + std::to_string(roles.reads[i]) +
+                             " outside the frame of " +
+                             std::to_string(program.register_count));
+      }
+    }
+    if (roles.const_b && ins.b >= program.constants.size()) {
+      return Malformed(pc, ins,
+                       "constant index " + std::to_string(ins.b) +
+                           " out of range");
+    }
+    if (roles.var_b && ins.b >= program.variable_names.size()) {
+      return Malformed(pc, ins,
+                       "variable index " + std::to_string(ins.b) +
+                           " out of range");
+    }
+    if (roles.attr_b && ins.b >= tuple_register_count) {
+      return Malformed(pc, ins,
+                       "tuple register r" + std::to_string(ins.b) +
+                           " outside the plan register file of " +
+                           std::to_string(tuple_register_count));
+    }
+    if (roles.nested_b && ins.b >= nested_count) {
+      return Malformed(pc, ins,
+                       "nested plan index " + std::to_string(ins.b) +
+                           " out of range");
+    }
+    if (roles.jump_b && ins.b >= code.size()) {
+      return Malformed(pc, ins,
+                       "jump target " + std::to_string(ins.b) +
+                           " out of range");
+    }
+    if (roles.cmp_d &&
+        ins.d > static_cast<uint16_t>(runtime::CompareOp::kGe)) {
+      return Malformed(pc, ins,
+                       "invalid comparison code " + std::to_string(ins.d));
+    }
+    bool falls_through = ins.op != OpCode::kHalt && ins.op != OpCode::kJump;
+    if (falls_through && pc + 1 == code.size()) {
+      return Malformed(pc, ins, "program can fall off the end");
+    }
+  }
+
+  // Dataflow pass: no read of a never-written register on any path.
+  // Forward must-analysis with intersection at merges.
+  std::vector<Defs> in(code.size());
+  std::vector<bool> seen(code.size(), false);
+  std::deque<size_t> worklist;
+  in[0] = Defs(program.register_count, false);
+  seen[0] = true;
+  worklist.push_back(0);
+
+  while (!worklist.empty()) {
+    size_t pc = worklist.front();
+    worklist.pop_front();
+    const Instruction& ins = code[pc];
+    OperandRoles roles = RolesOf(ins);
+    for (int i = 0; i < roles.read_count; ++i) {
+      if (!in[pc][roles.reads[i]]) {
+        return Malformed(pc, ins,
+                         "reads register r" +
+                             std::to_string(roles.reads[i]) +
+                             " before it is written on every path");
+      }
+    }
+    Defs out = in[pc];
+    if (roles.writes_a) out[ins.a] = true;
+
+    auto propagate = [&](size_t succ) {
+      if (!seen[succ]) {
+        in[succ] = out;
+        seen[succ] = true;
+        worklist.push_back(succ);
+        return;
+      }
+      // Re-queue only when the merge actually removes definitions.
+      Defs merged = in[succ];
+      Intersect(&merged, out);
+      if (merged != in[succ]) {
+        in[succ] = std::move(merged);
+        worklist.push_back(succ);
+      }
+    };
+
+    switch (ins.op) {
+      case OpCode::kHalt:
+        break;
+      case OpCode::kJump:
+        propagate(ins.b);
+        break;
+      case OpCode::kJumpIfTrue:
+      case OpCode::kJumpIfFalse:
+        propagate(ins.b);
+        propagate(pc + 1);
+        break;
+      default:
+        propagate(pc + 1);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace natix::analysis

@@ -1,0 +1,86 @@
+#ifndef NATIX_ANALYSIS_PHYSICAL_MODEL_H_
+#define NATIX_ANALYSIS_PHYSICAL_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nvm/program.h"
+#include "runtime/register_file.h"
+
+namespace natix::analysis {
+
+/// How a physical operator propagates register definitions to its output
+/// under the open/next protocol.
+enum class PhysNodeKind : uint8_t {
+  /// No children; output definitions = input definitions + writes
+  /// (singleton scan).
+  kLeaf,
+  /// One child evaluated inline; output definitions = the child's
+  /// definitions + writes (select, map, counter, unnest-map, unnest,
+  /// dup-elim, sort, Tmp^cs, MemoX, id-deref).
+  kPipeline,
+  /// Two children; the second is (re-)opened per first-child tuple and
+  /// sees its definitions. Output carries both sides' definitions
+  /// (d-join, cross product).
+  kDependent,
+  /// Like kDependent, but only the first child's tuple survives to the
+  /// output — the probe side's registers are scratch (semi-join,
+  /// anti-join, binary grouping).
+  kDependentLeft,
+  /// One child drained entirely during Next; the output tuple defines
+  /// only this node's writes on top of the node's *input* definitions
+  /// (the aggregation operator's singleton output).
+  kBarrier,
+  /// Several children played back to back; downstream consumers may rely
+  /// only on registers every branch defines (concat).
+  kConcat,
+};
+
+const char* PhysNodeKindName(PhysNodeKind kind);
+
+/// One node of the physical dataflow model: the register footprint of a
+/// compiled iterator. The code generator records one PhysNode per
+/// iterator it builds; the Layer-2 verifier walks the model, never the
+/// iterators themselves.
+struct PhysNode {
+  PhysNodeKind kind = PhysNodeKind::kPipeline;
+  /// Diagnostic label, e.g. "UnnestMap[c1@r3]".
+  std::string label;
+  /// Registers this iterator reads from each input tuple (subscript
+  /// kLoadAttr operands, context/key/sort attributes).
+  std::vector<runtime::RegisterId> reads;
+  /// Registers this iterator writes per output tuple.
+  std::vector<runtime::RegisterId> writes;
+  /// The SaveRow/RestoreRow register list of materializing iterators.
+  std::vector<runtime::RegisterId> row_regs;
+  /// Input iterators, in evaluation order.
+  std::vector<std::unique_ptr<PhysNode>> children;
+  /// Nested sequence-valued subplans evaluated by this node's subscript
+  /// (kEvalNested), paired with the register the nested aggregate reads.
+  std::vector<std::pair<std::unique_ptr<PhysNode>, runtime::RegisterId>>
+      nested;
+};
+
+using PhysNodePtr = std::unique_ptr<PhysNode>;
+
+/// The register dataflow of one compiled plan, plus every NVM subscript
+/// program the plan embeds (for the Layer-3 sweep).
+struct PhysicalModel {
+  PhysNodePtr root;
+  /// Size of the plan-wide register file.
+  size_t register_count = 0;
+  /// Registers bound by the execution context before Open (cn/cp0/cs0).
+  std::vector<runtime::RegisterId> context_regs;
+  /// Register the plan's result is read from.
+  runtime::RegisterId result_reg = 0;
+  /// Size of the plan's nested-iterator table (bounds kEvalNested).
+  size_t nested_count = 0;
+  /// Compiled subscript programs with their site labels.
+  std::vector<std::pair<std::string, nvm::Program>> programs;
+};
+
+}  // namespace natix::analysis
+
+#endif  // NATIX_ANALYSIS_PHYSICAL_MODEL_H_

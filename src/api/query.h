@@ -77,6 +77,13 @@ class CompiledQuery {
     return plan_->physical_plan();
   }
 
+  /// One-line verdict of the static plan verifier (Layers 1-3): "VERIFIED
+  /// (...)" when every check passed, or a note that verification was
+  /// skipped. Violations never produce a CompiledQuery — Compile fails.
+  const std::string& VerificationReport() const {
+    return plan_->verification();
+  }
+
   /// Counters from the most recent Evaluate* call.
   const ExecutionStats& last_stats() const { return last_stats_; }
 

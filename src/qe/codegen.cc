@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "algebra/properties.h"
+#include "analysis/plan_verifier.h"
 #include "nvm/assembler.h"
 #include "qe/operators.h"
 
@@ -16,12 +17,26 @@ using algebra::OpKind;
 using algebra::Scalar;
 using runtime::RegisterId;
 
+using analysis::PhysNode;
+using analysis::PhysNodeKind;
+using analysis::PhysNodePtr;
+
 /// Iterator plus the registers its subtree writes (needed by
-/// materializing parents for row snapshots).
+/// materializing parents for row snapshots) and the node of the
+/// Layer-2 dataflow model mirroring the iterator.
 struct BuildResult {
   IteratorPtr iter;
   std::set<RegisterId> written;
+  PhysNodePtr node;
 };
+
+/// Starts a dataflow-model node for the iterator being built.
+PhysNodePtr MakeNode(PhysNodeKind kind, std::string label) {
+  auto node = std::make_unique<PhysNode>();
+  node->kind = kind;
+  node->label = std::move(label);
+  return node;
+}
 
 /// Renders the physical shape of the compiled plan: the logical operator
 /// tree annotated with the attribute manager's register assignments.
@@ -147,6 +162,30 @@ class CodegenImpl {
         std::to_string(plan_->nested_.size()) + "\n" +
         PhysicalPrinter(attribute_map_).Render(*translation.plan);
     state_->registers.Resize(next_register_);
+
+    // Static verification of the compiled plan (Layers 1-3). Violations
+    // fail compilation: a malformed plan must never reach execution.
+    if (analysis::VerificationEnabled()) {
+      analysis::PhysicalModel model;
+      model.root = std::move(root.node);
+      model.register_count = next_register_;
+      model.context_regs = {plan_->cn_reg_, plan_->cp0_reg_,
+                            plan_->cs0_reg_};
+      model.result_reg = plan_->result_reg_;
+      model.nested_count = plan_->nested_.size();
+      model.programs = std::move(programs_);
+      NATIX_RETURN_IF_ERROR(analysis::VerifyTranslation(translation));
+      NATIX_RETURN_IF_ERROR(analysis::VerifyPhysical(model));
+      plan_->verification_ =
+          "VERIFIED (logical: " +
+          std::to_string(algebra::PlanSize(*translation.plan)) +
+          " operators; physical: " + std::to_string(next_register_) +
+          " registers; nvm: " + std::to_string(model.programs.size()) +
+          " subscript programs)";
+    } else {
+      plan_->verification_ =
+          "not verified (release build; enable with --verify-plans)";
+    }
     return Status::OK();
   }
 
@@ -190,13 +229,17 @@ class CodegenImpl {
     return regs;
   }
 
-  StatusOr<SubscriptPtr> CompileSubscript(const Scalar& scalar) {
+  /// Compiles a scalar subscript for the iterator modeled by `host`,
+  /// recording the compiled program's tuple-register reads and nested
+  /// subplans in the dataflow model.
+  StatusOr<SubscriptPtr> CompileSubscript(const Scalar& scalar,
+                                          PhysNode* host) {
     nvm::AttrResolver resolver =
         [this](const std::string& name) -> StatusOr<RegisterId> {
       return Resolve(name);
     };
     nvm::NestedRegistrar registrar =
-        [this](const Scalar& nested) -> StatusOr<size_t> {
+        [this, host](const Scalar& nested) -> StatusOr<size_t> {
       NATIX_ASSIGN_OR_RETURN(BuildResult sub, Build(*nested.plan));
       NATIX_ASSIGN_OR_RETURN(RegisterId input, Resolve(nested.input_attr));
       auto entry = std::make_unique<NestedPlan>();
@@ -204,10 +247,17 @@ class CodegenImpl {
       entry->agg = nested.agg;
       entry->input_reg = input;
       plan_->nested_.push_back(std::move(entry));
+      host->nested.emplace_back(std::move(sub.node), input);
       return plan_->nested_.size() - 1;
     };
     NATIX_ASSIGN_OR_RETURN(nvm::Program program,
                            nvm::CompileScalar(scalar, resolver, registrar));
+    // The program's kLoadAttr operands are exactly the plan registers the
+    // subscript reads per tuple.
+    for (const nvm::Instruction& ins : program.code) {
+      if (ins.op == nvm::OpCode::kLoadAttr) host->reads.push_back(ins.b);
+    }
+    programs_.emplace_back(host->label, program);
     return std::make_unique<Subscript>(std::move(program), state_,
                                        &plan_->nested_);
   }
@@ -249,14 +299,18 @@ class CodegenImpl {
       case OpKind::kSingletonScan: {
         BuildResult result;
         result.iter = std::make_unique<SingletonScanIterator>();
+        result.node = MakeNode(PhysNodeKind::kLeaf, "SingletonScan");
         return result;
       }
       case OpKind::kSelect: {
         NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
+        PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "Select");
         NATIX_ASSIGN_OR_RETURN(SubscriptPtr predicate,
-                               CompileSubscript(*op.scalar));
+                               CompileSubscript(*op.scalar, node.get()));
         child.iter = std::make_unique<SelectIterator>(std::move(child.iter),
                                                       std::move(predicate));
+        node->children.push_back(std::move(child.node));
+        child.node = std::move(node);
         return child;
       }
       case OpKind::kMap: {
@@ -274,31 +328,44 @@ class CodegenImpl {
           // output attribute): fall through to a real copy.
         }
         RegisterId out = Bind(op.attr);
+        PhysNodePtr node =
+            MakeNode(PhysNodeKind::kPipeline,
+                     "Map[" + op.attr + "@r" + std::to_string(out) + "]");
         std::vector<RegisterId> key_regs;
         if (op.materialize) {
           NATIX_ASSIGN_OR_RETURN(
               key_regs,
               ResolveAll(algebra::ScalarFreeAttributes(*op.scalar)));
+          node->reads.insert(node->reads.end(), key_regs.begin(),
+                             key_regs.end());
         }
         NATIX_ASSIGN_OR_RETURN(SubscriptPtr subscript,
-                               CompileSubscript(*op.scalar));
+                               CompileSubscript(*op.scalar, node.get()));
         child.iter = std::make_unique<MapIterator>(
             state_, std::move(child.iter), std::move(subscript), out,
             op.materialize, std::move(key_regs));
         child.written.insert(out);
+        node->writes.push_back(out);
+        node->children.push_back(std::move(child.node));
+        child.node = std::move(node);
         return child;
       }
       case OpKind::kCounter: {
         NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
         RegisterId out = Bind(op.attr);
+        PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "Counter");
         std::optional<RegisterId> reset;
         if (!op.ctx_attr.empty()) {
           NATIX_ASSIGN_OR_RETURN(RegisterId reg, Resolve(op.ctx_attr));
           reset = reg;
+          node->reads.push_back(reg);
         }
         child.iter = std::make_unique<CounterIterator>(
             state_, std::move(child.iter), out, reset);
         child.written.insert(out);
+        node->writes.push_back(out);
+        node->children.push_back(std::move(child.node));
+        child.node = std::move(node);
         return child;
       }
       case OpKind::kUnnestMap: {
@@ -310,6 +377,11 @@ class CodegenImpl {
         child.iter = std::make_unique<UnnestMapIterator>(
             state_, std::move(child.iter), ctx, out, op.axis, test);
         child.written.insert(out);
+        PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "UnnestMap");
+        node->reads.push_back(ctx);
+        node->writes.push_back(out);
+        node->children.push_back(std::move(child.node));
+        child.node = std::move(node);
         return child;
       }
       case OpKind::kDJoin:
@@ -321,14 +393,21 @@ class CodegenImpl {
                                                       std::move(right.iter));
         result.written = std::move(left.written);
         result.written.insert(right.written.begin(), right.written.end());
+        result.node = MakeNode(PhysNodeKind::kDependent,
+                               op.kind == OpKind::kDJoin ? "DJoin" : "Cross");
+        result.node->children.push_back(std::move(left.node));
+        result.node->children.push_back(std::move(right.node));
         return result;
       }
       case OpKind::kSemiJoin:
       case OpKind::kAntiJoin: {
         NATIX_ASSIGN_OR_RETURN(BuildResult left, Build(*op.children[0]));
         NATIX_ASSIGN_OR_RETURN(BuildResult right, Build(*op.children[1]));
+        PhysNodePtr node = MakeNode(
+            PhysNodeKind::kDependentLeft,
+            op.kind == OpKind::kSemiJoin ? "SemiJoin" : "AntiJoin");
         NATIX_ASSIGN_OR_RETURN(SubscriptPtr predicate,
-                               CompileSubscript(*op.scalar));
+                               CompileSubscript(*op.scalar, node.get()));
         BuildResult result;
         result.iter = std::make_unique<SemiJoinIterator>(
             op.kind == OpKind::kSemiJoin ? SemiJoinIterator::Mode::kSemi
@@ -337,15 +416,20 @@ class CodegenImpl {
             std::move(predicate));
         result.written = std::move(left.written);
         result.written.insert(right.written.begin(), right.written.end());
+        node->children.push_back(std::move(left.node));
+        node->children.push_back(std::move(right.node));
+        result.node = std::move(node);
         return result;
       }
       case OpKind::kConcat: {
         BuildResult result;
+        result.node = MakeNode(PhysNodeKind::kConcat, "Concat");
         std::vector<IteratorPtr> children;
         for (const algebra::OpPtr& c : op.children) {
           NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*c));
           children.push_back(std::move(child.iter));
           result.written.insert(child.written.begin(), child.written.end());
+          result.node->children.push_back(std::move(child.node));
         }
         result.iter = std::make_unique<ConcatIterator>(std::move(children));
         return result;
@@ -355,19 +439,28 @@ class CodegenImpl {
         NATIX_ASSIGN_OR_RETURN(RegisterId attr, Resolve(op.attr));
         child.iter = std::make_unique<DupElimIterator>(
             state_, std::move(child.iter), attr);
+        PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "DupElim");
+        node->reads.push_back(attr);
+        node->children.push_back(std::move(child.node));
+        child.node = std::move(node);
         return child;
       }
       case OpKind::kProject:
         // Logical only: registers are not reclaimed, so projection needs
-        // no runtime work.
+        // no runtime work (and no dataflow-model node).
         return Build(*op.children[0]);
       case OpKind::kSort: {
         NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
         NATIX_ASSIGN_OR_RETURN(RegisterId attr, Resolve(op.attr));
         std::vector<RegisterId> rows(child.written.begin(),
                                      child.written.end());
+        PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "Sort");
+        node->reads.push_back(attr);
+        node->row_regs = rows;
         child.iter = std::make_unique<SortIterator>(
             state_, std::move(child.iter), attr, std::move(rows));
+        node->children.push_back(std::move(child.node));
+        child.node = std::move(node);
         return child;
       }
       case OpKind::kAggregate: {
@@ -378,6 +471,10 @@ class CodegenImpl {
         result.iter = std::make_unique<AggregateIterator>(
             state_, std::move(child.iter), op.agg, input, out);
         result.written.insert(out);
+        result.node = MakeNode(PhysNodeKind::kBarrier, "Aggregate");
+        result.node->reads.push_back(input);
+        result.node->writes.push_back(out);
+        result.node->children.push_back(std::move(child.node));
         return result;
       }
       case OpKind::kBinaryGroup: {
@@ -394,21 +491,32 @@ class CodegenImpl {
             left_attr, right_attr, agg_input, out);
         result.written = std::move(left.written);
         result.written.insert(out);
+        result.node = MakeNode(PhysNodeKind::kDependentLeft, "BinaryGroup");
+        result.node->reads = {left_attr, right_attr, agg_input};
+        result.node->writes.push_back(out);
+        result.node->children.push_back(std::move(left.node));
+        result.node->children.push_back(std::move(right.node));
         return result;
       }
       case OpKind::kTmpCs: {
         NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
         RegisterId out = Bind(op.attr);
+        PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "TmpCs");
         std::optional<RegisterId> ctx;
         if (!op.ctx_attr.empty()) {
           NATIX_ASSIGN_OR_RETURN(RegisterId reg, Resolve(op.ctx_attr));
           ctx = reg;
+          node->reads.push_back(reg);
         }
         std::vector<RegisterId> rows(child.written.begin(),
                                      child.written.end());
+        node->row_regs = rows;
+        node->writes.push_back(out);
         child.iter = std::make_unique<TmpCsIterator>(
             state_, std::move(child.iter), out, ctx, std::move(rows));
         child.written.insert(out);
+        node->children.push_back(std::move(child.node));
+        child.node = std::move(node);
         return child;
       }
       case OpKind::kMemoX: {
@@ -420,9 +528,14 @@ class CodegenImpl {
         }
         std::vector<RegisterId> rows(child.written.begin(),
                                      child.written.end());
+        PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "MemoX");
+        node->reads = keys;
+        node->row_regs = rows;
         child.iter = std::make_unique<MemoXIterator>(
             state_, std::move(child.iter), std::move(keys),
             std::move(rows));
+        node->children.push_back(std::move(child.node));
+        child.node = std::move(node);
         return child;
       }
       case OpKind::kUnnest: {
@@ -432,19 +545,30 @@ class CodegenImpl {
         child.iter = std::make_unique<UnnestIterator>(
             state_, std::move(child.iter), seq, out);
         child.written.insert(out);
+        PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "Unnest");
+        node->reads.push_back(seq);
+        node->writes.push_back(out);
+        node->children.push_back(std::move(child.node));
+        child.node = std::move(node);
         return child;
       }
       case OpKind::kIdDeref: {
         NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
         NATIX_ASSIGN_OR_RETURN(RegisterId ctx, Resolve(op.ctx_attr));
+        PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "IdDeref");
+        node->reads.push_back(ctx);
         SubscriptPtr scalar;
         if (op.scalar != nullptr) {
-          NATIX_ASSIGN_OR_RETURN(scalar, CompileSubscript(*op.scalar));
+          NATIX_ASSIGN_OR_RETURN(scalar,
+                                 CompileSubscript(*op.scalar, node.get()));
         }
         RegisterId out = Bind(op.attr);
         child.iter = std::make_unique<IdDerefIterator>(
             state_, std::move(child.iter), ctx, std::move(scalar), out);
         child.written.insert(out);
+        node->writes.push_back(out);
+        node->children.push_back(std::move(child.node));
+        child.node = std::move(node);
         return child;
       }
     }
@@ -456,6 +580,8 @@ class CodegenImpl {
   ExecState* state_ = nullptr;
   std::unordered_map<std::string, RegisterId> attribute_map_;
   RegisterId next_register_ = 0;
+  /// Every compiled NVM subscript with its site label (Layer-3 sweep).
+  std::vector<std::pair<std::string, nvm::Program>> programs_;
 };
 
 }  // namespace internal

@@ -51,6 +51,11 @@ class Plan {
   /// subscript disassembly (the NQE execution plan).
   const std::string& physical_plan() const { return physical_plan_; }
 
+  /// One-line verdict of the static plan verifier: "VERIFIED (...)" when
+  /// all three layers passed, or a note that verification was skipped
+  /// (violations never reach a Plan — compilation fails instead).
+  const std::string& verification() const { return verification_; }
+
   ExecState* state() { return state_.get(); }
 
  private:
@@ -66,6 +71,7 @@ class Plan {
   xpath::ExprType result_type_ = xpath::ExprType::kUnknown;
   std::string logical_plan_;
   std::string physical_plan_;
+  std::string verification_;
 };
 
 /// Sorts node references into document order (ascending order keys).

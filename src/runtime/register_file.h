@@ -24,6 +24,9 @@ class RegisterFile {
   /// attribute manager knows how many registers the plan needs.
   void Resize(size_t size) { registers_.resize(size); }
 
+  /// Unchecked in release builds: the per-tuple hot path. The static plan
+  /// verifier (src/analysis) proves all compiled-plan accesses in-bounds,
+  /// so only a DCHECK guards against verifier escapes here.
   Value& operator[](RegisterId id) {
     NATIX_DCHECK(id < registers_.size());
     return registers_[id];
@@ -33,19 +36,30 @@ class RegisterFile {
     return registers_[id];
   }
 
+  /// Bounds-checked in every build. For cold paths (row snapshots,
+  /// context binding) where the branch is free relative to the work done.
+  Value& At(RegisterId id) {
+    NATIX_CHECK(id < registers_.size());
+    return registers_[id];
+  }
+  const Value& At(RegisterId id) const {
+    NATIX_CHECK(id < registers_.size());
+    return registers_[id];
+  }
+
   size_t size() const { return registers_.size(); }
 
   /// Snapshots the listed registers into `row` (in list order).
   void SaveRow(const std::vector<RegisterId>& ids, Row* row) const {
     row->clear();
     row->reserve(ids.size());
-    for (RegisterId id : ids) row->push_back((*this)[id]);
+    for (RegisterId id : ids) row->push_back(At(id));
   }
 
   /// Restores a snapshot taken with the same register list.
   void RestoreRow(const std::vector<RegisterId>& ids, const Row& row) {
-    NATIX_DCHECK(ids.size() == row.size());
-    for (size_t i = 0; i < ids.size(); ++i) (*this)[ids[i]] = row[i];
+    NATIX_CHECK(ids.size() == row.size());
+    for (size_t i = 0; i < ids.size(); ++i) At(ids[i]) = row[i];
   }
 
  private:

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "algebra/rewriter.h"
+#include "analysis/plan_verifier.h"
 #include "base/logging.h"
 #include "xpath/normalizer.h"
 
@@ -736,7 +737,16 @@ StatusOr<TranslationResult> Translate(const xpath::Expr& root,
                                       const TranslatorOptions& options) {
   TranslatorImpl impl(options);
   NATIX_ASSIGN_OR_RETURN(TranslationResult result, impl.Run(root));
-  if (options.simplify_plan) algebra::SimplifyPlan(&result.plan);
+  // Layer-1 verification directly after translation, so a translator bug
+  // is reported before rewrites can obscure it.
+  if (analysis::VerificationEnabled()) {
+    NATIX_RETURN_IF_ERROR(analysis::VerifyTranslation(result));
+  }
+  if (options.simplify_plan) {
+    // The checked simplifier re-verifies after every rule application
+    // (when verification is enabled) and names the offending rule.
+    NATIX_RETURN_IF_ERROR(algebra::SimplifyPlanChecked(&result.plan).status());
+  }
   return result;
 }
 

@@ -1,0 +1,22 @@
+// Forces the static plan verifier on for the whole test binary, so every
+// plan compiled by any suite (conformance, e2e, option matrix, fuzz, ...)
+// is verified regardless of build type. A verifier violation then fails
+// the compiling test with the diagnostic as its error status.
+
+#include <gtest/gtest.h>
+
+#include "analysis/plan_verifier.h"
+
+namespace {
+
+class PlanVerificationEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    natix::analysis::SetVerificationEnabled(true);
+  }
+};
+
+const ::testing::Environment* const kPlanVerificationEnvironment =
+    ::testing::AddGlobalTestEnvironment(new PlanVerificationEnvironment);
+
+}  // namespace

@@ -4,17 +4,21 @@
 // Usage:
 //   natixq [options] <file.xml> <xpath>
 //   options:
-//     --explain     print logical + physical plans instead of evaluating
-//     --canonical   use the canonical (Sec. 3) translation
-//     --values      print string-values instead of XML serialization
-//     --count       print only the number of result nodes
-//     --stats       print execution statistics to stderr after running
-//     --var k=v     bind $k to the string v (repeatable)
+//     --explain       print logical + physical plans instead of evaluating
+//     --canonical     use the canonical (Sec. 3) translation
+//     --values        print string-values instead of XML serialization
+//     --count         print only the number of result nodes
+//     --stats         print execution statistics to stderr after running
+//     --verify-plans  statically verify the compiled plan (logical,
+//                     register dataflow, NVM subscripts); on by default
+//                     in debug builds
+//     --var k=v       bind $k to the string v (repeatable)
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "analysis/plan_verifier.h"
 #include "api/database.h"
 #include "xml/writer.h"
 
@@ -23,7 +27,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: natixq [--explain] [--canonical] [--values] "
-               "[--count] [--var k=v]... <file.xml> <xpath>\n");
+               "[--count] [--verify-plans] [--var k=v]... "
+               "<file.xml> <xpath>\n");
   return 2;
 }
 
@@ -50,6 +55,8 @@ int main(int argc, char** argv) {
       count_only = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--verify-plans") {
+      natix::analysis::SetVerificationEnabled(true);
     } else if (arg == "--var") {
       if (++i >= argc) return Usage();
       std::string binding = argv[i];
@@ -87,9 +94,11 @@ int main(int argc, char** argv) {
   }
 
   if (explain) {
-    std::printf("=== logical plan ===\n%s\n=== physical plan ===\n%s",
+    std::printf("=== logical plan ===\n%s\n=== physical plan ===\n%s"
+                "=== verification ===\n%s\n",
                 (*query)->ExplainLogical().c_str(),
-                (*query)->ExplainPhysical().c_str());
+                (*query)->ExplainPhysical().c_str(),
+                (*query)->VerificationReport().c_str());
     return 0;
   }
 
