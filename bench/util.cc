@@ -58,6 +58,29 @@ double TimeNatix(LoadedDocument& doc, const std::string& query,
   });
 }
 
+StatsRun TimeNatixWithStats(LoadedDocument& doc, const std::string& query) {
+  auto compiled = doc.db->Compile(query,
+                                  translate::TranslatorOptions::Improved(),
+                                  /*collect_stats=*/true);
+  NATIX_CHECK(compiled.ok());
+  StatsRun run;
+  run.seconds = TimeSeconds([&] {
+    if ((*compiled)->result_type() == xpath::ExprType::kNodeSet) {
+      auto nodes = (*compiled)->EvaluateNodes(doc.root,
+                                              /*document_order=*/false);
+      NATIX_CHECK(nodes.ok());
+    } else {
+      auto value = (*compiled)->EvaluateValue(doc.root);
+      NATIX_CHECK(value.ok());
+    }
+  });
+  const obs::QueryStats* stats = (*compiled)->Stats();
+  NATIX_CHECK(stats != nullptr);
+  run.totals = stats->ComputeTotals();
+  run.buffer = stats->buffer();
+  return run;
+}
+
 double TimeInterp(LoadedDocument& doc, const std::string& query,
                   bool memoize) {
   interp::EvaluatorOptions options;
@@ -91,6 +114,103 @@ std::vector<DocPoint> PaperDocSweep() {
   return sweep;
 }
 
+namespace {
+
+/// One sweep point of the JSON emission (negative timing = skipped).
+struct JsonRow {
+  uint64_t elements = 0;
+  size_t results = 0;
+  double natix_s = -1;
+  double interp_memo_s = -1;
+  double interp_naive_s = -1;
+  StatsRun stats{-1, {}, {}};
+};
+
+void AppendTiming(std::string* out, const char* key, double value) {
+  char buf[64];
+  if (value < 0) {
+    std::snprintf(buf, sizeof(buf), "\"%s\": null", key);
+  } else {
+    std::snprintf(buf, sizeof(buf), "\"%s\": %.6f", key, value);
+  }
+  *out += buf;
+}
+
+void AppendCounter(std::string* out, const char* key, uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %llu", key,
+                static_cast<unsigned long long>(value));
+  *out += buf;
+}
+
+/// Writes BENCH_<fig>.json (fig = the figure name up to the first
+/// space) into the working directory: per-point timings plus the
+/// counter totals of one instrumented run, for dashboards and the
+/// counter-based figure analyses in EXPERIMENTS.md.
+void WriteBenchJson(const char* figure, const std::string& query,
+                    const std::vector<JsonRow>& rows) {
+  std::string name(figure);
+  auto space = name.find(' ');
+  if (space != std::string::npos) name = name.substr(0, space);
+  std::string path = "BENCH_" + name + ".json";
+
+  std::string out = "{\n  \"figure\": \"" + std::string(figure) +
+                    "\",\n  \"query\": \"" + query + "\",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& row = rows[i];
+    out += "    {";
+    AppendCounter(&out, "elements", row.elements);
+    out += ", ";
+    AppendCounter(&out, "results", row.results);
+    out += ", ";
+    AppendTiming(&out, "natix_s", row.natix_s);
+    out += ", ";
+    AppendTiming(&out, "natix_stats_s", row.stats.seconds);
+    out += ", ";
+    AppendTiming(&out, "interp_memo_s", row.interp_memo_s);
+    out += ", ";
+    AppendTiming(&out, "interp_naive_s", row.interp_naive_s);
+    out += ",\n     \"counters\": {";
+    const obs::StatsTotals& t = row.stats.totals;
+    AppendCounter(&out, "open_calls", t.open_calls);
+    out += ", ";
+    AppendCounter(&out, "next_calls", t.next_calls);
+    out += ", ";
+    AppendCounter(&out, "tuples", t.tuples);
+    out += ", ";
+    AppendCounter(&out, "memo_hits", t.memo_hits);
+    out += ", ";
+    AppendCounter(&out, "memo_misses", t.memo_misses);
+    out += ", ";
+    AppendCounter(&out, "spooled_rows", t.spooled_rows);
+    out += ", ";
+    AppendCounter(&out, "replayed_rows", t.replayed_rows);
+    out += ", ";
+    AppendCounter(&out, "cache_hits", t.cache_hits);
+    out += ", ";
+    AppendCounter(&out, "agg_evals", t.agg_evals);
+    out += ", ";
+    AppendCounter(&out, "agg_input", t.agg_input);
+    out += ", ";
+    AppendCounter(&out, "early_exits", t.early_exits);
+    out += ", ";
+    AppendCounter(&out, "page_reads", row.stats.buffer.page_reads);
+    out += ", ";
+    AppendCounter(&out, "page_hits", row.stats.buffer.page_hits);
+    out += "}}";
+    out += (i + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;  // read-only working dir: skip emission
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("# wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
 void RunGeneratedFigure(const char* figure, const std::string& query,
                         double budget_s) {
   std::printf("# %s: %s\n", figure, query.c_str());
@@ -99,6 +219,7 @@ void RunGeneratedFigure(const char* figure, const std::string& query,
   double last_natix = 0;
   double last_memo = 0;
   double last_naive = 0;
+  std::vector<JsonRow> rows;
   for (const DocPoint& point : PaperDocSweep()) {
     gen::XDocOptions options;
     options.max_elements = point.elements;
@@ -106,28 +227,39 @@ void RunGeneratedFigure(const char* figure, const std::string& query,
     options.depth = point.depth;
     LoadedDocument doc = LoadAll(gen::GenerateXDoc(options));
 
+    JsonRow row;
+    row.elements = point.elements;
     std::printf("%-9llu", static_cast<unsigned long long>(point.elements));
     if (last_natix <= budget_s) {
       size_t results = CountNatix(doc, query);
       last_natix = TimeNatix(doc, query);
+      row.results = results;
+      row.natix_s = last_natix;
+      // A second, instrumented run gathers the per-operator counters
+      // without polluting the uninstrumented timing above.
+      row.stats = TimeNatixWithStats(doc, query);
       std::printf(" %9zu %12.4f", results, last_natix);
     } else {
       std::printf(" %9s %12s", "-", "-");
     }
     if (last_memo <= budget_s) {
       last_memo = TimeInterp(doc, query, /*memoize=*/true);
+      row.interp_memo_s = last_memo;
       std::printf(" %14.4f", last_memo);
     } else {
       std::printf(" %14s", "-");  // skipped: previous size over budget
     }
     if (last_naive <= budget_s) {
       last_naive = TimeInterp(doc, query, /*memoize=*/false);
+      row.interp_naive_s = last_naive;
       std::printf(" %14.4f\n", last_naive);
     } else {
       std::printf(" %14s\n", "-");
     }
     std::fflush(stdout);
+    rows.push_back(row);
   }
+  WriteBenchJson(figure, query, rows);
   std::printf("\n");
 }
 

@@ -38,6 +38,16 @@ LoadedDocument LoadAll(const std::string& xml);
 double TimeNatix(LoadedDocument& doc, const std::string& query,
                  bool canonical = false);
 
+/// One instrumented run of `query`: compiles with stats collection,
+/// evaluates once, and returns the wall time plus the plan-wide counter
+/// totals and query-level buffer deltas (src/obs).
+struct StatsRun {
+  double seconds = 0;
+  obs::StatsTotals totals;
+  obs::BufferCounters buffer;
+};
+StatsRun TimeNatixWithStats(LoadedDocument& doc, const std::string& query);
+
 /// Seconds to run `query` through the main-memory interpreter.
 double TimeInterp(LoadedDocument& doc, const std::string& query,
                   bool memoize);

@@ -65,9 +65,10 @@ StatusOr<storage::StoredNode> Database::Root(std::string_view name) const {
 }
 
 StatusOr<std::unique_ptr<CompiledQuery>> Database::Compile(
-    std::string_view xpath,
-    const translate::TranslatorOptions& options) const {
-  return CompiledQuery::Compile(xpath, store_.get(), options);
+    std::string_view xpath, const translate::TranslatorOptions& options,
+    bool collect_stats) const {
+  return CompiledQuery::Compile(xpath, store_.get(), options,
+                                collect_stats);
 }
 
 StatusOr<std::vector<storage::StoredNode>> Database::QueryNodes(

@@ -51,11 +51,13 @@ class Database {
   /// The document node of document `name`.
   StatusOr<storage::StoredNode> Root(std::string_view name) const;
 
-  /// Compiles a reusable query.
+  /// Compiles a reusable query. With `collect_stats` the query carries
+  /// the per-operator EXPLAIN ANALYZE counters (CompiledQuery::Stats).
   StatusOr<std::unique_ptr<CompiledQuery>> Compile(
       std::string_view xpath,
       const translate::TranslatorOptions& options =
-          translate::TranslatorOptions::Improved()) const;
+          translate::TranslatorOptions::Improved(),
+      bool collect_stats = false) const;
 
   // One-shot helpers, evaluated with the document node of `document` as
   // the context node.

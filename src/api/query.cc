@@ -13,7 +13,7 @@ namespace natix {
 
 StatusOr<std::unique_ptr<CompiledQuery>> CompiledQuery::Compile(
     std::string_view xpath, const storage::NodeStore* store,
-    const translate::TranslatorOptions& options) {
+    const translate::TranslatorOptions& options, bool collect_stats) {
   // The compiler pipeline of Sec. 5.1.
   NATIX_ASSIGN_OR_RETURN(xpath::ExprPtr ast, xpath::ParseXPath(xpath));
   NATIX_RETURN_IF_ERROR(xpath::Analyze(ast.get()));
@@ -21,8 +21,9 @@ StatusOr<std::unique_ptr<CompiledQuery>> CompiledQuery::Compile(
   xpath::Normalize(ast.get());
   NATIX_ASSIGN_OR_RETURN(translate::TranslationResult translation,
                          translate::Translate(*ast, options));
-  NATIX_ASSIGN_OR_RETURN(std::unique_ptr<qe::Plan> plan,
-                         qe::Codegen::Compile(translation, store));
+  NATIX_ASSIGN_OR_RETURN(
+      std::unique_ptr<qe::Plan> plan,
+      qe::Codegen::Compile(translation, store, collect_stats));
   return std::unique_ptr<CompiledQuery>(
       new CompiledQuery(store, std::move(plan)));
 }
@@ -42,14 +43,25 @@ Status CompiledQuery::BindContext(storage::NodeId context) {
 
 void CompiledQuery::BeginStats() {
   tuples_baseline_ = plan_->state()->tuples_produced;
-  faults_baseline_ = store_->buffer_manager()->fault_count();
+  buffer_baseline_ = obs::CaptureBufferCounters(store_->buffer_manager());
 }
 
 void CompiledQuery::EndStats() {
   last_stats_.step_tuples =
       plan_->state()->tuples_produced - tuples_baseline_;
-  last_stats_.page_faults =
-      store_->buffer_manager()->fault_count() - faults_baseline_;
+  obs::BufferCounters now =
+      obs::CaptureBufferCounters(store_->buffer_manager());
+  last_stats_.page_faults = now.page_reads - buffer_baseline_.page_reads;
+  if (obs::QueryStats* stats = plan_->stats()) {
+    // Query-level buffer deltas accumulate across evaluations alongside
+    // the per-operator counters.
+    stats->buffer() += obs::BufferCounters{
+        now.page_reads - buffer_baseline_.page_reads,
+        now.page_hits - buffer_baseline_.page_hits,
+        now.page_writes - buffer_baseline_.page_writes,
+        now.evictions - buffer_baseline_.evictions};
+    stats->RecordExecution();
+  }
 }
 
 StatusOr<std::vector<storage::StoredNode>> CompiledQuery::EvaluateNodes(
@@ -76,9 +88,9 @@ StatusOr<runtime::Value> CompiledQuery::EvaluateValue(
 }
 
 StatusOr<double> CompiledQuery::EvaluateNumber(storage::NodeId context) {
-  NATIX_ASSIGN_OR_RETURN(std::string s, EvaluateString(context));
   if (result_type() == xpath::ExprType::kNodeSet ||
       result_type() == xpath::ExprType::kString) {
+    NATIX_ASSIGN_OR_RETURN(std::string s, EvaluateString(context));
     return StringToXPathNumber(s);
   }
   NATIX_ASSIGN_OR_RETURN(runtime::Value value, EvaluateValue(context));
@@ -107,6 +119,7 @@ StatusOr<std::string> CompiledQuery::EvaluateString(
     NATIX_RETURN_IF_ERROR(BindContext(context));
     NATIX_ASSIGN_OR_RETURN(std::vector<runtime::NodeRef> refs,
                            plan_->ExecuteNodes());
+    EndStats();
     if (refs.empty()) return std::string();
     qe::SortResultNodes(&refs);
     return store_->StringValue(refs.front().node_id());

@@ -29,10 +29,13 @@ struct ExecutionStats {
 class CompiledQuery {
  public:
   /// Compiles `xpath` for `store` with the given translation strategy.
+  /// With `collect_stats` the plan carries per-operator counters
+  /// (Stats/ExplainAnalyze); without it the query runs uninstrumented.
   static StatusOr<std::unique_ptr<CompiledQuery>> Compile(
       std::string_view xpath, const storage::NodeStore* store,
       const translate::TranslatorOptions& options =
-          translate::TranslatorOptions::Improved());
+          translate::TranslatorOptions::Improved(),
+      bool collect_stats = false);
 
   CompiledQuery(const CompiledQuery&) = delete;
   CompiledQuery& operator=(const CompiledQuery&) = delete;
@@ -87,6 +90,19 @@ class CompiledQuery {
   /// Counters from the most recent Evaluate* call.
   const ExecutionStats& last_stats() const { return last_stats_; }
 
+  /// The per-operator stats collector, or null when the query was
+  /// compiled without `collect_stats`. Counters accumulate across
+  /// Evaluate* calls until QueryStats::Reset().
+  const obs::QueryStats* Stats() const { return plan_->stats(); }
+  obs::QueryStats* MutableStats() { return plan_->stats(); }
+
+  /// The EXPLAIN ANALYZE rendering of the accumulated per-operator
+  /// counters ("" when compiled without stats collection).
+  std::string ExplainAnalyze() const {
+    return plan_->stats() == nullptr ? std::string()
+                                     : plan_->stats()->RenderAnalyze();
+  }
+
   qe::Plan* plan() { return plan_.get(); }
 
  private:
@@ -102,7 +118,7 @@ class CompiledQuery {
   std::unique_ptr<qe::Plan> plan_;
   ExecutionStats last_stats_;
   uint64_t tuples_baseline_ = 0;
-  uint64_t faults_baseline_ = 0;
+  obs::BufferCounters buffer_baseline_;
 };
 
 }  // namespace natix

@@ -8,7 +8,7 @@ using runtime::NodeRef;
 using runtime::Value;
 using runtime::ValueKind;
 
-Status AggregateIterator::Next(bool* has) {
+Status AggregateIterator::NextImpl(bool* has) {
   if (done_) {
     *has = false;
     return Status::OK();
@@ -20,7 +20,7 @@ Status AggregateIterator::Next(bool* has) {
   return Status::OK();
 }
 
-Status BinaryGroupIterator::Next(bool* has) {
+Status BinaryGroupIterator::NextImpl(bool* has) {
   NATIX_RETURN_IF_ERROR(left_->Next(has));
   if (!*has) return Status::OK();
   // Aggregate the matching right tuples for this left tuple. The left
@@ -77,7 +77,7 @@ Status BinaryGroupIterator::Next(bool* has) {
   return Status::OK();
 }
 
-Status UnnestIterator::Next(bool* has) {
+Status UnnestIterator::NextImpl(bool* has) {
   while (true) {
     if (current_ != nullptr && pos_ < current_->size()) {
       state_->registers[out_] = (*current_)[pos_];
@@ -149,7 +149,7 @@ IdDerefIterator::IndexFor(NodeRef node) {
   return &inserted->second;
 }
 
-Status IdDerefIterator::Open() {
+Status IdDerefIterator::OpenImpl() {
   pending_.clear();
   pos_ = 0;
   scalar_done_ = false;
@@ -182,7 +182,7 @@ Status IdDerefIterator::LoadTokens() {
   return Status::OK();
 }
 
-Status IdDerefIterator::Next(bool* has) {
+Status IdDerefIterator::NextImpl(bool* has) {
   while (true) {
     if (pos_ < pending_.size()) {
       state_->registers[out_] = Value::Node(pending_[pos_]);

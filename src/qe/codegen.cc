@@ -22,12 +22,14 @@ using analysis::PhysNodeKind;
 using analysis::PhysNodePtr;
 
 /// Iterator plus the registers its subtree writes (needed by
-/// materializing parents for row snapshots) and the node of the
-/// Layer-2 dataflow model mirroring the iterator.
+/// materializing parents for row snapshots), the node of the Layer-2
+/// dataflow model mirroring the iterator, and the per-operator stats
+/// node (null unless the query is compiled with stats collection).
 struct BuildResult {
   IteratorPtr iter;
   std::set<RegisterId> written;
   PhysNodePtr node;
+  obs::OpStats* stats = nullptr;
 };
 
 /// Starts a dataflow-model node for the iterator being built.
@@ -141,10 +143,15 @@ class CodegenImpl {
   CodegenImpl(Plan* plan, const storage::NodeStore* store)
       : plan_(plan), store_(store) {}
 
-  Status Run(const translate::TranslationResult& translation) {
+  Status Run(const translate::TranslationResult& translation,
+             bool collect_stats) {
     plan_->state_ = std::make_unique<ExecState>();
     plan_->state_->eval_ctx.store = store_;
     state_ = plan_->state_.get();
+    if (collect_stats) {
+      plan_->stats_ = std::make_unique<obs::QueryStats>();
+      qstats_ = plan_->stats_.get();
+    }
 
     // Reserved execution-context attributes (the paper's top-level map).
     plan_->cn_reg_ = Bind(translate::kContextNodeAttr);
@@ -154,6 +161,7 @@ class CodegenImpl {
     NATIX_ASSIGN_OR_RETURN(BuildResult root, Build(*translation.plan));
     NATIX_ASSIGN_OR_RETURN(plan_->result_reg_,
                            Resolve(translation.result_attr));
+    if (qstats_ != nullptr) qstats_->set_root(root.stats);
     plan_->root_ = std::move(root.iter);
     plan_->result_type_ = translation.type;
     plan_->logical_plan_ = translation.plan->ToString();
@@ -190,6 +198,38 @@ class CodegenImpl {
   }
 
  private:
+  /// Allocates a stats node in the plan's collector; null when stats
+  /// collection is off, so every call site stays branch-free.
+  obs::OpStats* NewStats(std::string label) {
+    if (qstats_ == nullptr) return nullptr;
+    obs::OpStats* node = qstats_->NewOp(std::move(label));
+    node->buffer = store_->buffer_manager();
+    return node;
+  }
+
+  /// Links children and binds the node to its iterator. Null children
+  /// (structural no-ops like register-alias maps) are skipped. Iterator
+  /// children precede any NestedAgg nodes the subscript registrar
+  /// already hung off the node.
+  obs::OpStats* AttachStats(obs::OpStats* node, Iterator* iter,
+                            std::initializer_list<obs::OpStats*> children) {
+    if (node == nullptr) return nullptr;
+    size_t at = 0;
+    for (obs::OpStats* c : children) {
+      if (c == nullptr) continue;
+      node->children.insert(node->children.begin() + at, c);
+      ++at;
+    }
+    iter->BindStats(node);
+    return node;
+  }
+
+  /// One-shot: allocate + link + bind (operators without subscripts).
+  obs::OpStats* Observe(std::string label, Iterator* iter,
+                        std::initializer_list<obs::OpStats*> children) {
+    return AttachStats(NewStats(std::move(label)), iter, children);
+  }
+
   /// Binds a fresh attribute name to a new register (or returns the
   /// existing register when re-bound, e.g. the shared output attribute of
   /// union branches).
@@ -231,21 +271,32 @@ class CodegenImpl {
 
   /// Compiles a scalar subscript for the iterator modeled by `host`,
   /// recording the compiled program's tuple-register reads and nested
-  /// subplans in the dataflow model.
+  /// subplans in the dataflow model. Nested subplans hang their
+  /// aggregate stats node off `host_stats` (null: collection off).
   StatusOr<SubscriptPtr> CompileSubscript(const Scalar& scalar,
-                                          PhysNode* host) {
+                                          PhysNode* host,
+                                          obs::OpStats* host_stats) {
     nvm::AttrResolver resolver =
         [this](const std::string& name) -> StatusOr<RegisterId> {
       return Resolve(name);
     };
     nvm::NestedRegistrar registrar =
-        [this, host](const Scalar& nested) -> StatusOr<size_t> {
+        [this, host, host_stats](const Scalar& nested) -> StatusOr<size_t> {
       NATIX_ASSIGN_OR_RETURN(BuildResult sub, Build(*nested.plan));
       NATIX_ASSIGN_OR_RETURN(RegisterId input, Resolve(nested.input_attr));
       auto entry = std::make_unique<NestedPlan>();
       entry->iter = std::move(sub.iter);
       entry->agg = nested.agg;
       entry->input_reg = input;
+      if (host_stats != nullptr) {
+        obs::OpStats* agg = NewStats(
+            std::string("NestedAgg[") +
+            std::string(algebra::AggKindName(nested.agg)) + "]");
+        agg->nested = true;
+        if (sub.stats != nullptr) agg->children.push_back(sub.stats);
+        entry->stats = agg;
+        host_stats->children.push_back(agg);
+      }
       plan_->nested_.push_back(std::move(entry));
       host->nested.emplace_back(std::move(sub.node), input);
       return plan_->nested_.size() - 1;
@@ -300,15 +351,20 @@ class CodegenImpl {
         BuildResult result;
         result.iter = std::make_unique<SingletonScanIterator>();
         result.node = MakeNode(PhysNodeKind::kLeaf, "SingletonScan");
+        result.stats = Observe("SingletonScan", result.iter.get(), {});
         return result;
       }
       case OpKind::kSelect: {
         NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
         PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "Select");
-        NATIX_ASSIGN_OR_RETURN(SubscriptPtr predicate,
-                               CompileSubscript(*op.scalar, node.get()));
+        obs::OpStats* stats =
+            NewStats("Select[" + op.scalar->ToString() + "]");
+        NATIX_ASSIGN_OR_RETURN(
+            SubscriptPtr predicate,
+            CompileSubscript(*op.scalar, node.get(), stats));
         child.iter = std::make_unique<SelectIterator>(std::move(child.iter),
                                                       std::move(predicate));
+        child.stats = AttachStats(stats, child.iter.get(), {child.stats});
         node->children.push_back(std::move(child.node));
         child.node = std::move(node);
         return child;
@@ -331,6 +387,9 @@ class CodegenImpl {
         PhysNodePtr node =
             MakeNode(PhysNodeKind::kPipeline,
                      "Map[" + op.attr + "@r" + std::to_string(out) + "]");
+        obs::OpStats* stats = NewStats(
+            std::string("Map") + (op.materialize ? "^mat" : "") + "[" +
+            op.attr + " := " + op.scalar->ToString() + "]");
         std::vector<RegisterId> key_regs;
         if (op.materialize) {
           NATIX_ASSIGN_OR_RETURN(
@@ -339,11 +398,13 @@ class CodegenImpl {
           node->reads.insert(node->reads.end(), key_regs.begin(),
                              key_regs.end());
         }
-        NATIX_ASSIGN_OR_RETURN(SubscriptPtr subscript,
-                               CompileSubscript(*op.scalar, node.get()));
+        NATIX_ASSIGN_OR_RETURN(
+            SubscriptPtr subscript,
+            CompileSubscript(*op.scalar, node.get(), stats));
         child.iter = std::make_unique<MapIterator>(
             state_, std::move(child.iter), std::move(subscript), out,
             op.materialize, std::move(key_regs));
+        child.stats = AttachStats(stats, child.iter.get(), {child.stats});
         child.written.insert(out);
         node->writes.push_back(out);
         node->children.push_back(std::move(child.node));
@@ -362,6 +423,11 @@ class CodegenImpl {
         }
         child.iter = std::make_unique<CounterIterator>(
             state_, std::move(child.iter), out, reset);
+        child.stats = Observe(
+            "Counter[" + op.attr +
+                (op.ctx_attr.empty() ? "" : ", reset on " + op.ctx_attr) +
+                "]",
+            child.iter.get(), {child.stats});
         child.written.insert(out);
         node->writes.push_back(out);
         node->children.push_back(std::move(child.node));
@@ -376,6 +442,11 @@ class CodegenImpl {
                                ResolveNodeTest(op.test));
         child.iter = std::make_unique<UnnestMapIterator>(
             state_, std::move(child.iter), ctx, out, op.axis, test);
+        child.stats = Observe("UnnestMap[" + op.attr + " := " +
+                                  op.ctx_attr + "/" +
+                                  runtime::AxisName(op.axis) +
+                                  "::" + op.test.ToString() + "]",
+                              child.iter.get(), {child.stats});
         child.written.insert(out);
         PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "UnnestMap");
         node->reads.push_back(ctx);
@@ -391,6 +462,9 @@ class CodegenImpl {
         BuildResult result;
         result.iter = std::make_unique<DJoinIterator>(std::move(left.iter),
                                                       std::move(right.iter));
+        result.stats =
+            Observe(op.kind == OpKind::kDJoin ? "DJoin" : "Cross",
+                    result.iter.get(), {left.stats, right.stats});
         result.written = std::move(left.written);
         result.written.insert(right.written.begin(), right.written.end());
         result.node = MakeNode(PhysNodeKind::kDependent,
@@ -406,14 +480,21 @@ class CodegenImpl {
         PhysNodePtr node = MakeNode(
             PhysNodeKind::kDependentLeft,
             op.kind == OpKind::kSemiJoin ? "SemiJoin" : "AntiJoin");
-        NATIX_ASSIGN_OR_RETURN(SubscriptPtr predicate,
-                               CompileSubscript(*op.scalar, node.get()));
+        obs::OpStats* stats = NewStats(
+            std::string(op.kind == OpKind::kSemiJoin ? "SemiJoin"
+                                                     : "AntiJoin") +
+            "[" + op.scalar->ToString() + "]");
+        NATIX_ASSIGN_OR_RETURN(
+            SubscriptPtr predicate,
+            CompileSubscript(*op.scalar, node.get(), stats));
         BuildResult result;
         result.iter = std::make_unique<SemiJoinIterator>(
             op.kind == OpKind::kSemiJoin ? SemiJoinIterator::Mode::kSemi
                                          : SemiJoinIterator::Mode::kAnti,
             std::move(left.iter), std::move(right.iter),
             std::move(predicate));
+        result.stats = AttachStats(stats, result.iter.get(),
+                                   {left.stats, right.stats});
         result.written = std::move(left.written);
         result.written.insert(right.written.begin(), right.written.end());
         node->children.push_back(std::move(left.node));
@@ -425,13 +506,17 @@ class CodegenImpl {
         BuildResult result;
         result.node = MakeNode(PhysNodeKind::kConcat, "Concat");
         std::vector<IteratorPtr> children;
+        std::vector<obs::OpStats*> child_stats;
         for (const algebra::OpPtr& c : op.children) {
           NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*c));
           children.push_back(std::move(child.iter));
+          if (child.stats != nullptr) child_stats.push_back(child.stats);
           result.written.insert(child.written.begin(), child.written.end());
           result.node->children.push_back(std::move(child.node));
         }
         result.iter = std::make_unique<ConcatIterator>(std::move(children));
+        result.stats = Observe("Concat", result.iter.get(), {});
+        if (result.stats != nullptr) result.stats->children = child_stats;
         return result;
       }
       case OpKind::kDupElim: {
@@ -439,6 +524,8 @@ class CodegenImpl {
         NATIX_ASSIGN_OR_RETURN(RegisterId attr, Resolve(op.attr));
         child.iter = std::make_unique<DupElimIterator>(
             state_, std::move(child.iter), attr);
+        child.stats = Observe("DupElim[" + op.attr + "]", child.iter.get(),
+                              {child.stats});
         PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "DupElim");
         node->reads.push_back(attr);
         node->children.push_back(std::move(child.node));
@@ -459,6 +546,8 @@ class CodegenImpl {
         node->row_regs = rows;
         child.iter = std::make_unique<SortIterator>(
             state_, std::move(child.iter), attr, std::move(rows));
+        child.stats = Observe("Sort[" + op.attr + "]", child.iter.get(),
+                              {child.stats});
         node->children.push_back(std::move(child.node));
         child.node = std::move(node);
         return child;
@@ -467,9 +556,19 @@ class CodegenImpl {
         NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
         NATIX_ASSIGN_OR_RETURN(RegisterId input, Resolve(op.ctx_attr));
         RegisterId out = Bind(op.attr);
-        BuildResult result;
-        result.iter = std::make_unique<AggregateIterator>(
+        auto agg_iter = std::make_unique<AggregateIterator>(
             state_, std::move(child.iter), op.agg, input, out);
+        obs::OpStats* stats = Observe(
+            "Aggregate[" + op.attr + " := " +
+                std::string(algebra::AggKindName(op.agg)) + "(" +
+                op.ctx_attr + ")]",
+            agg_iter.get(), {child.stats});
+        // The embedded nested plan's smart-aggregation counters land on
+        // the Aggregate's own node.
+        if (stats != nullptr) agg_iter->BindNestedStats(stats);
+        BuildResult result;
+        result.iter = std::move(agg_iter);
+        result.stats = stats;
         result.written.insert(out);
         result.node = MakeNode(PhysNodeKind::kBarrier, "Aggregate");
         result.node->reads.push_back(input);
@@ -489,6 +588,11 @@ class CodegenImpl {
         result.iter = std::make_unique<BinaryGroupIterator>(
             state_, std::move(left.iter), std::move(right.iter), op.agg,
             left_attr, right_attr, agg_input, out);
+        result.stats = Observe(
+            "BinaryGroup[" + op.attr + " := " +
+                std::string(algebra::AggKindName(op.agg)) + "; " +
+                op.left_attr + " = " + op.right_attr + "]",
+            result.iter.get(), {left.stats, right.stats});
         result.written = std::move(left.written);
         result.written.insert(out);
         result.node = MakeNode(PhysNodeKind::kDependentLeft, "BinaryGroup");
@@ -514,6 +618,11 @@ class CodegenImpl {
         node->writes.push_back(out);
         child.iter = std::make_unique<TmpCsIterator>(
             state_, std::move(child.iter), out, ctx, std::move(rows));
+        child.stats = Observe(
+            "TmpCs[" + op.attr +
+                (op.ctx_attr.empty() ? "" : "; context " + op.ctx_attr) +
+                "]",
+            child.iter.get(), {child.stats});
         child.written.insert(out);
         node->children.push_back(std::move(child.node));
         child.node = std::move(node);
@@ -534,6 +643,13 @@ class CodegenImpl {
         child.iter = std::make_unique<MemoXIterator>(
             state_, std::move(child.iter), std::move(keys),
             std::move(rows));
+        std::string key_list;
+        for (size_t i = 0; i < op.key_attrs.size(); ++i) {
+          if (i > 0) key_list += ", ";
+          key_list += op.key_attrs[i];
+        }
+        child.stats = Observe("MemoX[" + key_list + "]", child.iter.get(),
+                              {child.stats});
         node->children.push_back(std::move(child.node));
         child.node = std::move(node);
         return child;
@@ -544,6 +660,8 @@ class CodegenImpl {
         RegisterId out = Bind(op.attr);
         child.iter = std::make_unique<UnnestIterator>(
             state_, std::move(child.iter), seq, out);
+        child.stats = Observe("Unnest[" + op.attr + "]", child.iter.get(),
+                              {child.stats});
         child.written.insert(out);
         PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "Unnest");
         node->reads.push_back(seq);
@@ -557,14 +675,16 @@ class CodegenImpl {
         NATIX_ASSIGN_OR_RETURN(RegisterId ctx, Resolve(op.ctx_attr));
         PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "IdDeref");
         node->reads.push_back(ctx);
+        obs::OpStats* stats = NewStats("IdDeref[" + op.attr + "]");
         SubscriptPtr scalar;
         if (op.scalar != nullptr) {
-          NATIX_ASSIGN_OR_RETURN(scalar,
-                                 CompileSubscript(*op.scalar, node.get()));
+          NATIX_ASSIGN_OR_RETURN(
+              scalar, CompileSubscript(*op.scalar, node.get(), stats));
         }
         RegisterId out = Bind(op.attr);
         child.iter = std::make_unique<IdDerefIterator>(
             state_, std::move(child.iter), ctx, std::move(scalar), out);
+        child.stats = AttachStats(stats, child.iter.get(), {child.stats});
         child.written.insert(out);
         node->writes.push_back(out);
         node->children.push_back(std::move(child.node));
@@ -578,6 +698,8 @@ class CodegenImpl {
   Plan* plan_;
   const storage::NodeStore* store_;
   ExecState* state_ = nullptr;
+  /// The plan's stats collector; null unless compiled with stats.
+  obs::QueryStats* qstats_ = nullptr;
   std::unordered_map<std::string, RegisterId> attribute_map_;
   RegisterId next_register_ = 0;
   /// Every compiled NVM subscript with its site label (Layer-3 sweep).
@@ -588,10 +710,10 @@ class CodegenImpl {
 
 StatusOr<std::unique_ptr<Plan>> Codegen::Compile(
     const translate::TranslationResult& translation,
-    const storage::NodeStore* store) {
+    const storage::NodeStore* store, bool collect_stats) {
   auto plan = std::make_unique<Plan>();
   internal::CodegenImpl impl(plan.get(), store);
-  NATIX_RETURN_IF_ERROR(impl.Run(translation));
+  NATIX_RETURN_IF_ERROR(impl.Run(translation, collect_stats));
   return plan;
 }
 

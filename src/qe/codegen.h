@@ -18,9 +18,12 @@ namespace natix::qe {
 class Codegen {
  public:
   /// Compiles `translation` into an executable plan bound to `store`.
+  /// With `collect_stats` the plan carries a per-operator stats tree
+  /// (src/obs) and every iterator is instrumented; without it the plan
+  /// runs uninstrumented (one dormant branch per iterator call).
   static StatusOr<std::unique_ptr<Plan>> Compile(
       const translate::TranslationResult& translation,
-      const storage::NodeStore* store);
+      const storage::NodeStore* store, bool collect_stats = false);
 };
 
 }  // namespace natix::qe

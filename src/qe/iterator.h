@@ -8,6 +8,7 @@
 
 #include "base/status.h"
 #include "base/statusor.h"
+#include "obs/stats.h"
 #include "runtime/conversions.h"
 #include "runtime/register_file.h"
 #include "runtime/value.h"
@@ -34,15 +35,63 @@ struct ExecState {
 /// (Sec. 5.2.1, after Graefe): Open / Next / Close. Iterators communicate
 /// through the plan register file; Next() returning true means the
 /// iterator's output registers hold the next tuple.
+///
+/// The interface is non-virtual: the public methods route through
+/// OpenImpl/NextImpl/CloseImpl so that per-operator instrumentation
+/// (call counts, tuples, wall time, page I/O — src/obs) lives in exactly
+/// one place. An uninstrumented iterator (stats_ == nullptr, the
+/// default) pays a single predicted branch per call; building with
+/// NATIX_OBS_DISABLED removes even that.
 class Iterator {
  public:
   virtual ~Iterator() = default;
 
-  virtual Status Open() = 0;
+  Status Open() {
+    if (ObsOff()) return OpenImpl();
+    ++stats_->open_calls;
+    obs::ScopedOpTimer timer(stats_);
+    return OpenImpl();
+  }
+
   /// Produces the next tuple into the registers. Sets *has to false at
   /// the end of the sequence.
-  virtual Status Next(bool* has) = 0;
-  virtual Status Close() = 0;
+  Status Next(bool* has) {
+    if (ObsOff()) return NextImpl(has);
+    ++stats_->next_calls;
+    obs::ScopedOpTimer timer(stats_);
+    Status st = NextImpl(has);
+    if (st.ok() && *has) ++stats_->tuples;
+    return st;
+  }
+
+  Status Close() {
+    if (ObsOff()) return CloseImpl();
+    ++stats_->close_calls;
+    obs::ScopedOpTimer timer(stats_);
+    return CloseImpl();
+  }
+
+  /// Attaches the per-operator stats node (codegen, when the query was
+  /// compiled with stats collection). Null detaches.
+  void BindStats(obs::OpStats* stats) { stats_ = stats; }
+
+ protected:
+  virtual Status OpenImpl() = 0;
+  virtual Status NextImpl(bool* has) = 0;
+  virtual Status CloseImpl() = 0;
+
+  /// The operator's stats node; operators bump their family-specific
+  /// counters on it through NATIX_OBS_COUNT.
+  obs::OpStats* stats_ = nullptr;
+
+ private:
+  bool ObsOff() const {
+#if defined(NATIX_OBS_DISABLED)
+    return true;
+#else
+    return stats_ == nullptr;
+#endif
+  }
 };
 
 using IteratorPtr = std::unique_ptr<Iterator>;

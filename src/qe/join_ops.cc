@@ -2,12 +2,12 @@
 
 namespace natix::qe {
 
-Status DJoinIterator::Open() {
+Status DJoinIterator::OpenImpl() {
   right_open_ = false;
   return left_->Open();
 }
 
-Status DJoinIterator::Next(bool* has) {
+Status DJoinIterator::NextImpl(bool* has) {
   *has = false;
   while (true) {
     if (!right_open_) {
@@ -26,7 +26,7 @@ Status DJoinIterator::Next(bool* has) {
   }
 }
 
-Status DJoinIterator::Close() {
+Status DJoinIterator::CloseImpl() {
   if (right_open_) {
     NATIX_RETURN_IF_ERROR(right_->Close());
     right_open_ = false;
@@ -34,7 +34,7 @@ Status DJoinIterator::Close() {
   return left_->Close();
 }
 
-Status SemiJoinIterator::Next(bool* has) {
+Status SemiJoinIterator::NextImpl(bool* has) {
   *has = false;
   while (true) {
     bool left_has = false;
@@ -58,7 +58,10 @@ Status SemiJoinIterator::Next(bool* has) {
         return pass.status();
       }
       if (*pass) {
+        // The probe stops at the first qualifying tuple: the embedded
+        // smart-aggregation early exit (Sec. 5.2.5).
         match = true;
+        NATIX_OBS_COUNT(stats_, early_exits, 1);
         break;
       }
     }

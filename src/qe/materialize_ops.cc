@@ -8,13 +8,13 @@ using runtime::Row;
 using runtime::Value;
 using runtime::ValueKind;
 
-Status DupElimIterator::Open() {
+Status DupElimIterator::OpenImpl() {
   seen_nodes_.clear();
   seen_other_.clear();
   return child_->Open();
 }
 
-Status DupElimIterator::Next(bool* has) {
+Status DupElimIterator::NextImpl(bool* has) {
   while (true) {
     NATIX_RETURN_IF_ERROR(child_->Next(has));
     if (!*has) return Status::OK();
@@ -26,7 +26,7 @@ Status DupElimIterator::Next(bool* has) {
   }
 }
 
-Status SortIterator::Open() {
+Status SortIterator::OpenImpl() {
   rows_.clear();
   pos_ = 0;
   NATIX_RETURN_IF_ERROR(child_->Open());
@@ -48,7 +48,7 @@ Status SortIterator::Open() {
   return Status::OK();
 }
 
-Status SortIterator::Next(bool* has) {
+Status SortIterator::NextImpl(bool* has) {
   if (pos_ >= rows_.size()) {
     *has = false;
     return Status::OK();
@@ -59,7 +59,7 @@ Status SortIterator::Next(bool* has) {
   return Status::OK();
 }
 
-Status TmpCsIterator::Open() {
+Status TmpCsIterator::OpenImpl() {
   group_.clear();
   replay_pos_ = 0;
   child_exhausted_ = false;
@@ -92,6 +92,11 @@ Status TmpCsIterator::FillGroup() {
     }
     Row row;
     state_->registers.SaveRow(row_regs_, &row);
+    // Each input tuple is pulled from the child and snapshotted exactly
+    // once, whether it lands in this group or becomes the pending head
+    // of the next one — this is the single-pass materialization counter
+    // the behavioral tests pin down.
+    NATIX_OBS_COUNT(stats_, spooled_rows, 1);
     if (ctx_reg_.has_value()) {
       std::string key = EncodeValueKey(state_->registers[*ctx_reg_]);
       if (group_.empty()) {
@@ -107,16 +112,18 @@ Status TmpCsIterator::FillGroup() {
     group_.push_back(std::move(row));
   }
   pending_key_ = have_pending_ ? pending_key_ : std::string();
+  if (!group_.empty()) NATIX_OBS_COUNT(stats_, groups, 1);
   return Status::OK();
 }
 
-Status TmpCsIterator::Next(bool* has) {
+Status TmpCsIterator::NextImpl(bool* has) {
   while (true) {
     if (replay_pos_ < group_.size()) {
       state_->registers.RestoreRow(row_regs_, group_[replay_pos_]);
       state_->registers[out_] =
           Value::Number(static_cast<double>(group_.size()));
       ++replay_pos_;
+      NATIX_OBS_COUNT(stats_, replayed_rows, 1);
       *has = true;
       return Status::OK();
     }
@@ -132,7 +139,7 @@ Status TmpCsIterator::Next(bool* has) {
   }
 }
 
-Status MemoXIterator::Open() {
+Status MemoXIterator::OpenImpl() {
   // Key on the current binding of the free variables (the context node
   // handed in by the d-join).
   current_key_ = EncodeRowKey(*state_, key_regs_);
@@ -144,9 +151,11 @@ Status MemoXIterator::Open() {
     recording_ = false;
     child_open_ = false;
     ++hits_;
+    NATIX_OBS_COUNT(stats_, memo_hits, 1);
     return Status::OK();
   }
   ++misses_;
+  NATIX_OBS_COUNT(stats_, memo_misses, 1);
   replaying_ = false;
   recording_ = true;
   recorded_.clear();
@@ -155,7 +164,7 @@ Status MemoXIterator::Open() {
   return Status::OK();
 }
 
-Status MemoXIterator::Next(bool* has) {
+Status MemoXIterator::NextImpl(bool* has) {
   if (replaying_) {
     if (replay_pos_ >= replay_rows_->size()) {
       *has = false;
@@ -163,6 +172,7 @@ Status MemoXIterator::Next(bool* has) {
     }
     state_->registers.RestoreRow(row_regs_, (*replay_rows_)[replay_pos_]);
     ++replay_pos_;
+    NATIX_OBS_COUNT(stats_, replayed_rows, 1);
     *has = true;
     return Status::OK();
   }
@@ -171,6 +181,7 @@ Status MemoXIterator::Next(bool* has) {
     Row row;
     state_->registers.SaveRow(row_regs_, &row);
     recorded_.push_back(std::move(row));
+    NATIX_OBS_COUNT(stats_, spooled_rows, 1);
     return Status::OK();
   }
   // Child drained completely: commit the memo entry (partial drains must
@@ -183,7 +194,7 @@ Status MemoXIterator::Next(bool* has) {
   return Status::OK();
 }
 
-Status MemoXIterator::Close() {
+Status MemoXIterator::CloseImpl() {
   // A Close before exhaustion (e.g. an early-exiting exists() above us)
   // leaves the entry uncommitted so a later evaluation recomputes it.
   recording_ = false;

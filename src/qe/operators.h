@@ -21,16 +21,16 @@ namespace natix::qe {
 /// The singleton scan (Fig. 1): one empty tuple.
 class SingletonScanIterator : public Iterator {
  public:
-  Status Open() override {
+  Status OpenImpl() override {
     done_ = false;
     return Status::OK();
   }
-  Status Next(bool* has) override {
+  Status NextImpl(bool* has) override {
     *has = !done_;
     done_ = true;
     return Status::OK();
   }
-  Status Close() override { return Status::OK(); }
+  Status CloseImpl() override { return Status::OK(); }
 
  private:
   bool done_ = true;
@@ -41,9 +41,9 @@ class SelectIterator : public Iterator {
  public:
   SelectIterator(IteratorPtr child, SubscriptPtr predicate)
       : child_(std::move(child)), predicate_(std::move(predicate)) {}
-  Status Open() override { return child_->Open(); }
-  Status Next(bool* has) override;
-  Status Close() override { return child_->Close(); }
+  Status OpenImpl() override { return child_->Open(); }
+  Status NextImpl(bool* has) override;
+  Status CloseImpl() override { return child_->Close(); }
 
  private:
   IteratorPtr child_;
@@ -65,9 +65,9 @@ class MapIterator : public Iterator {
         out_(out),
         materialize_(materialize),
         key_regs_(std::move(key_regs)) {}
-  Status Open() override { return child_->Open(); }
-  Status Next(bool* has) override;
-  Status Close() override { return child_->Close(); }
+  Status OpenImpl() override { return child_->Open(); }
+  Status NextImpl(bool* has) override;
+  Status CloseImpl() override { return child_->Close(); }
 
  private:
   ExecState* state_;
@@ -92,9 +92,9 @@ class CounterIterator : public Iterator {
         child_(std::move(child)),
         out_(out),
         reset_reg_(reset_reg) {}
-  Status Open() override;
-  Status Next(bool* has) override;
-  Status Close() override { return child_->Close(); }
+  Status OpenImpl() override;
+  Status NextImpl(bool* has) override;
+  Status CloseImpl() override { return child_->Close(); }
 
  private:
   ExecState* state_;
@@ -121,9 +121,9 @@ class UnnestMapIterator : public Iterator {
         axis_(axis),
         test_(test),
         cursor_(nullptr) {}
-  Status Open() override;
-  Status Next(bool* has) override;
-  Status Close() override { return child_->Close(); }
+  Status OpenImpl() override;
+  Status NextImpl(bool* has) override;
+  Status CloseImpl() override { return child_->Close(); }
 
  private:
   ExecState* state_;
@@ -141,9 +141,9 @@ class ConcatIterator : public Iterator {
  public:
   explicit ConcatIterator(std::vector<IteratorPtr> children)
       : children_(std::move(children)) {}
-  Status Open() override;
-  Status Next(bool* has) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Status NextImpl(bool* has) override;
+  Status CloseImpl() override;
 
  private:
   std::vector<IteratorPtr> children_;
@@ -163,9 +163,9 @@ class DJoinIterator : public Iterator {
  public:
   DJoinIterator(IteratorPtr left, IteratorPtr right)
       : left_(std::move(left)), right_(std::move(right)) {}
-  Status Open() override;
-  Status Next(bool* has) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Status NextImpl(bool* has) override;
+  Status CloseImpl() override;
 
  private:
   IteratorPtr left_;
@@ -185,9 +185,9 @@ class SemiJoinIterator : public Iterator {
         left_(std::move(left)),
         right_(std::move(right)),
         predicate_(std::move(predicate)) {}
-  Status Open() override { return left_->Open(); }
-  Status Next(bool* has) override;
-  Status Close() override { return left_->Close(); }
+  Status OpenImpl() override { return left_->Open(); }
+  Status NextImpl(bool* has) override;
+  Status CloseImpl() override { return left_->Close(); }
 
  private:
   Mode mode_;
@@ -207,9 +207,9 @@ class DupElimIterator : public Iterator {
   DupElimIterator(ExecState* state, IteratorPtr child,
                   runtime::RegisterId attr)
       : state_(state), child_(std::move(child)), attr_(attr) {}
-  Status Open() override;
-  Status Next(bool* has) override;
-  Status Close() override { return child_->Close(); }
+  Status OpenImpl() override;
+  Status NextImpl(bool* has) override;
+  Status CloseImpl() override { return child_->Close(); }
 
  private:
   ExecState* state_;
@@ -230,9 +230,9 @@ class SortIterator : public Iterator {
         child_(std::move(child)),
         attr_(attr),
         row_regs_(std::move(row_regs)) {}
-  Status Open() override;
-  Status Next(bool* has) override;
-  Status Close() override { return child_->Close(); }
+  Status OpenImpl() override;
+  Status NextImpl(bool* has) override;
+  Status CloseImpl() override { return child_->Close(); }
 
  private:
   ExecState* state_;
@@ -259,9 +259,9 @@ class TmpCsIterator : public Iterator {
         out_(out),
         ctx_reg_(ctx_reg),
         row_regs_(std::move(row_regs)) {}
-  Status Open() override;
-  Status Next(bool* has) override;
-  Status Close() override { return child_->Close(); }
+  Status OpenImpl() override;
+  Status NextImpl(bool* has) override;
+  Status CloseImpl() override { return child_->Close(); }
 
  private:
   Status FillGroup();
@@ -294,9 +294,9 @@ class MemoXIterator : public Iterator {
         child_(std::move(child)),
         key_regs_(std::move(key_regs)),
         row_regs_(std::move(row_regs)) {}
-  Status Open() override;
-  Status Next(bool* has) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Status NextImpl(bool* has) override;
+  Status CloseImpl() override;
 
   uint64_t hit_count() const { return hits_; }
   uint64_t miss_count() const { return misses_; }
@@ -335,12 +335,15 @@ class AggregateIterator : public Iterator {
     nested_.agg = agg;
     nested_.input_reg = input;
   }
-  Status Open() override {
+  /// Routes the embedded nested-aggregate counters (consumed tuples,
+  /// smart-aggregation early exits) onto this operator's stats node.
+  void BindNestedStats(obs::OpStats* stats) { nested_.stats = stats; }
+  Status OpenImpl() override {
     done_ = false;
     return Status::OK();
   }
-  Status Next(bool* has) override;
-  Status Close() override { return Status::OK(); }
+  Status NextImpl(bool* has) override;
+  Status CloseImpl() override { return Status::OK(); }
 
  private:
   ExecState* state_;
@@ -368,9 +371,9 @@ class BinaryGroupIterator : public Iterator {
         right_attr_(right_attr),
         agg_input_(agg_input),
         out_(out) {}
-  Status Open() override { return left_->Open(); }
-  Status Next(bool* has) override;
-  Status Close() override { return left_->Close(); }
+  Status OpenImpl() override { return left_->Open(); }
+  Status NextImpl(bool* has) override;
+  Status CloseImpl() override { return left_->Close(); }
 
  private:
   ExecState* state_;
@@ -393,13 +396,13 @@ class UnnestIterator : public Iterator {
         child_(std::move(child)),
         seq_attr_(seq_attr),
         out_(out) {}
-  Status Open() override {
+  Status OpenImpl() override {
     pos_ = 0;
     current_.reset();
     return child_->Open();
   }
-  Status Next(bool* has) override;
-  Status Close() override { return child_->Close(); }
+  Status NextImpl(bool* has) override;
+  Status CloseImpl() override { return child_->Close(); }
 
  private:
   ExecState* state_;
@@ -425,9 +428,9 @@ class IdDerefIterator : public Iterator {
         ctx_(ctx),
         scalar_(std::move(scalar)),
         out_(out) {}
-  Status Open() override;
-  Status Next(bool* has) override;
-  Status Close() override { return child_->Close(); }
+  Status OpenImpl() override;
+  Status NextImpl(bool* has) override;
+  Status CloseImpl() override { return child_->Close(); }
 
  private:
   /// Finds (building lazily) the id index of the document containing

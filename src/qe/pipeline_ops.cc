@@ -5,7 +5,7 @@ namespace natix::qe {
 using runtime::Value;
 using runtime::ValueKind;
 
-Status SelectIterator::Next(bool* has) {
+Status SelectIterator::NextImpl(bool* has) {
   while (true) {
     NATIX_RETURN_IF_ERROR(child_->Next(has));
     if (!*has) return Status::OK();
@@ -14,16 +14,18 @@ Status SelectIterator::Next(bool* has) {
   }
 }
 
-Status MapIterator::Next(bool* has) {
+Status MapIterator::NextImpl(bool* has) {
   NATIX_RETURN_IF_ERROR(child_->Next(has));
   if (!*has) return Status::OK();
   if (materialize_) {
     std::string key = EncodeRowKey(*state_, key_regs_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
+      NATIX_OBS_COUNT(stats_, cache_hits, 1);
       state_->registers[out_] = it->second;
       return Status::OK();
     }
+    NATIX_OBS_COUNT(stats_, cache_misses, 1);
     NATIX_ASSIGN_OR_RETURN(Value v, subscript_->Evaluate());
     cache_.emplace(std::move(key), v);
     state_->registers[out_] = std::move(v);
@@ -34,14 +36,14 @@ Status MapIterator::Next(bool* has) {
   return Status::OK();
 }
 
-Status CounterIterator::Open() {
+Status CounterIterator::OpenImpl() {
   counter_ = 0;
   have_key_ = false;
   last_key_.clear();
   return child_->Open();
 }
 
-Status CounterIterator::Next(bool* has) {
+Status CounterIterator::NextImpl(bool* has) {
   NATIX_RETURN_IF_ERROR(child_->Next(has));
   if (!*has) return Status::OK();
   if (reset_reg_.has_value()) {
@@ -57,13 +59,13 @@ Status CounterIterator::Next(bool* has) {
   return Status::OK();
 }
 
-Status UnnestMapIterator::Open() {
+Status UnnestMapIterator::OpenImpl() {
   cursor_active_ = false;
   cursor_ = runtime::AxisCursor(state_->eval_ctx.store);
   return child_->Open();
 }
 
-Status UnnestMapIterator::Next(bool* has) {
+Status UnnestMapIterator::NextImpl(bool* has) {
   *has = false;
   while (true) {
     if (!cursor_active_) {

@@ -58,10 +58,17 @@ class Plan {
 
   ExecState* state() { return state_.get(); }
 
+  /// The per-operator stats collector (EXPLAIN ANALYZE), or null when
+  /// the plan was compiled without stats collection. Counters accumulate
+  /// across executions until QueryStats::Reset().
+  obs::QueryStats* stats() { return stats_.get(); }
+  const obs::QueryStats* stats() const { return stats_.get(); }
+
  private:
   friend class internal::CodegenImpl;
 
   std::unique_ptr<ExecState> state_;
+  std::unique_ptr<obs::QueryStats> stats_;
   IteratorPtr root_;
   NestedTable nested_;
   runtime::RegisterId result_reg_ = 0;

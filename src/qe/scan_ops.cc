@@ -2,13 +2,13 @@
 
 namespace natix::qe {
 
-Status ConcatIterator::Open() {
+Status ConcatIterator::OpenImpl() {
   current_ = 0;
   open_ = false;
   return Status::OK();
 }
 
-Status ConcatIterator::Next(bool* has) {
+Status ConcatIterator::NextImpl(bool* has) {
   *has = false;
   while (current_ < children_.size()) {
     if (!open_) {
@@ -24,7 +24,7 @@ Status ConcatIterator::Next(bool* has) {
   return Status::OK();
 }
 
-Status ConcatIterator::Close() {
+Status ConcatIterator::CloseImpl() {
   if (open_ && current_ < children_.size()) {
     NATIX_RETURN_IF_ERROR(children_[current_]->Close());
     open_ = false;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <optional>
 
 namespace natix::qe {
 
@@ -15,6 +16,17 @@ using runtime::ValueKind;
 }  // namespace
 
 StatusOr<Value> RunNestedAggregate(NestedPlan* nested, ExecState* state) {
+  // Time the whole evaluation onto the NestedAgg node so the host
+  // operator's exclusive time excludes subscript-driven subplans. A
+  // top-level Aggregate routes its embedded plan onto its own node,
+  // which the iterator NVI wrapper already times — no second timer.
+  std::optional<obs::ScopedOpTimer> timer;
+#if !defined(NATIX_OBS_DISABLED)
+  if (nested->stats != nullptr && nested->stats->nested) {
+    timer.emplace(nested->stats);
+  }
+#endif
+  NATIX_OBS_COUNT(nested->stats, agg_evals, 1);
   NATIX_RETURN_IF_ERROR(nested->iter->Open());
 
   uint64_t count = 0;
@@ -33,6 +45,7 @@ StatusOr<Value> RunNestedAggregate(NestedPlan* nested, ExecState* state) {
       return st;
     }
     if (!has) break;
+    NATIX_OBS_COUNT(nested->stats, agg_input, 1);
     const Value& value = state->registers[nested->input_reg];
     switch (nested->agg) {
       case AggKind::kCount:
@@ -79,7 +92,11 @@ StatusOr<Value> RunNestedAggregate(NestedPlan* nested, ExecState* state) {
         break;
       }
     }
-    if (nested->agg == AggKind::kExists && exists) break;
+    if (nested->agg == AggKind::kExists && exists) {
+      // Smart aggregation: the remaining input is never produced.
+      NATIX_OBS_COUNT(nested->stats, early_exits, 1);
+      break;
+    }
   }
   NATIX_RETURN_IF_ERROR(nested->iter->Close());
 

@@ -18,6 +18,10 @@ struct NestedPlan {
   IteratorPtr iter;
   algebra::AggKind agg = algebra::AggKind::kExists;
   runtime::RegisterId input_reg = 0;
+  /// Stats node of the aggregate wrapping this subplan (null: stats
+  /// collection off). Tracks evaluations, consumed tuples, and smart
+  /// aggregation early exits (Sec. 5.2.5).
+  obs::OpStats* stats = nullptr;
 };
 
 using NestedTable = std::vector<std::unique_ptr<NestedPlan>>;

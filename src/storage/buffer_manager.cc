@@ -106,10 +106,11 @@ Status BufferManager::EvictOne(size_t* frame_out) {
   if (f.dirty) {
     NATIX_RETURN_IF_ERROR(file_->WritePage(f.page_id, f.data.get()));
     f.dirty = false;
+    write_count_.fetch_add(1, std::memory_order_relaxed);
   }
   page_table_.erase(f.page_id);
   f.page_id = kInvalidPage;
-  ++eviction_count_;
+  eviction_count_.fetch_add(1, std::memory_order_relaxed);
   *frame_out = frame;
   return Status::OK();
 }
@@ -125,9 +126,10 @@ StatusOr<PageHandle> BufferManager::FixPage(PageId id) {
       f.in_lru = false;
     }
     ++f.pin_count;
+    hit_count_.fetch_add(1, std::memory_order_relaxed);
     return PageHandle(this, id, frame);
   }
-  ++fault_count_;
+  fault_count_.fetch_add(1, std::memory_order_relaxed);
   size_t frame;
   if (!free_frames_.empty()) {
     frame = free_frames_.back();
@@ -173,6 +175,7 @@ Status BufferManager::FlushAll() {
     if (f.page_id != kInvalidPage && f.dirty) {
       NATIX_RETURN_IF_ERROR(file_->WritePage(f.page_id, f.data.get()));
       f.dirty = false;
+      write_count_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   return Status::OK();

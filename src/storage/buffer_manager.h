@@ -1,6 +1,7 @@
 #ifndef NATIX_STORAGE_BUFFER_MANAGER_H_
 #define NATIX_STORAGE_BUFFER_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -73,9 +74,24 @@ class BufferManager {
   /// Writes back all dirty frames.
   Status FlushAll();
 
-  /// Statistics for tests and benchmarks.
-  uint64_t fault_count() const { return fault_count_; }
-  uint64_t eviction_count() const { return eviction_count_; }
+  /// Statistics for tests, benchmarks, and the observability layer
+  /// (src/obs). Counters are relaxed atomics: they are incremented under
+  /// the internal mutex but read lock-free by per-query stats capture
+  /// while other queries run.
+  uint64_t fault_count() const {
+    return fault_count_.load(std::memory_order_relaxed);
+  }
+  /// Fixes served from the pool without touching the file.
+  uint64_t hit_count() const {
+    return hit_count_.load(std::memory_order_relaxed);
+  }
+  /// Dirty pages written back (eviction or FlushAll).
+  uint64_t write_count() const {
+    return write_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t eviction_count() const {
+    return eviction_count_.load(std::memory_order_relaxed);
+  }
   size_t capacity() const { return frames_.size(); }
 
  private:
@@ -102,8 +118,10 @@ class BufferManager {
   /// Unpinned frames, least recently used first.
   std::list<size_t> lru_;
   std::unordered_map<PageId, size_t> page_table_;
-  uint64_t fault_count_ = 0;
-  uint64_t eviction_count_ = 0;
+  std::atomic<uint64_t> fault_count_{0};
+  std::atomic<uint64_t> hit_count_{0};
+  std::atomic<uint64_t> write_count_{0};
+  std::atomic<uint64_t> eviction_count_{0};
 };
 
 }  // namespace natix::storage

@@ -1,0 +1,157 @@
+// Golden EXPLAIN ANALYZE snapshots for the five paper benchmark query
+// shapes (Figs. 6-10). Counter values are normalized away ("=N" -> "=_")
+// so the goldens pin the operator tree STRUCTURE and the counter NAMES —
+// the stable output contract of obs::QueryStats::RenderAnalyze — without
+// depending on timings or document scale.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+
+#include "api/database.h"
+
+namespace natix {
+namespace {
+
+/// Replaces every "=<digits/dots>" with "=_", leaving everything else
+/// (labels, register-qualified attribute names, counter names) intact.
+std::string Normalize(const std::string& analyze) {
+  std::string out;
+  out.reserve(analyze.size());
+  size_t i = 0;
+  while (i < analyze.size()) {
+    char c = analyze[i];
+    out += c;
+    ++i;
+    if (c != '=') continue;
+    size_t j = i;
+    while (j < analyze.size() &&
+           (std::isdigit(static_cast<unsigned char>(analyze[j])) ||
+            analyze[j] == '.')) {
+      ++j;
+    }
+    if (j > i) {
+      out += '_';
+      i = j;
+    }
+  }
+  return out;
+}
+
+std::string AnalyzeQuery(const std::string& xml, const std::string& query) {
+  auto db = Database::CreateTemp();
+  EXPECT_TRUE(db.ok());
+  auto info = (*db)->LoadDocument("doc", xml);
+  EXPECT_TRUE(info.ok());
+  auto compiled = (*db)->Compile(
+      query, translate::TranslatorOptions::Improved(),
+      /*collect_stats=*/true);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto nodes = (*compiled)->EvaluateNodes(info->root);
+  EXPECT_TRUE(nodes.ok());
+  return Normalize((*compiled)->ExplainAnalyze());
+}
+
+constexpr char kXdoc[] =
+    "<xdoc id=\"d0\"><a id=\"n1\"><b id=\"n2\"/><c id=\"n3\"/></a>"
+    "<a id=\"n4\"><b id=\"n5\"><c id=\"n6\"/></b></a></xdoc>";
+
+constexpr char kDblp[] =
+    "<dblp><article key=\"a1\"><author>A</author><title>T1</title>"
+    "</article><article key=\"a2\"><author>B</author><author>C</author>"
+    "<title>T2</title></article><inproceedings key=\"p1\">"
+    "<title>T3</title></inproceedings></dblp>";
+
+TEST(ExplainAnalyzeGoldenTest, Fig6Query1) {
+  EXPECT_EQ(
+      AnalyzeQuery(kXdoc, "/child::xdoc/desc::*/anc::*/desc::*/@id"),
+      R"(UnnestMap[c6 := c5/attribute::id] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+  DupElim[c5] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+    UnnestMap[c5 := c4/descendant::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+      DupElim[c4] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+        UnnestMap[c4 := c3/ancestor::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+          DupElim[c3] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+            UnnestMap[c3 := c2/descendant::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+              UnnestMap[c2 := c1/child::xdoc] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+                Map[c1 := root*(cn)] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+                  SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_
+)");
+}
+
+TEST(ExplainAnalyzeGoldenTest, Fig7Query2) {
+  EXPECT_EQ(
+      AnalyzeQuery(kXdoc, "/child::xdoc/desc::*/pre-sib::*/fol::*/@id"),
+      R"(UnnestMap[c6 := c5/attribute::id] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+  DupElim[c5] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+    UnnestMap[c5 := c4/following::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+      DupElim[c4] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+        UnnestMap[c4 := c3/preceding-sibling::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+          DupElim[c3] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+            UnnestMap[c3 := c2/descendant::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+              UnnestMap[c2 := c1/child::xdoc] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+                Map[c1 := root*(cn)] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+                  SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_
+)");
+}
+
+TEST(ExplainAnalyzeGoldenTest, Fig8Query3) {
+  EXPECT_EQ(
+      AnalyzeQuery(kXdoc, "/child::xdoc/desc::*/anc::*/anc::*/@id"),
+      R"(UnnestMap[c6 := c5/attribute::id] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+  DupElim[c5] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+    UnnestMap[c5 := c4/ancestor::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+      DupElim[c4] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+        UnnestMap[c4 := c3/ancestor::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+          DupElim[c3] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+            UnnestMap[c3 := c2/descendant::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+              UnnestMap[c2 := c1/child::xdoc] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+                Map[c1 := root*(cn)] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+                  SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_
+)");
+}
+
+TEST(ExplainAnalyzeGoldenTest, Fig9Query4) {
+  EXPECT_EQ(
+      AnalyzeQuery(kXdoc, "/child::xdoc/child::*/par::*/desc::*/@id"),
+      R"(UnnestMap[c6 := c5/attribute::id] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+  DupElim[c5] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+    UnnestMap[c5 := c4/descendant::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+      DupElim[c4] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+        UnnestMap[c4 := c3/parent::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+          UnnestMap[c3 := c2/child::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+            UnnestMap[c2 := c1/child::xdoc] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+              Map[c1 := root*(cn)] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+                SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_
+)");
+}
+
+// Fig. 10 representative (DBLP positional query): pins the Counter /
+// Tmp^cs_c materialization pipeline and its spool/replay counter names.
+// The spool counters only render when nonzero, so this golden needs the
+// instrumentation compiled in.
+TEST(ExplainAnalyzeGoldenTest, Fig10DblpPositional) {
+#if defined(NATIX_OBS_DISABLED)
+  GTEST_SKIP() << "observability compiled out (NATIX_OBS=OFF)";
+#endif
+  EXPECT_EQ(
+      AnalyzeQuery(kDblp, "/dblp/article[position() = last()]/title"),
+      R"(UnnestMap[c6 := c3/child::title] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+  Select[(cp4 = cs5)] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+    TmpCs[cs5; context c2] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_ spooled=_ replayed=_ groups=_)
+      Counter[cp4, reset on c2] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+        UnnestMap[c3 := c2/child::article] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+          UnnestMap[c2 := c1/child::dblp] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+            Map[c1 := root*(cn)] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+              SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_
+)");
+}
+
+}  // namespace
+}  // namespace natix

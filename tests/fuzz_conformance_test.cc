@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <functional>
 #include <random>
 #include <string>
@@ -17,6 +18,16 @@
 
 namespace natix {
 namespace {
+
+/// NATIX_FUZZ_SEED offsets every generated seed, so one environment
+/// variable re-rolls the whole suite (default 0: the fixed CI corpus).
+/// The trace below prints the effective seed of a failing run.
+uint32_t BaseSeed() {
+  const char* env = std::getenv("NATIX_FUZZ_SEED");
+  return env == nullptr
+             ? 0u
+             : static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+}
 
 class QueryGen {
  public:
@@ -183,7 +194,11 @@ std::string RenderInterp(const interp::Object& v) {
 class FuzzConformanceTest : public ::testing::TestWithParam<uint32_t> {};
 
 TEST_P(FuzzConformanceTest, RandomQueriesAgree) {
-  uint32_t seed = GetParam();
+  uint32_t seed = GetParam() + BaseSeed();
+  SCOPED_TRACE(::testing::Message()
+               << "effective seed " << seed << " (NATIX_FUZZ_SEED base "
+               << BaseSeed() << " + param " << GetParam()
+               << "); rerun with NATIX_FUZZ_SEED=" << BaseSeed());
   std::string xml = RandomDocument(seed * 977 + 11);
 
   auto db = Database::CreateTemp();

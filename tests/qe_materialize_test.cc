@@ -25,12 +25,12 @@ class NumbersIterator : public Iterator {
                   std::vector<double> values)
       : state_(state), out_(out), values_(std::move(values)) {}
 
-  Status Open() override {
+  Status OpenImpl() override {
     ++open_count_;
     pos_ = 0;
     return Status::OK();
   }
-  Status Next(bool* has) override {
+  Status NextImpl(bool* has) override {
     if (pos_ >= values_.size()) {
       *has = false;
       return Status::OK();
@@ -39,7 +39,7 @@ class NumbersIterator : public Iterator {
     *has = true;
     return Status::OK();
   }
-  Status Close() override { return Status::OK(); }
+  Status CloseImpl() override { return Status::OK(); }
 
   int open_count() const { return open_count_; }
 

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <functional>
 #include <random>
 #include <string>
@@ -14,6 +15,15 @@
 
 namespace natix {
 namespace {
+
+/// NATIX_FUZZ_SEED offsets every generated seed (default 0: the fixed
+/// CI corpus). A failing run's trace prints the effective seed.
+uint32_t BaseSeed() {
+  const char* env = std::getenv("NATIX_FUZZ_SEED");
+  return env == nullptr
+             ? 0u
+             : static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+}
 
 std::string RandomDocument(uint32_t seed) {
   std::mt19937 rng(seed);
@@ -56,7 +66,12 @@ std::string RandomDocument(uint32_t seed) {
 class RoundTripFuzzTest : public ::testing::TestWithParam<uint32_t> {};
 
 TEST_P(RoundTripFuzzTest, SerializationIsAFixpoint) {
-  std::string xml = RandomDocument(GetParam());
+  uint32_t seed = GetParam() + BaseSeed();
+  SCOPED_TRACE(::testing::Message()
+               << "effective seed " << seed << " (NATIX_FUZZ_SEED base "
+               << BaseSeed() << " + param " << GetParam()
+               << "); rerun with NATIX_FUZZ_SEED=" << BaseSeed());
+  std::string xml = RandomDocument(seed);
 
   auto db1 = Database::CreateTemp();
   ASSERT_TRUE(db1.ok());

@@ -9,6 +9,9 @@
 //     --values        print string-values instead of XML serialization
 //     --count         print only the number of result nodes
 //     --stats         print execution statistics to stderr after running
+//     --analyze       run the query with per-operator instrumentation and
+//                     print the EXPLAIN ANALYZE tree (counters, timings,
+//                     page I/O) to stdout after the result summary
 //     --verify-plans  statically verify the compiled plan (logical,
 //                     register dataflow, NVM subscripts); on by default
 //                     in debug builds
@@ -26,8 +29,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: natixq [--explain] [--canonical] [--values] "
-               "[--count] [--verify-plans] [--var k=v]... "
+               "usage: natixq [--explain] [--analyze] [--canonical] "
+               "[--values] [--count] [--verify-plans] [--var k=v]... "
                "<file.xml> <xpath>\n");
   return 2;
 }
@@ -36,6 +39,7 @@ int Usage() {
 
 int main(int argc, char** argv) {
   bool explain = false;
+  bool analyze = false;
   bool canonical = false;
   bool values = false;
   bool count_only = false;
@@ -47,6 +51,8 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--explain") {
       explain = true;
+    } else if (arg == "--analyze") {
+      analyze = true;
     } else if (arg == "--canonical") {
       canonical = true;
     } else if (arg == "--values") {
@@ -84,7 +90,7 @@ int main(int argc, char** argv) {
 
   auto options = canonical ? natix::translate::TranslatorOptions::Canonical()
                            : natix::translate::TranslatorOptions::Improved();
-  auto query = (*db)->Compile(positional[1], options);
+  auto query = (*db)->Compile(positional[1], options, analyze);
   if (!query.ok()) {
     std::fprintf(stderr, "natixq: %s\n", query.status().ToString().c_str());
     return 1;
@@ -119,6 +125,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     print_stats();
+    if (analyze) {
+      // EXPLAIN ANALYZE mode: the result summary and the instrumented
+      // operator tree replace the serialized result (Postgres style).
+      std::printf("result: %zu nodes\n=== explain analyze ===\n%s",
+                  nodes->size(), (*query)->ExplainAnalyze().c_str());
+      return 0;
+    }
     if (count_only) {
       std::printf("%zu\n", nodes->size());
       return 0;
@@ -141,6 +154,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   print_stats();
+  if (analyze) {
+    std::printf("result: %s\n=== explain analyze ===\n%s",
+                result->c_str(), (*query)->ExplainAnalyze().c_str());
+    return 0;
+  }
   std::printf("%s\n", result->c_str());
   return 0;
 }
