@@ -3,14 +3,80 @@
 // real 216 MB dump), comparing the algebraic engine against the memoized
 // main-memory interpreter (the Xalan stand-in).
 //
+// Each query runs NATIX_BENCH_REPS times (default 7) per system; the
+// table shows medians and BENCH_fig10.json carries min/median/p95 plus
+// the process-wide metrics snapshot of the whole run.
+//
 // Environment: NATIX_DBLP_PUBS overrides the document scale (default
 // 50000 publications, ~11 MB of XML; the paper's document holds roughly
 // 400k publications at 216 MB).
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "util.h"
 #include "gen/dblp_generator.h"
+#include "obs/metrics.h"
+
+namespace {
+
+struct Row {
+  const char* query;
+  size_t results;
+  natix::benchutil::RepTimings interp;
+  natix::benchutil::RepTimings natix;
+};
+
+void AppendReps(std::string* out, const char* prefix,
+                const natix::benchutil::RepTimings& reps) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "\"%s_min_s\": %.6f, \"%s_median_s\": %.6f, "
+                "\"%s_p95_s\": %.6f",
+                prefix, reps.min_s, prefix, reps.median_s, prefix,
+                reps.p95_s);
+  *out += buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void WriteJson(uint64_t publications, const std::vector<Row>& rows) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\n  \"figure\": \"fig10\",\n  \"publications\": %llu,\n"
+                "  \"reps\": %d,\n  \"rows\": [\n",
+                static_cast<unsigned long long>(publications),
+                natix::benchutil::BenchReps());
+  std::string out = buf;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out += "    {\"query\": \"" + JsonEscape(rows[i].query) + "\", ";
+    std::snprintf(buf, sizeof(buf), "\"results\": %zu,\n     ",
+                  rows[i].results);
+    out += buf;
+    AppendReps(&out, "interp_memo", rows[i].interp);
+    out += ",\n     ";
+    AppendReps(&out, "natix", rows[i].natix);
+    out += "}";
+    out += (i + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"metrics\": " +
+         natix::obs::MetricsRegistry::Global().SnapshotJson() + "\n}\n";
+  std::FILE* f = std::fopen("BENCH_fig10.json", "w");
+  if (f == nullptr) return;  // read-only working dir: skip emission
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("# wrote BENCH_fig10.json\n");
+}
+
+}  // namespace
 
 int main() {
   uint64_t publications = 50000;
@@ -24,9 +90,11 @@ int main() {
   std::string xml = natix::gen::GenerateDblp(options);
   std::printf(
       "# fig10: DBLP queries on a synthetic document "
-      "(%llu publications, %.1f MB)\n",
-      static_cast<unsigned long long>(publications), xml.size() / 1e6);
+      "(%llu publications, %.1f MB, %d reps/query)\n",
+      static_cast<unsigned long long>(publications), xml.size() / 1e6,
+      natix::benchutil::BenchReps());
 
+  natix::obs::MetricsRegistry::Global().Reset();
   natix::benchutil::LoadedDocument doc = natix::benchutil::LoadAll(xml);
 
   const char* queries[] = {
@@ -46,16 +114,21 @@ int main() {
       "[position()=last()]/title",
   };
 
+  std::vector<Row> rows;
   std::printf("%-64s %9s %10s %10s\n", "query", "results", "interp[s]",
               "natix[s]");
   for (const char* query : queries) {
-    size_t results = natix::benchutil::CountNatix(doc, query);
-    double interp =
-        natix::benchutil::TimeInterp(doc, query, /*memoize=*/true);
-    double natix = natix::benchutil::TimeNatix(doc, query);
-    std::printf("%-64s %9zu %10.4f %10.4f\n", query, results, interp,
-                natix);
+    Row row;
+    row.query = query;
+    row.results = natix::benchutil::CountNatix(doc, query);
+    row.interp =
+        natix::benchutil::TimeInterpReps(doc, query, /*memoize=*/true);
+    row.natix = natix::benchutil::TimeNatixReps(doc, query);
+    std::printf("%-64s %9zu %10.4f %10.4f\n", query, row.results,
+                row.interp.median_s, row.natix.median_s);
     std::fflush(stdout);
+    rows.push_back(row);
   }
+  WriteJson(publications, rows);
   return 0;
 }

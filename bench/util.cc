@@ -1,11 +1,13 @@
 #include "util.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "base/logging.h"
 #include "gen/xdoc_generator.h"
+#include "obs/metrics.h"
 
 namespace natix::benchutil {
 
@@ -24,6 +26,30 @@ double BestOf(int runs, const std::function<void()>& fn) {
     if (t < best) best = t;
   }
   return best;
+}
+
+int BenchReps() {
+  if (const char* env = std::getenv("NATIX_BENCH_REPS")) {
+    int reps = std::atoi(env);
+    if (reps >= 1) return reps;
+  }
+  return 7;
+}
+
+RepTimings TimeRepeated(int runs, const std::function<void()>& fn) {
+  if (runs < 1) runs = 1;
+  std::vector<double> samples;
+  samples.reserve(runs);
+  for (int i = 0; i < runs; ++i) samples.push_back(TimeSeconds(fn));
+  std::sort(samples.begin(), samples.end());
+  RepTimings out;
+  out.runs = runs;
+  out.min_s = samples.front();
+  out.median_s = samples[samples.size() / 2];
+  // Nearest-rank p95 (for the default 7 reps this is the max).
+  size_t rank = static_cast<size_t>(0.95 * (samples.size() - 1) + 0.5);
+  out.p95_s = samples[rank];
+  return out;
 }
 
 LoadedDocument LoadAll(const std::string& xml) {
@@ -47,6 +73,24 @@ double TimeNatix(LoadedDocument& doc, const std::string& query,
                        : translate::TranslatorOptions::Improved());
   NATIX_CHECK(compiled.ok());
   return TimeSeconds([&] {
+    if ((*compiled)->result_type() == xpath::ExprType::kNodeSet) {
+      auto nodes = (*compiled)->EvaluateNodes(doc.root,
+                                              /*document_order=*/false);
+      NATIX_CHECK(nodes.ok());
+    } else {
+      auto value = (*compiled)->EvaluateValue(doc.root);
+      NATIX_CHECK(value.ok());
+    }
+  });
+}
+
+RepTimings TimeNatixReps(LoadedDocument& doc, const std::string& query,
+                         bool canonical) {
+  auto compiled = doc.db->Compile(
+      query, canonical ? translate::TranslatorOptions::Canonical()
+                       : translate::TranslatorOptions::Improved());
+  NATIX_CHECK(compiled.ok());
+  return TimeRepeated(BenchReps(), [&] {
     if ((*compiled)->result_type() == xpath::ExprType::kNodeSet) {
       auto nodes = (*compiled)->EvaluateNodes(doc.root,
                                               /*document_order=*/false);
@@ -93,6 +137,18 @@ double TimeInterp(LoadedDocument& doc, const std::string& query,
   });
 }
 
+RepTimings TimeInterpReps(LoadedDocument& doc, const std::string& query,
+                          bool memoize) {
+  interp::EvaluatorOptions options;
+  options.memoize = memoize;
+  return TimeRepeated(BenchReps(), [&] {
+    auto result =
+        interp::Evaluator::Run(doc.dom.get(), query, doc.dom->root(),
+                               options);
+    NATIX_CHECK(result.ok());
+  });
+}
+
 size_t CountNatix(LoadedDocument& doc, const std::string& query) {
   auto nodes = doc.db->QueryNodes("doc", query);
   NATIX_CHECK(nodes.ok());
@@ -116,13 +172,14 @@ std::vector<DocPoint> PaperDocSweep() {
 
 namespace {
 
-/// One sweep point of the JSON emission (negative timing = skipped).
+/// One sweep point of the JSON emission (runs == 0 / negative timing =
+/// skipped system).
 struct JsonRow {
   uint64_t elements = 0;
   size_t results = 0;
-  double natix_s = -1;
-  double interp_memo_s = -1;
-  double interp_naive_s = -1;
+  RepTimings natix;
+  RepTimings interp_memo;
+  RepTimings interp_naive;
   StatsRun stats{-1, {}, {}};
 };
 
@@ -134,6 +191,20 @@ void AppendTiming(std::string* out, const char* key, double value) {
     std::snprintf(buf, sizeof(buf), "\"%s\": %.6f", key, value);
   }
   *out += buf;
+}
+
+/// Emits <prefix>_min_s / _median_s / _p95_s (null when skipped).
+void AppendReps(std::string* out, const char* prefix,
+                const RepTimings& reps) {
+  const bool ran = reps.runs > 0;
+  AppendTiming(out, (std::string(prefix) + "_min_s").c_str(),
+               ran ? reps.min_s : -1);
+  *out += ", ";
+  AppendTiming(out, (std::string(prefix) + "_median_s").c_str(),
+               ran ? reps.median_s : -1);
+  *out += ", ";
+  AppendTiming(out, (std::string(prefix) + "_p95_s").c_str(),
+               ran ? reps.p95_s : -1);
 }
 
 void AppendCounter(std::string* out, const char* key, uint64_t value) {
@@ -154,22 +225,25 @@ void WriteBenchJson(const char* figure, const std::string& query,
   if (space != std::string::npos) name = name.substr(0, space);
   std::string path = "BENCH_" + name + ".json";
 
+  char reps_buf[48];
+  std::snprintf(reps_buf, sizeof(reps_buf), "%d", BenchReps());
   std::string out = "{\n  \"figure\": \"" + std::string(figure) +
-                    "\",\n  \"query\": \"" + query + "\",\n  \"rows\": [\n";
+                    "\",\n  \"query\": \"" + query +
+                    "\",\n  \"reps\": " + reps_buf + ",\n  \"rows\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const JsonRow& row = rows[i];
     out += "    {";
     AppendCounter(&out, "elements", row.elements);
     out += ", ";
     AppendCounter(&out, "results", row.results);
-    out += ", ";
-    AppendTiming(&out, "natix_s", row.natix_s);
+    out += ",\n     ";
+    AppendReps(&out, "natix", row.natix);
     out += ", ";
     AppendTiming(&out, "natix_stats_s", row.stats.seconds);
-    out += ", ";
-    AppendTiming(&out, "interp_memo_s", row.interp_memo_s);
-    out += ", ";
-    AppendTiming(&out, "interp_naive_s", row.interp_naive_s);
+    out += ",\n     ";
+    AppendReps(&out, "interp_memo", row.interp_memo);
+    out += ",\n     ";
+    AppendReps(&out, "interp_naive", row.interp_naive);
     out += ",\n     \"counters\": {";
     const obs::StatsTotals& t = row.stats.totals;
     AppendCounter(&out, "open_calls", t.open_calls);
@@ -200,7 +274,10 @@ void WriteBenchJson(const char* figure, const std::string& query,
     out += "}}";
     out += (i + 1 < rows.size()) ? ",\n" : "\n";
   }
-  out += "  ]\n}\n";
+  // The process-wide histogram snapshot of the figure's run (the
+  // registry is reset when the figure starts).
+  out += "  ],\n  \"metrics\": " +
+         obs::MetricsRegistry::Global().SnapshotJson() + "\n}\n";
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return;  // read-only working dir: skip emission
@@ -213,7 +290,10 @@ void WriteBenchJson(const char* figure, const std::string& query,
 
 void RunGeneratedFigure(const char* figure, const std::string& query,
                         double budget_s) {
-  std::printf("# %s: %s\n", figure, query.c_str());
+  // A fresh registry scopes the embedded metrics snapshot to this figure.
+  obs::MetricsRegistry::Global().Reset();
+  std::printf("# %s: %s (%d reps/point, median plotted)\n", figure,
+              query.c_str(), BenchReps());
   std::printf("%-9s %9s %12s %14s %14s\n", "elements", "results",
               "natix[s]", "interp-memo[s]", "interp-naive[s]");
   double last_natix = 0;
@@ -232,27 +312,27 @@ void RunGeneratedFigure(const char* figure, const std::string& query,
     std::printf("%-9llu", static_cast<unsigned long long>(point.elements));
     if (last_natix <= budget_s) {
       size_t results = CountNatix(doc, query);
-      last_natix = TimeNatix(doc, query);
+      row.natix = TimeNatixReps(doc, query);
+      last_natix = row.natix.median_s;
       row.results = results;
-      row.natix_s = last_natix;
       // A second, instrumented run gathers the per-operator counters
-      // without polluting the uninstrumented timing above.
+      // without polluting the uninstrumented timings above.
       row.stats = TimeNatixWithStats(doc, query);
-      std::printf(" %9zu %12.4f", results, last_natix);
+      std::printf(" %9zu %12.4f", results, row.natix.median_s);
     } else {
       std::printf(" %9s %12s", "-", "-");
     }
     if (last_memo <= budget_s) {
-      last_memo = TimeInterp(doc, query, /*memoize=*/true);
-      row.interp_memo_s = last_memo;
-      std::printf(" %14.4f", last_memo);
+      row.interp_memo = TimeInterpReps(doc, query, /*memoize=*/true);
+      last_memo = row.interp_memo.median_s;
+      std::printf(" %14.4f", row.interp_memo.median_s);
     } else {
       std::printf(" %14s", "-");  // skipped: previous size over budget
     }
     if (last_naive <= budget_s) {
-      last_naive = TimeInterp(doc, query, /*memoize=*/false);
-      row.interp_naive_s = last_naive;
-      std::printf(" %14.4f\n", last_naive);
+      row.interp_naive = TimeInterpReps(doc, query, /*memoize=*/false);
+      last_naive = row.interp_naive.median_s;
+      std::printf(" %14.4f\n", row.interp_naive.median_s);
     } else {
       std::printf(" %14s\n", "-");
     }

@@ -18,6 +18,24 @@ double TimeSeconds(const std::function<void()>& fn);
 /// Best-of-`runs` timing.
 double BestOf(int runs, const std::function<void()>& fn);
 
+/// Order statistics over repeated timings of one measurement point.
+/// Single numbers hide run-to-run variance; the drivers report the
+/// median (the plotted value), the min (the noise floor) and the p95
+/// (the tail) of `runs` repetitions.
+struct RepTimings {
+  int runs = 0;
+  double min_s = 0;
+  double median_s = 0;
+  double p95_s = 0;
+};
+
+/// Repetitions per measurement point: NATIX_BENCH_REPS when set (min 1),
+/// otherwise 7.
+int BenchReps();
+
+/// Times `runs` invocations of `fn` and returns their order statistics.
+RepTimings TimeRepeated(int runs, const std::function<void()>& fn);
+
 /// A document loaded into all three systems under comparison: the Natix
 /// store (algebraic engine) and the DOM (interpreters). Load/parse time
 /// is excluded from query timings, matching the paper's methodology
@@ -38,6 +56,11 @@ LoadedDocument LoadAll(const std::string& xml);
 double TimeNatix(LoadedDocument& doc, const std::string& query,
                  bool canonical = false);
 
+/// BenchReps() repetitions of the algebraic engine on `query` (one
+/// compile, repeated evaluations).
+RepTimings TimeNatixReps(LoadedDocument& doc, const std::string& query,
+                         bool canonical = false);
+
 /// One instrumented run of `query`: compiles with stats collection,
 /// evaluates once, and returns the wall time plus the plan-wide counter
 /// totals and query-level buffer deltas (src/obs).
@@ -51,6 +74,10 @@ StatsRun TimeNatixWithStats(LoadedDocument& doc, const std::string& query);
 /// Seconds to run `query` through the main-memory interpreter.
 double TimeInterp(LoadedDocument& doc, const std::string& query,
                   bool memoize);
+
+/// BenchReps() repetitions of the main-memory interpreter on `query`.
+RepTimings TimeInterpReps(LoadedDocument& doc, const std::string& query,
+                          bool memoize);
 
 /// Result-set size via the algebraic engine (sanity column).
 size_t CountNatix(LoadedDocument& doc, const std::string& query);

@@ -2,6 +2,7 @@
 
 #include "algebra/properties.h"
 #include "analysis/plan_verifier.h"
+#include "obs/trace.h"
 #include "runtime/node_ops.h"
 
 namespace natix::algebra {
@@ -237,12 +238,14 @@ size_t SimplifyScalar(Scalar* scalar, SimplifyCtx* ctx) {
 }  // namespace
 
 size_t SimplifyPlan(OpPtr* plan) {
+  obs::ScopedSpan span("compile/rewrite");
   SimplifyCtx ctx;
   ctx.root = plan;
   return SimplifyNode(plan, &ctx);
 }
 
 StatusOr<size_t> SimplifyPlanChecked(OpPtr* plan) {
+  obs::ScopedSpan span("compile/rewrite");
   SimplifyCtx ctx;
   ctx.root = plan;
   ctx.verify = analysis::VerificationEnabled();

@@ -1,6 +1,7 @@
 #include <vector>
 
 #include "analysis/plan_verifier.h"
+#include "obs/trace.h"
 
 namespace natix::analysis {
 
@@ -202,6 +203,7 @@ const char* PhysNodeKindName(PhysNodeKind kind) {
 }
 
 Status VerifyPhysical(const PhysicalModel& model) {
+  obs::ScopedSpan span("compile/verify", "physical");
   NATIX_RETURN_IF_ERROR(PhysicalVerifier(model).Run());
   // Layer 3 sweep over every subscript program the plan embeds.
   for (const auto& [site, program] : model.programs) {

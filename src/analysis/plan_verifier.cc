@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "algebra/properties.h"
+#include "obs/trace.h"
 
 namespace natix::analysis {
 
@@ -361,6 +362,7 @@ Status VerifyLogicalPlan(const algebra::Operator& root,
 }
 
 Status VerifyTranslation(const translate::TranslationResult& translation) {
+  obs::ScopedSpan span("compile/verify", "logical");
   if (translation.plan == nullptr) {
     return Status::Internal("plan verifier (logical): translation has no plan");
   }

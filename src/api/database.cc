@@ -5,6 +5,8 @@
 
 #include "base/xpath_number.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/conversions.h"
 #include "storage/document_loader.h"
 
@@ -108,5 +110,21 @@ StatusOr<bool> Database::QueryBoolean(std::string_view document,
 }
 
 Status Database::Flush() { return store_->Flush(); }
+
+void Database::StartTrace() { obs::Tracer::Global().Start(); }
+
+std::string Database::StopTrace() { return obs::Tracer::Global().StopJson(); }
+
+std::string Database::MetricsSnapshot() {
+  return obs::MetricsRegistry::Global().SnapshotJson();
+}
+
+void Database::SetSlowQueryThresholdNs(uint64_t ns) {
+  obs::MetricsRegistry::Global().slow_log().set_threshold_ns(ns);
+}
+
+std::string Database::SlowQueryLogText() {
+  return obs::MetricsRegistry::Global().slow_log().RenderText();
+}
 
 }  // namespace natix

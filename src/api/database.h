@@ -73,6 +73,24 @@ class Database {
   /// Persists all state to disk.
   Status Flush();
 
+  // -- process-wide observability (src/obs; no-ops under NATIX_OBS=OFF) --
+
+  /// Starts collecting pipeline/executor spans; affects every database
+  /// in the process (the tracer is process-global).
+  static void StartTrace();
+  /// Stops tracing and returns the trace as Chrome trace_event JSON
+  /// (loadable in Perfetto / chrome://tracing).
+  static std::string StopTrace();
+  /// JSON snapshot of the process-wide metrics registry (latency
+  /// histograms and counters fed by every compile/execute).
+  static std::string MetricsSnapshot();
+  /// Queries whose execution time reaches `ns` are recorded in the
+  /// slow-query log (0 logs everything; see obs::SlowQueryLog to
+  /// disable again or read entries structurally).
+  static void SetSlowQueryThresholdNs(uint64_t ns);
+  /// Human-readable dump of the slow-query log ring buffer.
+  static std::string SlowQueryLogText();
+
   storage::NodeStore* store() { return store_.get(); }
   const storage::NodeStore* store() const { return store_.get(); }
 

@@ -2,6 +2,8 @@
 
 #include "base/xpath_number.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qe/codegen.h"
 #include "runtime/conversions.h"
 #include "xpath/fold.h"
@@ -11,21 +13,42 @@
 
 namespace natix {
 
-StatusOr<std::unique_ptr<CompiledQuery>> CompiledQuery::Compile(
+namespace {
+
+/// The compiler pipeline of Sec. 5.1. Each phase emits its own trace
+/// span; this helper exists so the caller can time and account for the
+/// whole pipeline once, success or failure.
+StatusOr<std::unique_ptr<qe::Plan>> RunCompilePipeline(
     std::string_view xpath, const storage::NodeStore* store,
     const translate::TranslatorOptions& options, bool collect_stats) {
-  // The compiler pipeline of Sec. 5.1.
   NATIX_ASSIGN_OR_RETURN(xpath::ExprPtr ast, xpath::ParseXPath(xpath));
   NATIX_RETURN_IF_ERROR(xpath::Analyze(ast.get()));
   xpath::FoldConstants(ast.get());
   xpath::Normalize(ast.get());
   NATIX_ASSIGN_OR_RETURN(translate::TranslationResult translation,
                          translate::Translate(*ast, options));
-  NATIX_ASSIGN_OR_RETURN(
-      std::unique_ptr<qe::Plan> plan,
-      qe::Codegen::Compile(translation, store, collect_stats));
-  return std::unique_ptr<CompiledQuery>(
-      new CompiledQuery(store, std::move(plan)));
+  return qe::Codegen::Compile(translation, store, collect_stats);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<CompiledQuery>> CompiledQuery::Compile(
+    std::string_view xpath, const storage::NodeStore* store,
+    const translate::TranslatorOptions& options, bool collect_stats) {
+  obs::ScopedSpan span("compile", xpath);
+  const uint64_t begin_ns = obs::MonotonicNowNs();
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  auto plan = RunCompilePipeline(xpath, store, options, collect_stats);
+  if (!plan.ok()) {
+    metrics.compile_errors.Add();
+    return plan.status();
+  }
+  metrics.compile_ns.Record(obs::MonotonicNowNs() - begin_ns);
+  metrics.queries_compiled.Add();
+  auto query = std::unique_ptr<CompiledQuery>(
+      new CompiledQuery(store, std::move(plan).value()));
+  query->text_ = std::string(xpath);
+  return query;
 }
 
 void CompiledQuery::SetVariable(const std::string& name,
@@ -44,6 +67,7 @@ Status CompiledQuery::BindContext(storage::NodeId context) {
 void CompiledQuery::BeginStats() {
   tuples_baseline_ = plan_->state()->tuples_produced;
   buffer_baseline_ = obs::CaptureBufferCounters(store_->buffer_manager());
+  exec_begin_ns_ = obs::MonotonicNowNs();
 }
 
 void CompiledQuery::EndStats() {
@@ -62,15 +86,47 @@ void CompiledQuery::EndStats() {
         now.evictions - buffer_baseline_.evictions};
     stats->RecordExecution();
   }
+
+  // Feed the process-wide registry (compiles away under NATIX_OBS=OFF).
+  const uint64_t exec_ns = obs::MonotonicNowNs() - exec_begin_ns_;
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.exec_ns.Record(exec_ns);
+  metrics.pages_per_query.Record(last_stats_.page_faults);
+  metrics.tuples_per_query.Record(last_stats_.step_tuples);
+  metrics.queries_executed.Add();
+  obs::SlowQueryLog& slow_log = metrics.slow_log();
+  if (slow_log.ShouldLog(exec_ns)) {
+    metrics.slow_queries.Add();
+    obs::SlowQueryEntry entry;
+    entry.xpath = text_;
+    entry.exec_ns = exec_ns;
+    entry.page_faults = last_stats_.page_faults;
+    entry.tuples = last_stats_.step_tuples;
+    entry.analyze = ExplainAnalyze();
+    slow_log.Record(std::move(entry));
+  }
+}
+
+StatusOr<std::vector<runtime::NodeRef>> CompiledQuery::RunNodes(
+    storage::NodeId context) {
+  NATIX_RETURN_IF_ERROR(BindContext(context));
+  StatusOr<std::vector<runtime::NodeRef>> refs = plan_->ExecuteNodes();
+  if (!refs.ok()) {
+    obs::MetricsRegistry::Global().exec_errors.Add();
+    return refs.status();
+  }
+  EndStats();
+  return refs;
 }
 
 StatusOr<std::vector<storage::StoredNode>> CompiledQuery::EvaluateNodes(
     storage::NodeId context, bool document_order) {
-  NATIX_RETURN_IF_ERROR(BindContext(context));
   NATIX_ASSIGN_OR_RETURN(std::vector<runtime::NodeRef> refs,
-                         plan_->ExecuteNodes());
-  EndStats();
-  if (document_order) qe::SortResultNodes(&refs);
+                         RunNodes(context));
+  if (document_order) {
+    obs::ScopedSpan span("exec/sort");
+    qe::SortResultNodes(&refs);
+  }
   std::vector<storage::StoredNode> nodes;
   nodes.reserve(refs.size());
   for (const runtime::NodeRef& ref : refs) {
@@ -82,7 +138,11 @@ StatusOr<std::vector<storage::StoredNode>> CompiledQuery::EvaluateNodes(
 StatusOr<runtime::Value> CompiledQuery::EvaluateValue(
     storage::NodeId context) {
   NATIX_RETURN_IF_ERROR(BindContext(context));
-  NATIX_ASSIGN_OR_RETURN(runtime::Value value, plan_->ExecuteValue());
+  StatusOr<runtime::Value> value = plan_->ExecuteValue();
+  if (!value.ok()) {
+    obs::MetricsRegistry::Global().exec_errors.Add();
+    return value.status();
+  }
   EndStats();
   return value;
 }
@@ -101,10 +161,8 @@ StatusOr<double> CompiledQuery::EvaluateNumber(storage::NodeId context) {
 
 StatusOr<bool> CompiledQuery::EvaluateBoolean(storage::NodeId context) {
   if (result_type() == xpath::ExprType::kNodeSet) {
-    NATIX_RETURN_IF_ERROR(BindContext(context));
     NATIX_ASSIGN_OR_RETURN(std::vector<runtime::NodeRef> refs,
-                           plan_->ExecuteNodes());
-    EndStats();
+                           RunNodes(context));
     return !refs.empty();
   }
   NATIX_ASSIGN_OR_RETURN(runtime::Value value, EvaluateValue(context));
@@ -116,10 +174,8 @@ StatusOr<bool> CompiledQuery::EvaluateBoolean(storage::NodeId context) {
 StatusOr<std::string> CompiledQuery::EvaluateString(
     storage::NodeId context) {
   if (result_type() == xpath::ExprType::kNodeSet) {
-    NATIX_RETURN_IF_ERROR(BindContext(context));
     NATIX_ASSIGN_OR_RETURN(std::vector<runtime::NodeRef> refs,
-                           plan_->ExecuteNodes());
-    EndStats();
+                           RunNodes(context));
     if (refs.empty()) return std::string();
     qe::SortResultNodes(&refs);
     return store_->StringValue(refs.front().node_id());

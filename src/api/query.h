@@ -87,6 +87,9 @@ class CompiledQuery {
     return plan_->verification();
   }
 
+  /// The XPath text this query was compiled from (slow-query log tag).
+  const std::string& text() const { return text_; }
+
   /// Counters from the most recent Evaluate* call.
   const ExecutionStats& last_stats() const { return last_stats_; }
 
@@ -113,11 +116,15 @@ class CompiledQuery {
   Status BindContext(storage::NodeId context);
   void BeginStats();
   void EndStats();
+  /// Bind + execute + stats/registry accounting for node-set plans.
+  StatusOr<std::vector<runtime::NodeRef>> RunNodes(storage::NodeId context);
 
   const storage::NodeStore* store_;
   std::unique_ptr<qe::Plan> plan_;
+  std::string text_;
   ExecutionStats last_stats_;
   uint64_t tuples_baseline_ = 0;
+  uint64_t exec_begin_ns_ = 0;
   obs::BufferCounters buffer_baseline_;
 };
 

@@ -1,0 +1,161 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace natix::obs {
+
+namespace {
+
+/// JSON string escaping for span details (query text can hold quotes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceEventsToJson(const std::vector<TraceEvent>& events) {
+  // Chrome trace_event format, "complete" events: ts/dur are
+  // microseconds (fractional part keeps the nanosecond precision).
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\":\"%s\",\"cat\":\"natix\",\"ph\":\"X\","
+                  "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+                  JsonEscape(e.name).c_str(), e.tid,
+                  static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3);
+    out += buf;
+    if (!e.detail.empty()) {
+      out += ",\"args\":{\"detail\":\"" + JsonEscape(e.detail) + "\"}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+#if !defined(NATIX_OBS_DISABLED)
+
+namespace {
+
+/// Runaway guard: a trace left running across a long benchmark stops
+/// growing at this many events (drops are counted, not silent).
+constexpr size_t kMaxEvents = 1u << 20;
+
+uint64_t MonotonicNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Per-thread span-stack depth; lets tests assert nesting without
+/// reconstructing containment from timestamps.
+thread_local uint32_t t_span_depth = 0;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: spans may close at exit
+  return *tracer;
+}
+
+void Tracer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ns_.store(MonotonicNs(), std::memory_order_relaxed);
+  active_.store(true, std::memory_order_release);
+}
+
+uint64_t Tracer::NowNs() const {
+  uint64_t now = MonotonicNs();
+  uint64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
+  return now >= epoch ? now - epoch : 0;
+}
+
+std::vector<TraceEvent> Tracer::Stop() {
+  active_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+std::string Tracer::StopJson() { return TraceEventsToJson(Stop()); }
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_.load(std::memory_order_relaxed)) return;  // stopped mid-span
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+ScopedSpan::ScopedSpan(const char* name, std::string_view detail) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.active()) return;  // the untraced fast path: one load
+  name_ = name;
+  detail_ = std::string(detail);
+  begin_ns_ = tracer.NowNs();
+  depth_ = t_span_depth++;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (name_ == nullptr) return;
+  --t_span_depth;
+  Tracer& tracer = Tracer::Global();
+  TraceEvent event;
+  event.name = name_;
+  event.detail = std::move(detail_);
+  event.start_ns = begin_ns_;
+  uint64_t end = tracer.NowNs();
+  event.dur_ns = end >= begin_ns_ ? end - begin_ns_ : 0;
+  event.tid = ThisThreadId();
+  event.depth = depth_;
+  tracer.Record(std::move(event));
+}
+
+#endif  // !NATIX_OBS_DISABLED
+
+}  // namespace natix::obs

@@ -1,0 +1,128 @@
+#ifndef NATIX_OBS_TRACE_H_
+#define NATIX_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Hierarchical span tracing for the compile pipeline (the Sec. 5.1
+// phases: parse, sema, fold, normalize, translate, rewrite, verify,
+// codegen) and the executor (open / materialize / first-next / drain),
+// exported as Chrome trace_event JSON loadable in Perfetto or
+// chrome://tracing.
+//
+// Zero-cost discipline follows src/obs/stats.h: under NATIX_OBS_DISABLED
+// every span compiles to an empty object; otherwise a span on an
+// untraced process costs one relaxed atomic load per scope (no clock
+// read, no allocation). Events are recorded when a span closes, so
+// spans still open when tracing stops are dropped.
+
+namespace natix::obs {
+
+/// One completed span: becomes a Chrome trace_event "complete" event
+/// ("ph":"X"). Nesting is implied by containment of [start, start+dur)
+/// within one thread, which the RAII discipline guarantees.
+struct TraceEvent {
+  const char* name = "";  ///< static span name (taxonomy in docs/OBSERVABILITY.md)
+  std::string detail;     ///< optional payload, rendered as args.detail
+  uint64_t start_ns = 0;  ///< relative to Tracer start
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;    ///< small sequential thread id, stable per thread
+  uint32_t depth = 0;  ///< span-stack depth at entry (0 = top level)
+};
+
+/// Renders events as Chrome trace JSON: {"traceEvents": [...]}.
+std::string TraceEventsToJson(const std::vector<TraceEvent>& events);
+
+#if !defined(NATIX_OBS_DISABLED)
+
+/// The process-wide span collector. Started/stopped through
+/// Database::StartTrace()/StopTrace() or natixq --trace=out.json;
+/// thread-safe (spans from concurrent queries interleave by thread id).
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Starts a new trace, discarding any previously collected events.
+  void Start();
+
+  /// Acquire pairs with the release store in Start(), making epoch_ns_
+  /// visible to spans that observe the trace as active.
+  bool active() const { return active_.load(std::memory_order_acquire); }
+
+  /// Stops tracing and returns the collected events in emission
+  /// (span-close) order. No-op empty result when not tracing.
+  std::vector<TraceEvent> Stop();
+
+  /// Stop() rendered as Chrome trace JSON.
+  std::string StopJson();
+
+  /// Spans dropped because the event buffer was full (runaway guard).
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class ScopedSpan;
+
+  /// Nanoseconds since trace start (monotonic clock).
+  uint64_t NowNs() const;
+  void Record(TraceEvent event);
+
+  std::atomic<bool> active_{false};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> epoch_ns_{0};  ///< clock value at Start()
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span. Constructed cheaply when tracing is inactive (one relaxed
+/// load, no copy of `detail`); when active it captures the clock on
+/// entry and records one TraceEvent on exit. `name` must outlive the
+/// trace (string literal).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : ScopedSpan(name, {}) {}
+  ScopedSpan(const char* name, std::string_view detail);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< null: tracing was inactive at entry
+  std::string detail_;
+  uint64_t begin_ns_ = 0;
+  uint32_t depth_ = 0;
+};
+
+#else  // NATIX_OBS_DISABLED: every call site compiles to nothing.
+
+class Tracer {
+ public:
+  static Tracer& Global() {
+    static Tracer tracer;
+    return tracer;
+  }
+  void Start() {}
+  bool active() const { return false; }
+  std::vector<TraceEvent> Stop() { return {}; }
+  std::string StopJson() { return TraceEventsToJson({}); }
+  uint64_t dropped() const { return 0; }
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*) {}
+  ScopedSpan(const char*, std::string_view) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+
+#endif  // NATIX_OBS_DISABLED
+
+}  // namespace natix::obs
+
+#endif  // NATIX_OBS_TRACE_H_

@@ -6,6 +6,7 @@
 #include "algebra/properties.h"
 #include "analysis/plan_verifier.h"
 #include "nvm/assembler.h"
+#include "obs/trace.h"
 #include "qe/operators.h"
 
 namespace natix::qe {
@@ -173,6 +174,9 @@ class CodegenImpl {
 
     // Static verification of the compiled plan (Layers 1-3). Violations
     // fail compilation: a malformed plan must never reach execution.
+    obs::ScopedSpan verify_span(
+        "compile/verify",
+        analysis::VerificationEnabled() ? "layers 1-3" : "skipped");
     if (analysis::VerificationEnabled()) {
       analysis::PhysicalModel model;
       model.root = std::move(root.node);
@@ -711,6 +715,7 @@ class CodegenImpl {
 StatusOr<std::unique_ptr<Plan>> Codegen::Compile(
     const translate::TranslationResult& translation,
     const storage::NodeStore* store, bool collect_stats) {
+  obs::ScopedSpan span("compile/codegen");
   auto plan = std::make_unique<Plan>();
   internal::CodegenImpl impl(plan.get(), store);
   NATIX_RETURN_IF_ERROR(impl.Run(translation, collect_stats));

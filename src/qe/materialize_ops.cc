@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace natix::qe {
 
 using runtime::Row;
@@ -27,6 +29,7 @@ Status DupElimIterator::NextImpl(bool* has) {
 }
 
 Status SortIterator::OpenImpl() {
+  obs::ScopedSpan span("exec/materialize", "sort");
   rows_.clear();
   pos_ = 0;
   NATIX_RETURN_IF_ERROR(child_->Open());
@@ -71,6 +74,7 @@ Status TmpCsIterator::FillGroup() {
   // Materializes the next context: the whole input when no context
   // attribute is set, otherwise the run of tuples sharing the context
   // attribute's value (Sec. 5.2.4).
+  obs::ScopedSpan span("exec/materialize", "tmp-cs");
   group_.clear();
   replay_pos_ = 0;
   if (have_pending_) {

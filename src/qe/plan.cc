@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace natix::qe {
 
 void Plan::SetContextNode(runtime::NodeRef node) {
@@ -20,24 +22,44 @@ StatusOr<std::vector<runtime::NodeRef>> Plan::ExecuteNodes() {
     return Status::InvalidArgument(
         "ExecuteNodes called on a non-node-set query");
   }
+  obs::ScopedSpan exec_span("exec/nodes");
   std::vector<runtime::NodeRef> result;
-  NATIX_RETURN_IF_ERROR(root_->Open());
-  while (true) {
-    bool has = false;
+  {
+    obs::ScopedSpan span("exec/open");
+    NATIX_RETURN_IF_ERROR(root_->Open());
+  }
+  bool has = false;
+  {
+    // The first Next is where pipeline-breaking operators do their
+    // work (spooling, sorting); it gets its own span so startup cost
+    // separates from the per-tuple drain.
+    obs::ScopedSpan span("exec/first-next");
     Status st = root_->Next(&has);
     if (!st.ok()) {
       (void)root_->Close();
       return st;
     }
-    if (!has) break;
-    const runtime::Value& v = state_->registers[result_reg_];
-    if (v.kind() != runtime::ValueKind::kNode) {
-      (void)root_->Close();
-      return Status::Internal("node-set plan produced a non-node value");
-    }
-    result.push_back(v.AsNode());
   }
-  NATIX_RETURN_IF_ERROR(root_->Close());
+  {
+    obs::ScopedSpan span("exec/drain");
+    while (has) {
+      const runtime::Value& v = state_->registers[result_reg_];
+      if (v.kind() != runtime::ValueKind::kNode) {
+        (void)root_->Close();
+        return Status::Internal("node-set plan produced a non-node value");
+      }
+      result.push_back(v.AsNode());
+      Status st = root_->Next(&has);
+      if (!st.ok()) {
+        (void)root_->Close();
+        return st;
+      }
+    }
+  }
+  {
+    obs::ScopedSpan span("exec/close");
+    NATIX_RETURN_IF_ERROR(root_->Close());
+  }
   return result;
 }
 
@@ -46,19 +68,29 @@ StatusOr<runtime::Value> Plan::ExecuteValue() {
     return Status::InvalidArgument(
         "ExecuteValue called on a node-set query");
   }
-  NATIX_RETURN_IF_ERROR(root_->Open());
+  obs::ScopedSpan exec_span("exec/value");
+  {
+    obs::ScopedSpan span("exec/open");
+    NATIX_RETURN_IF_ERROR(root_->Open());
+  }
   bool has = false;
-  Status st = root_->Next(&has);
-  if (!st.ok()) {
-    (void)root_->Close();
-    return st;
+  {
+    obs::ScopedSpan span("exec/first-next");
+    Status st = root_->Next(&has);
+    if (!st.ok()) {
+      (void)root_->Close();
+      return st;
+    }
   }
   if (!has) {
     (void)root_->Close();
     return Status::Internal("scalar plan produced no tuple");
   }
   runtime::Value result = state_->registers[result_reg_];
-  NATIX_RETURN_IF_ERROR(root_->Close());
+  {
+    obs::ScopedSpan span("exec/close");
+    NATIX_RETURN_IF_ERROR(root_->Close());
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include "algebra/rewriter.h"
 #include "analysis/plan_verifier.h"
 #include "base/logging.h"
+#include "obs/trace.h"
 #include "xpath/normalizer.h"
 
 namespace natix::translate {
@@ -735,6 +736,7 @@ class TranslatorImpl {
 
 StatusOr<TranslationResult> Translate(const xpath::Expr& root,
                                       const TranslatorOptions& options) {
+  obs::ScopedSpan span("compile/translate");
   TranslatorImpl impl(options);
   NATIX_ASSIGN_OR_RETURN(TranslationResult result, impl.Run(root));
   // Layer-1 verification directly after translation, so a translator bug

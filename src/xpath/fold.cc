@@ -5,6 +5,7 @@
 
 #include "base/strings.h"
 #include "base/xpath_number.h"
+#include "obs/trace.h"
 #include "xpath/functions.h"
 
 namespace natix::xpath {
@@ -218,6 +219,7 @@ void FoldExpr(ExprPtr* slot) {
 }  // namespace
 
 void FoldConstants(Expr* root) {
+  obs::ScopedSpan span("compile/fold");
   // The root Expr is held by the caller, not an ExprPtr slot we can
   // replace; wrap the recursion so only children fold in place, and
   // emulate a top-level fold by copying the folded child back.

@@ -1,5 +1,6 @@
 #include "xpath/normalizer.h"
 
+#include "obs/trace.h"
 #include "xpath/functions.h"
 
 namespace natix::xpath {
@@ -120,6 +121,9 @@ PredicateInfo AnalyzePredicate(const Expr& predicate) {
   return info;
 }
 
-void Normalize(Expr* root) { NormalizeExpr(root); }
+void Normalize(Expr* root) {
+  obs::ScopedSpan span("compile/normalize");
+  NormalizeExpr(root);
+}
 
 }  // namespace natix::xpath

@@ -3,6 +3,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/trace.h"
 #include "xpath/lexer.h"
 
 namespace natix::xpath {
@@ -431,6 +432,7 @@ class Parser {
 }  // namespace
 
 StatusOr<ExprPtr> ParseXPath(std::string_view query) {
+  obs::ScopedSpan span("compile/parse");
   NATIX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
   Parser parser(std::move(tokens));
   return parser.Parse();

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "xpath/functions.h"
 
 namespace natix::xpath {
@@ -296,6 +297,7 @@ class Analyzer {
 }  // namespace
 
 Status Analyze(Expr* root) {
+  obs::ScopedSpan span("compile/sema");
   Analyzer analyzer;
   return analyzer.Run(root);
 }

@@ -183,6 +183,36 @@ TEST(ObsStatsTest, BufferDeltasFeedQueryTotals) {
   EXPECT_EQ(stats->buffer().page_reads, 0u);  // document is resident
 }
 
+// Exclusive time is derived as inclusive minus children, and timer
+// granularity can make a child's inclusive time exceed its parent's.
+// The subtraction must saturate at zero — never wrap to a huge unsigned
+// value — both in the accessor and in the EXPLAIN ANALYZE rendering.
+TEST(ObsStatsTest, ExclusiveTimeClampsAtZeroWhenChildExceedsParent) {
+  obs::QueryStats stats;
+  obs::OpStats* child = stats.NewOp("Child");
+  child->inclusive_ns = 5000;
+  child->inclusive_page_reads = 7;
+  child->inclusive_page_hits = 9;
+  obs::OpStats* parent = stats.NewOp("Parent");
+  parent->inclusive_ns = 4000;  // less than the child: clamp territory
+  parent->inclusive_page_reads = 3;
+  parent->inclusive_page_hits = 2;
+  parent->children.push_back(child);
+  stats.set_root(parent);
+
+  EXPECT_EQ(parent->exclusive_ns(), 0u);
+  EXPECT_EQ(parent->exclusive_page_reads(), 0u);
+  EXPECT_EQ(parent->exclusive_page_hits(), 0u);
+  EXPECT_EQ(child->exclusive_ns(), 5000u);
+
+  std::string rendered = stats.RenderAnalyze();
+  EXPECT_NE(rendered.find("exclusive_ms=0.000"), std::string::npos)
+      << rendered;
+  EXPECT_EQ(rendered.find("exclusive_ms=-"), std::string::npos);
+  // A wrapped subtraction would print astronomically many digits.
+  EXPECT_EQ(rendered.find("000000000"), std::string::npos) << rendered;
+}
+
 // EXPLAIN ANALYZE and the JSON rendering carry the same counters.
 TEST(ObsStatsTest, JsonRenderingMatchesTotals) {
   Fixture f = Load("<xdoc><a/></xdoc>");

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "api/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace natix {
 namespace {
@@ -72,6 +74,47 @@ TEST(OptionMatrixTest, AllCombinationsAgree) {
           << query << " diverges at option mask " << i;
     }
   }
+}
+
+// The observability surface (tracer, metrics registry, slow-query log)
+// is config-agnostic at call sites: the same code compiles under
+// NATIX_OBS=ON and =OFF, where every instrument becomes an inline
+// no-op. This test runs in both CI configurations.
+TEST(OptionMatrixTest, ObservabilitySurfaceWorksInBothBuildConfigs) {
+  obs::Tracer::Global().Start();
+  auto db = Database::CreateTemp();
+  ASSERT_TRUE(db.ok());
+  auto info = (*db)->LoadDocument("d", kDoc);
+  ASSERT_TRUE(info.ok());
+  auto nodes = (*db)->QueryNodes("d", "//b");
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ(nodes->size(), 6u);
+  {
+    obs::ScopedSpan named("test/span");
+    obs::ScopedSpan detailed("test/span", "payload");
+  }
+  std::string json = Database::StopTrace();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.exec_ns.Record(5);
+  metrics.queries_executed.Add();
+  EXPECT_FALSE(metrics.SnapshotJson().empty());
+  EXPECT_FALSE(metrics.RenderText().empty());
+#if defined(NATIX_OBS_DISABLED)
+  // Every instrument must have compiled to nothing.
+  EXPECT_EQ(obs::MonotonicNowNs(), 0u);
+  EXPECT_EQ(metrics.exec_ns.count(), 0u);
+  EXPECT_EQ(metrics.queries_executed.value(), 0u);
+  EXPECT_FALSE(metrics.slow_log().ShouldLog(~uint64_t{0}));
+  EXPECT_NE(metrics.RenderText().find("disabled"), std::string::npos);
+  obs::Tracer::Global().Start();
+  EXPECT_TRUE(obs::Tracer::Global().Stop().empty());
+#else
+  EXPECT_GT(obs::MonotonicNowNs(), 0u);
+  EXPECT_GE(metrics.exec_ns.count(), 1u);
+#endif
 }
 
 }  // namespace

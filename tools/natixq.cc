@@ -3,6 +3,7 @@
 //
 // Usage:
 //   natixq [options] <file.xml> <xpath>
+//   natixq [options] --queries-file=F <file.xml> [<xpath>]
 //   options:
 //     --explain       print logical + physical plans instead of evaluating
 //     --canonical     use the canonical (Sec. 3) translation
@@ -16,13 +17,28 @@
 //                     register dataflow, NVM subscripts); on by default
 //                     in debug builds
 //     --var k=v       bind $k to the string v (repeatable)
+//     --trace=FILE    trace the compile/execution pipeline and write
+//                     Chrome trace_event JSON (Perfetto-loadable) to FILE
+//     --metrics       print the process-wide metrics registry (latency
+//                     histograms with p50/p90/p99, counters) after running
+//     --metrics-json=FILE
+//                     write the metrics snapshot as JSON to FILE
+//     --slow-log[=MS] log queries running >= MS milliseconds (default 0:
+//                     log everything) and dump the slow-query log at exit;
+//                     implies per-operator instrumentation
+//     --queries-file=F
+//                     batch mode: additionally run every non-empty,
+//                     non-'#' line of F as a query against <file.xml>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "analysis/plan_verifier.h"
 #include "api/database.h"
+#include "obs/metrics.h"
 #include "xml/writer.h"
 
 namespace {
@@ -31,8 +47,48 @@ int Usage() {
   std::fprintf(stderr,
                "usage: natixq [--explain] [--analyze] [--canonical] "
                "[--values] [--count] [--verify-plans] [--var k=v]... "
-               "<file.xml> <xpath>\n");
+               "[--trace=FILE] [--metrics] [--metrics-json=FILE] "
+               "[--slow-log[=MS]] [--queries-file=F] <file.xml> [<xpath>]\n");
   return 2;
+}
+
+bool WriteFileOrWarn(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out || !(out << text)) {
+    std::fprintf(stderr, "natixq: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Compiles and evaluates one query of the batch, discarding results.
+/// Returns false (after a diagnostic) on compile or execution failure.
+bool RunBatchQuery(natix::Database* db, natix::storage::NodeId root,
+                   const std::string& xpath,
+                   const natix::translate::TranslatorOptions& options,
+                   bool collect_stats) {
+  auto query = db->Compile(xpath, options, collect_stats);
+  if (!query.ok()) {
+    std::fprintf(stderr, "natixq: %s: %s\n", xpath.c_str(),
+                 query.status().ToString().c_str());
+    return false;
+  }
+  if ((*query)->result_type() == natix::xpath::ExprType::kNodeSet) {
+    auto nodes = (*query)->EvaluateNodes(root);
+    if (!nodes.ok()) {
+      std::fprintf(stderr, "natixq: %s: %s\n", xpath.c_str(),
+                   nodes.status().ToString().c_str());
+      return false;
+    }
+  } else {
+    auto value = (*query)->EvaluateString(root);
+    if (!value.ok()) {
+      std::fprintf(stderr, "natixq: %s: %s\n", xpath.c_str(),
+                   value.status().ToString().c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -44,6 +100,12 @@ int main(int argc, char** argv) {
   bool values = false;
   bool count_only = false;
   bool stats = false;
+  bool metrics = false;
+  bool slow_log = false;
+  double slow_log_ms = 0.0;
+  std::string trace_path;
+  std::string metrics_json_path;
+  std::string queries_file;
   std::vector<std::pair<std::string, std::string>> variables;
   std::vector<std::string> positional;
 
@@ -61,6 +123,24 @@ int main(int argc, char** argv) {
       count_only = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_json_path = arg.substr(std::strlen("--metrics-json="));
+      if (metrics_json_path.empty()) return Usage();
+    } else if (arg == "--slow-log") {
+      slow_log = true;
+    } else if (arg.rfind("--slow-log=", 0) == 0) {
+      slow_log = true;
+      slow_log_ms = std::strtod(arg.c_str() + std::strlen("--slow-log="),
+                                nullptr);
+      if (slow_log_ms < 0) return Usage();
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace="));
+      if (trace_path.empty()) return Usage();
+    } else if (arg.rfind("--queries-file=", 0) == 0) {
+      queries_file = arg.substr(std::strlen("--queries-file="));
+      if (queries_file.empty()) return Usage();
     } else if (arg == "--verify-plans") {
       natix::analysis::SetVerificationEnabled(true);
     } else if (arg == "--var") {
@@ -75,7 +155,11 @@ int main(int argc, char** argv) {
       positional.push_back(arg);
     }
   }
-  if (positional.size() != 2) return Usage();
+  // Batch mode needs only the document; the inline query is optional then.
+  if (queries_file.empty() ? positional.size() != 2
+                           : (positional.empty() || positional.size() > 2)) {
+    return Usage();
+  }
 
   auto db = natix::Database::CreateTemp();
   if (!db.ok()) {
@@ -88,11 +172,74 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (slow_log) {
+    natix::Database::SetSlowQueryThresholdNs(
+        static_cast<uint64_t>(slow_log_ms * 1e6));
+  }
+  if (!trace_path.empty()) natix::Database::StartTrace();
+
   auto options = canonical ? natix::translate::TranslatorOptions::Canonical()
                            : natix::translate::TranslatorOptions::Improved();
-  auto query = (*db)->Compile(positional[1], options, analyze);
+  // Slow-log entries carry the EXPLAIN ANALYZE tree, so the log implies
+  // per-operator instrumentation.
+  const bool collect_stats = analyze || slow_log;
+
+  // Runs at every exit path below once querying has started.
+  auto finish = [&]() -> int {
+    if (!trace_path.empty()) {
+      if (!WriteFileOrWarn(trace_path, natix::Database::StopTrace())) {
+        return 1;
+      }
+    }
+    if (!metrics_json_path.empty()) {
+      if (!WriteFileOrWarn(metrics_json_path,
+                           natix::Database::MetricsSnapshot())) {
+        return 1;
+      }
+    }
+    if (metrics) {
+      std::printf("=== metrics ===\n%s",
+                  natix::obs::MetricsRegistry::Global().RenderText().c_str());
+    }
+    if (slow_log) {
+      std::printf("=== slow-query log ===\n%s",
+                  natix::Database::SlowQueryLogText().c_str());
+    }
+    return 0;
+  };
+
+  int batch_failures = 0;
+  if (!queries_file.empty()) {
+    std::ifstream in(queries_file);
+    if (!in) {
+      std::fprintf(stderr, "natixq: cannot open '%s'\n",
+                   queries_file.c_str());
+      return 1;
+    }
+    size_t batch_total = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+      // Trim trailing CR (queries files may be CRLF) and skip comments.
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty() || line[0] == '#') continue;
+      ++batch_total;
+      if (!RunBatchQuery(db->get(), info->root, line, options,
+                         collect_stats)) {
+        ++batch_failures;
+      }
+    }
+    std::printf("batch: %zu queries, %d failed\n", batch_total,
+                batch_failures);
+    if (positional.size() < 2) {
+      int rc = finish();
+      return rc != 0 ? rc : (batch_failures != 0 ? 1 : 0);
+    }
+  }
+
+  auto query = (*db)->Compile(positional[1], options, collect_stats);
   if (!query.ok()) {
     std::fprintf(stderr, "natixq: %s\n", query.status().ToString().c_str());
+    finish();
     return 1;
   }
   for (const auto& [name, value] : variables) {
@@ -105,7 +252,7 @@ int main(int argc, char** argv) {
                 (*query)->ExplainLogical().c_str(),
                 (*query)->ExplainPhysical().c_str(),
                 (*query)->VerificationReport().c_str());
-    return 0;
+    return finish();
   }
 
   auto print_stats = [&] {
@@ -117,11 +264,13 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(s.page_faults));
   };
 
+  int rc = 0;
   if ((*query)->result_type() == natix::xpath::ExprType::kNodeSet) {
     auto nodes = (*query)->EvaluateNodes(info->root);
     if (!nodes.ok()) {
       std::fprintf(stderr, "natixq: %s\n",
                    nodes.status().ToString().c_str());
+      finish();
       return 1;
     }
     print_stats();
@@ -130,35 +279,39 @@ int main(int argc, char** argv) {
       // operator tree replace the serialized result (Postgres style).
       std::printf("result: %zu nodes\n=== explain analyze ===\n%s",
                   nodes->size(), (*query)->ExplainAnalyze().c_str());
-      return 0;
-    }
-    if (count_only) {
+    } else if (count_only) {
       std::printf("%zu\n", nodes->size());
-      return 0;
-    }
-    for (const auto& node : *nodes) {
-      if (values) {
-        auto text = node.string_value();
-        if (text.ok()) std::printf("%s\n", text->c_str());
-      } else {
-        auto xml = natix::xml::OuterXml(node);
-        if (xml.ok()) std::printf("%s\n", xml->c_str());
+    } else {
+      for (const auto& node : *nodes) {
+        if (values) {
+          auto text = node.string_value();
+          if (text.ok()) std::printf("%s\n", text->c_str());
+        } else {
+          auto xml = natix::xml::OuterXml(node);
+          if (xml.ok()) std::printf("%s\n", xml->c_str());
+        }
       }
+      if (nodes->empty()) rc = 3;  // xmllint-style: 3 = empty node set
     }
-    return nodes->empty() ? 3 : 0;  // xmllint-style: 3 = empty node set
+  } else {
+    auto result = (*query)->EvaluateString(info->root);
+    if (!result.ok()) {
+      std::fprintf(stderr, "natixq: %s\n",
+                   result.status().ToString().c_str());
+      finish();
+      return 1;
+    }
+    print_stats();
+    if (analyze) {
+      std::printf("result: %s\n=== explain analyze ===\n%s",
+                  result->c_str(), (*query)->ExplainAnalyze().c_str());
+    } else {
+      std::printf("%s\n", result->c_str());
+    }
   }
 
-  auto result = (*query)->EvaluateString(info->root);
-  if (!result.ok()) {
-    std::fprintf(stderr, "natixq: %s\n", result.status().ToString().c_str());
-    return 1;
-  }
-  print_stats();
-  if (analyze) {
-    std::printf("result: %s\n=== explain analyze ===\n%s",
-                result->c_str(), (*query)->ExplainAnalyze().c_str());
-    return 0;
-  }
-  std::printf("%s\n", result->c_str());
-  return 0;
+  int finish_rc = finish();
+  if (finish_rc != 0) return finish_rc;
+  if (batch_failures != 0) return 1;
+  return rc;
 }
