@@ -26,7 +26,26 @@ struct Row {
   size_t results;
   natix::benchutil::RepTimings interp;
   natix::benchutil::RepTimings natix;
+  // The final-sort ablation (document-ordered results): "presort"
+  // forces the final result sort — what every ordered evaluation paid
+  // before property inference; "ordered" lets inference skip the sort
+  // when the result stream is provably document-ordered already.
+  natix::benchutil::RepTimings natix_presort;
+  natix::benchutil::RepTimings natix_ordered;
 };
+
+natix::benchutil::RepTimings TimeOrdered(
+    natix::benchutil::LoadedDocument& doc, const char* query,
+    bool presort) {
+  auto compiled = doc.db->Compile(query);
+  NATIX_CHECK(compiled.ok());
+  (*compiled)->SetForceResultSort(presort);
+  return natix::benchutil::TimeRepeated(natix::benchutil::BenchReps(), [&] {
+    auto nodes =
+        (*compiled)->EvaluateNodes(doc.root, /*document_order=*/true);
+    NATIX_CHECK(nodes.ok());
+  });
+}
 
 void AppendReps(std::string* out, const char* prefix,
                 const natix::benchutil::RepTimings& reps) {
@@ -64,6 +83,10 @@ void WriteJson(uint64_t publications, const std::vector<Row>& rows) {
     AppendReps(&out, "interp_memo", rows[i].interp);
     out += ",\n     ";
     AppendReps(&out, "natix", rows[i].natix);
+    out += ",\n     ";
+    AppendReps(&out, "natix_presort", rows[i].natix_presort);
+    out += ",\n     ";
+    AppendReps(&out, "natix_ordered", rows[i].natix_ordered);
     out += "}";
     out += (i + 1 < rows.size()) ? ",\n" : "\n";
   }
@@ -115,8 +138,8 @@ int main() {
   };
 
   std::vector<Row> rows;
-  std::printf("%-64s %9s %10s %10s\n", "query", "results", "interp[s]",
-              "natix[s]");
+  std::printf("%-64s %9s %10s %10s %10s %10s\n", "query", "results",
+              "interp[s]", "natix[s]", "presort[s]", "ordered[s]");
   for (const char* query : queries) {
     Row row;
     row.query = query;
@@ -124,8 +147,11 @@ int main() {
     row.interp =
         natix::benchutil::TimeInterpReps(doc, query, /*memoize=*/true);
     row.natix = natix::benchutil::TimeNatixReps(doc, query);
-    std::printf("%-64s %9zu %10.4f %10.4f\n", query, row.results,
-                row.interp.median_s, row.natix.median_s);
+    row.natix_presort = TimeOrdered(doc, query, /*presort=*/true);
+    row.natix_ordered = TimeOrdered(doc, query, /*presort=*/false);
+    std::printf("%-64s %9zu %10.4f %10.4f %10.4f %10.4f\n", query,
+                row.results, row.interp.median_s, row.natix.median_s,
+                row.natix_presort.median_s, row.natix_ordered.median_s);
     std::fflush(stdout);
     rows.push_back(row);
   }

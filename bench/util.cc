@@ -84,11 +84,11 @@ double TimeNatix(LoadedDocument& doc, const std::string& query,
   });
 }
 
-RepTimings TimeNatixReps(LoadedDocument& doc, const std::string& query,
-                         bool canonical) {
-  auto compiled = doc.db->Compile(
-      query, canonical ? translate::TranslatorOptions::Canonical()
-                       : translate::TranslatorOptions::Improved());
+namespace {
+
+RepTimings TimeNatixRepsWith(LoadedDocument& doc, const std::string& query,
+                             const translate::TranslatorOptions& options) {
+  auto compiled = doc.db->Compile(query, options);
   NATIX_CHECK(compiled.ok());
   return TimeRepeated(BenchReps(), [&] {
     if ((*compiled)->result_type() == xpath::ExprType::kNodeSet) {
@@ -100,6 +100,23 @@ RepTimings TimeNatixReps(LoadedDocument& doc, const std::string& query,
       NATIX_CHECK(value.ok());
     }
   });
+}
+
+}  // namespace
+
+RepTimings TimeNatixReps(LoadedDocument& doc, const std::string& query,
+                         bool canonical) {
+  return TimeNatixRepsWith(
+      doc, query, canonical ? translate::TranslatorOptions::Canonical()
+                            : translate::TranslatorOptions::Improved());
+}
+
+RepTimings TimeNatixRepsNoRewrite(LoadedDocument& doc,
+                                  const std::string& query) {
+  translate::TranslatorOptions options =
+      translate::TranslatorOptions::Improved();
+  options.simplify_plan = false;
+  return TimeNatixRepsWith(doc, query, options);
 }
 
 StatsRun TimeNatixWithStats(LoadedDocument& doc, const std::string& query) {
@@ -178,6 +195,9 @@ struct JsonRow {
   uint64_t elements = 0;
   size_t results = 0;
   RepTimings natix;
+  /// Rewrite ablation: same translation with the property-justified
+  /// simplifier off (the "before" of the Sort/DupElim elimination).
+  RepTimings natix_no_rewrite;
   RepTimings interp_memo;
   RepTimings interp_naive;
   StatsRun stats{-1, {}, {}};
@@ -238,6 +258,8 @@ void WriteBenchJson(const char* figure, const std::string& query,
     AppendCounter(&out, "results", row.results);
     out += ",\n     ";
     AppendReps(&out, "natix", row.natix);
+    out += ",\n     ";
+    AppendReps(&out, "natix_no_rewrite", row.natix_no_rewrite);
     out += ", ";
     AppendTiming(&out, "natix_stats_s", row.stats.seconds);
     out += ",\n     ";
@@ -294,8 +316,9 @@ void RunGeneratedFigure(const char* figure, const std::string& query,
   obs::MetricsRegistry::Global().Reset();
   std::printf("# %s: %s (%d reps/point, median plotted)\n", figure,
               query.c_str(), BenchReps());
-  std::printf("%-9s %9s %12s %14s %14s\n", "elements", "results",
-              "natix[s]", "interp-memo[s]", "interp-naive[s]");
+  std::printf("%-9s %9s %12s %12s %14s %14s\n", "elements", "results",
+              "natix[s]", "no-rewrite[s]", "interp-memo[s]",
+              "interp-naive[s]");
   double last_natix = 0;
   double last_memo = 0;
   double last_naive = 0;
@@ -315,12 +338,14 @@ void RunGeneratedFigure(const char* figure, const std::string& query,
       row.natix = TimeNatixReps(doc, query);
       last_natix = row.natix.median_s;
       row.results = results;
+      row.natix_no_rewrite = TimeNatixRepsNoRewrite(doc, query);
       // A second, instrumented run gathers the per-operator counters
       // without polluting the uninstrumented timings above.
       row.stats = TimeNatixWithStats(doc, query);
-      std::printf(" %9zu %12.4f", results, row.natix.median_s);
+      std::printf(" %9zu %12.4f %12.4f", results, row.natix.median_s,
+                  row.natix_no_rewrite.median_s);
     } else {
-      std::printf(" %9s %12s", "-", "-");
+      std::printf(" %9s %12s %12s", "-", "-", "-");
     }
     if (last_memo <= budget_s) {
       row.interp_memo = TimeInterpReps(doc, query, /*memoize=*/true);

@@ -61,6 +61,12 @@ double TimeNatix(LoadedDocument& doc, const std::string& query,
 RepTimings TimeNatixReps(LoadedDocument& doc, const std::string& query,
                          bool canonical = false);
 
+/// Same, but with the property-justified simplifier off
+/// (improved translation, simplify_plan = false): the "before" column
+/// of the rewrite ablation in the emitted BENCH_*.json.
+RepTimings TimeNatixRepsNoRewrite(LoadedDocument& doc,
+                                  const std::string& query);
+
 /// One instrumented run of `query`: compiles with stats collection,
 /// evaluates once, and returns the wall time plus the plan-wide counter
 /// totals and query-level buffer deltas (src/obs).

@@ -1,162 +1,28 @@
 #include "algebra/rewriter.h"
 
+#include <limits>
+#include <utility>
+
 #include "algebra/properties.h"
 #include "analysis/plan_verifier.h"
+#include "analysis/property_inference.h"
 #include "obs/trace.h"
 #include "runtime/node_ops.h"
 
 namespace natix::algebra {
 
-namespace {
-
-/// Axes that map distinct context nodes to disjoint, duplicate-free
-/// result sets: child and attribute (disjoint per parent) and self.
-bool AxisPreservesDistinctness(runtime::Axis axis) {
-  switch (axis) {
-    case runtime::Axis::kChild:
-    case runtime::Axis::kAttribute:
-    case runtime::Axis::kSelf:
-      return true;
-    default:
-      return false;
-  }
-}
-
-}  // namespace
+using analysis::Cardinality;
+using analysis::OrderState;
+using analysis::PlanProperties;
 
 SequenceProperties InferProperties(const Operator& op) {
+  PlanProperties inferred = analysis::InferPlanProperties(op);
   SequenceProperties props;
-  switch (op.kind) {
-    case OpKind::kSingletonScan:
-      props.singleton = true;
-      return props;
-
-    case OpKind::kMap: {
-      props = InferProperties(*op.children[0]);
-      // A mapped value may repeat across tuples; only a singleton
-      // sequence makes the new attribute trivially duplicate-free.
-      if (props.singleton) props.duplicate_free.insert(op.attr);
-      // A freshly mapped node attribute has unknown order/nesting.
-      props.ordered_by.erase(op.attr);
-      props.non_nested.erase(op.attr);
-      return props;
-    }
-    case OpKind::kCounter:
-      props = InferProperties(*op.children[0]);
-      // Counter values restart per context boundary, so they may repeat;
-      // without a reset attribute they count the whole sequence 1..n.
-      if (props.singleton || op.ctx_attr.empty()) {
-        props.duplicate_free.insert(op.attr);
-      }
-      return props;
-    case OpKind::kTmpCs:
-      props = InferProperties(*op.children[0]);
-      if (props.singleton) props.duplicate_free.insert(op.attr);
-      return props;
-
-    case OpKind::kSelect:
-    case OpKind::kProject:
-    case OpKind::kMemoX:
-      // Subsets / replays preserve every property.
-      return InferProperties(*op.children[0]);
-
-    case OpKind::kSort:
-      props = InferProperties(*op.children[0]);
-      props.ordered_by.insert(op.attr);
-      return props;
-
-    case OpKind::kDupElim:
-      props = InferProperties(*op.children[0]);
-      props.duplicate_free.insert(op.attr);
-      return props;
-
-    case OpKind::kUnnestMap: {
-      SequenceProperties input = InferProperties(*op.children[0]);
-      // The context is duplicate-free when the input says so, or when it
-      // is a free variable over a singleton input (one fixed context per
-      // evaluation — the canonical dependent subexpression).
-      bool ctx_dup_free =
-          input.duplicate_free.count(op.ctx_attr) > 0 || input.singleton;
-      if (ctx_dup_free && AxisPreservesDistinctness(op.axis)) {
-        props.duplicate_free.insert(op.attr);
-      }
-      // Order and nesting inference. The axis cursor emits each
-      // context's results in axis order; forward axes in document order.
-      bool ctx_ordered =
-          input.singleton || input.ordered_by.count(op.ctx_attr) > 0;
-      bool ctx_non_nested =
-          input.singleton || input.non_nested.count(op.ctx_attr) > 0;
-      switch (op.axis) {
-        case runtime::Axis::kSelf:
-          if (ctx_ordered) props.ordered_by.insert(op.attr);
-          if (ctx_non_nested) props.non_nested.insert(op.attr);
-          break;
-        case runtime::Axis::kAttribute:
-          // Attributes sit directly after their element and before its
-          // children: groups of ordered contexts never interleave, and
-          // attributes are never ancestors of anything.
-          if (ctx_ordered) props.ordered_by.insert(op.attr);
-          props.non_nested.insert(op.attr);
-          break;
-        case runtime::Axis::kChild:
-          // Children of pairwise non-nested, ordered contexts occupy
-          // disjoint, ordered subtree ranges — and stay non-nested.
-          if (ctx_ordered && ctx_non_nested) {
-            props.ordered_by.insert(op.attr);
-            props.non_nested.insert(op.attr);
-          }
-          break;
-        case runtime::Axis::kDescendant:
-        case runtime::Axis::kDescendantOrSelf:
-          // Disjoint subtree ranges again, but the output values nest.
-          if (ctx_ordered && ctx_non_nested) {
-            props.ordered_by.insert(op.attr);
-          }
-          break;
-        default:
-          break;  // reverse axes / following: no order claims
-      }
-      return props;
-    }
-
-    case OpKind::kDJoin:
-    case OpKind::kCross: {
-      SequenceProperties left = InferProperties(*op.children[0]);
-      SequenceProperties right = InferProperties(*op.children[1]);
-      if (left.singleton) {
-        props = right;
-        props.singleton = left.singleton && right.singleton;
-        return props;
-      }
-      if (right.singleton) {
-        // At most one right tuple per left tuple: left attributes keep
-        // their distinctness; the right attribute's values may repeat.
-        props.duplicate_free = left.duplicate_free;
-        return props;
-      }
-      return props;
-    }
-
-    case OpKind::kSemiJoin:
-    case OpKind::kAntiJoin:
-      // A subset of the left sequence.
-      return InferProperties(*op.children[0]);
-
-    case OpKind::kAggregate:
-      props.singleton = true;
-      props.duplicate_free.insert(op.attr);
-      return props;
-
-    case OpKind::kBinaryGroup:
-      props = InferProperties(*op.children[0]);
-      if (props.singleton) props.duplicate_free.insert(op.attr);
-      return props;
-
-    case OpKind::kConcat:
-    case OpKind::kUnnest:
-    case OpKind::kIdDeref:
-      // Unknown overlap / multiplicity: nothing can be promised.
-      return props;
+  props.singleton = inferred.AtMostOne();
+  for (const auto& [name, attr] : inferred.attrs) {
+    if (attr.duplicate_free) props.duplicate_free.insert(name);
+    if (attr.order == OrderState::kDocOrdered) props.ordered_by.insert(name);
+    if (attr.non_nested) props.non_nested.insert(name);
   }
   return props;
 }
@@ -165,27 +31,59 @@ namespace {
 
 /// Rewrite session state: the plan root (for whole-plan re-verification
 /// after each rule), the attributes the plan may legitimately read from
-/// its context, and the first verification failure (which stops further
-/// rewriting and names the rule that caused it).
+/// its context, the rewrite log, and the first verification failure
+/// (which stops further rewriting and names the rule that caused it).
 struct SimplifyCtx {
   const OpPtr* root = nullptr;
   bool verify = false;
   std::set<std::string> outer;
+  RewriteLog* log = nullptr;
   Status status;
 };
 
-/// Re-verifies the whole plan after `rule` fired.
-void CheckAfterRule(SimplifyCtx* ctx, const char* rule) {
+/// Records one rule application with its proving property.
+void LogRewrite(SimplifyCtx* ctx, const char* rule, std::string target,
+                std::string justification) {
+  if (ctx->log == nullptr) return;
+  ctx->log->push_back(RewriteEvent{std::string(rule), std::move(target),
+                                   std::move(justification)});
+}
+
+/// Re-verifies the plan after `rule` fired: Layer 1 (well-formedness of
+/// the whole plan) and, when `before`/`after` are given, Layer 1.5
+/// (the rewritten subtree's inferred properties must not weaken).
+void CheckAfterRule(SimplifyCtx* ctx, const char* rule,
+                    const PlanProperties* before, const Operator* after) {
   if (!ctx->verify || !ctx->status.ok()) return;
   Status st = analysis::VerifyLogicalPlan(**ctx->root, ctx->outer);
   if (!st.ok()) {
     ctx->status = Status::Internal(
         std::string("rewrite rule '") + rule +
         "' produced a malformed plan: " + st.message());
+    return;
+  }
+  if (before != nullptr && after != nullptr) {
+    ctx->status = analysis::CheckPropertyPreservation(
+        *before, analysis::InferPlanProperties(*after), rule);
   }
 }
 
 size_t SimplifyScalar(Scalar* scalar, SimplifyCtx* ctx);
+
+/// Replaces the operator in `slot` by its child at `child_index`,
+/// running the Layer-1/1.5 checks. Returns the number of operators that
+/// disappeared (the node itself plus any sibling subtrees).
+size_t ReplaceByChild(OpPtr* slot, size_t child_index, SimplifyCtx* ctx,
+                      const char* rule, std::string justification) {
+  Operator* op = slot->get();
+  PlanProperties before = analysis::InferPlanProperties(*op);
+  size_t dropped = PlanSize(*op) - PlanSize(*op->children[child_index]);
+  LogRewrite(ctx, rule, analysis::OperatorSummary(*op),
+             std::move(justification));
+  *slot = std::move(op->children[child_index]);
+  CheckAfterRule(ctx, rule, &before, slot->get());
+  return dropped;
+}
 
 size_t SimplifyNode(OpPtr* slot, SimplifyCtx* ctx) {
   if (!ctx->status.ok()) return 0;
@@ -199,55 +97,237 @@ size_t SimplifyNode(OpPtr* slot, SimplifyCtx* ctx) {
   }
   if (!ctx->status.ok()) return removed;
 
-  if (op->kind == OpKind::kSelect &&
-      op->scalar->kind == ScalarKind::kBoolConst && op->scalar->boolean) {
-    *slot = std::move(op->children[0]);
-    CheckAfterRule(ctx, "drop-constant-true-selection");
-    return removed + 1;
-  }
-  if (op->kind == OpKind::kDupElim) {
-    SequenceProperties props = InferProperties(*op->children[0]);
-    if (props.singleton || props.duplicate_free.count(op->attr) > 0) {
-      *slot = std::move(op->children[0]);
-      CheckAfterRule(ctx, "drop-redundant-duplicate-elimination");
+  switch (op->kind) {
+    case OpKind::kSelect: {
+      if (op->scalar->kind == ScalarKind::kBoolConst) {
+        if (op->scalar->boolean) {
+          return removed + ReplaceByChild(
+                               slot, 0, ctx, "drop-constant-true-selection",
+                               "constant-true predicate");
+        }
+        // A constant-false selection IS the plan's statically-empty
+        // marker; parents prune against it.
+        return removed;
+      }
+      PlanProperties child = analysis::InferPlanProperties(*op->children[0]);
+      if (child.cardinality == Cardinality::kEmpty) {
+        return removed + ReplaceByChild(
+                             slot, 0, ctx, "drop-selection-on-empty-input",
+                             analysis::RenderProperties(child, ""));
+      }
+      return removed;
+    }
+
+    case OpKind::kUnnestMap: {
+      PlanProperties child = analysis::InferPlanProperties(*op->children[0]);
+      analysis::NodeClass cls = child.Lookup(op->ctx_attr).node_class;
+      if (child.cardinality != Cardinality::kEmpty &&
+          !analysis::StaticallyEmptyStep(cls, op->axis, op->test)) {
+        return removed;
+      }
+      // No tuple can ever emerge (empty input, or an axis/node-test
+      // combination that is empty for the context's static node class,
+      // e.g. children of an attribute). Replace the navigation by the
+      // canonical statically-empty marker: the child stays — dependent
+      // consumers may still reference its bindings — gated by a
+      // constant-false selection, and the output attribute becomes a
+      // never-evaluated constant.
+      PlanProperties before = analysis::InferPlanProperties(*op);
+      LogRewrite(ctx, "replace-statically-empty-step",
+                 analysis::OperatorSummary(*op),
+                 analysis::RenderProperties(child, op->ctx_attr));
+      OpPtr select = MakeOp(OpKind::kSelect);
+      select->scalar = MakeScalar(ScalarKind::kBoolConst);
+      select->scalar->boolean = false;
+      select->children.push_back(std::move(op->children[0]));
+      OpPtr marker = MakeOp(OpKind::kMap);
+      marker->attr = op->attr;
+      marker->scalar = MakeScalar(ScalarKind::kNumberConst);
+      marker->scalar->number = 0;
+      marker->children.push_back(std::move(select));
+      *slot = std::move(marker);
+      CheckAfterRule(ctx, "replace-statically-empty-step", &before,
+                     slot->get());
       return removed + 1;
     }
-  }
-  if (op->kind == OpKind::kSort) {
-    SequenceProperties props = InferProperties(*op->children[0]);
-    if (props.singleton || props.ordered_by.count(op->attr) > 0) {
-      *slot = std::move(op->children[0]);
-      CheckAfterRule(ctx, "drop-redundant-sort");
+
+    case OpKind::kDupElim: {
+      PlanProperties child = analysis::InferPlanProperties(*op->children[0]);
+      if (child.Lookup(op->attr).duplicate_free) {
+        return removed +
+               ReplaceByChild(
+                   slot, 0, ctx, "drop-redundant-duplicate-elimination",
+                   analysis::RenderProperties(child, op->attr));
+      }
+      return removed;
+    }
+
+    case OpKind::kSort: {
+      PlanProperties child = analysis::InferPlanProperties(*op->children[0]);
+      analysis::AttrProperties attr = child.Lookup(op->attr);
+      // Document order must be established and unambiguous: with
+      // duplicate sort keys the (unstable) sort may permute payload
+      // tuples that share a key.
+      if (attr.order == OrderState::kDocOrdered && attr.duplicate_free) {
+        return removed + ReplaceByChild(
+                             slot, 0, ctx, "drop-redundant-sort",
+                             analysis::RenderProperties(child, op->attr));
+      }
+      return removed;
+    }
+
+    case OpKind::kConcat: {
+      // Prune statically-empty branches; they contribute no tuples.
+      for (size_t i = 0; i < op->children.size() && op->children.size() > 1;) {
+        PlanProperties branch =
+            analysis::InferPlanProperties(*op->children[i]);
+        if (branch.cardinality == Cardinality::kEmpty) {
+          removed += PlanSize(*op->children[i]);
+          LogRewrite(ctx, "prune-empty-concat-branch",
+                     analysis::OperatorSummary(*op->children[i]),
+                     analysis::RenderProperties(branch, ""));
+          op->children.erase(op->children.begin() +
+                             static_cast<ptrdiff_t>(i));
+          CheckAfterRule(ctx, "prune-empty-concat-branch", nullptr, nullptr);
+          if (!ctx->status.ok()) return removed;
+        } else {
+          ++i;
+        }
+      }
+      if (op->children.size() == 1) {
+        return removed + ReplaceByChild(slot, 0, ctx,
+                                        "collapse-single-branch-concat",
+                                        "single remaining branch");
+      }
+      return removed;
+    }
+
+    case OpKind::kAntiJoin: {
+      PlanProperties right = analysis::InferPlanProperties(*op->children[1]);
+      if (right.cardinality == Cardinality::kEmpty) {
+        // No right tuple can ever match: the anti join is the identity.
+        return removed + ReplaceByChild(
+                             slot, 0, ctx, "drop-antijoin-with-empty-right",
+                             analysis::RenderProperties(right, ""));
+      }
+      return removed;
+    }
+
+    case OpKind::kSemiJoin: {
+      PlanProperties right = analysis::InferPlanProperties(*op->children[1]);
+      if (right.cardinality == Cardinality::kEmpty) {
+        // No right tuple can ever match: nothing qualifies. Keep the
+        // left subtree (its attributes stay bound) under a constant-
+        // false selection — the statically-empty marker.
+        PlanProperties before = analysis::InferPlanProperties(*op);
+        size_t dropped = PlanSize(*op->children[1]);
+        LogRewrite(ctx, "empty-semijoin-to-false-selection",
+                   analysis::OperatorSummary(*op),
+                   analysis::RenderProperties(right, ""));
+        OpPtr select = MakeOp(OpKind::kSelect);
+        select->scalar = MakeScalar(ScalarKind::kBoolConst);
+        select->scalar->boolean = false;
+        select->children.push_back(std::move(op->children[0]));
+        *slot = std::move(select);
+        CheckAfterRule(ctx, "empty-semijoin-to-false-selection", &before,
+                       slot->get());
+        return removed + dropped;
+      }
+      return removed;
+    }
+
+    case OpKind::kTmpCs: {
+      if (!op->ctx_attr.empty()) return removed;
+      PlanProperties child = analysis::InferPlanProperties(*op->children[0]);
+      if (!child.AtMostOne()) return removed;
+      // At most one input tuple means one group of size one (or no
+      // output at all): cs is the constant 1, no materialization needed.
+      PlanProperties before = analysis::InferPlanProperties(*op);
+      LogRewrite(ctx, "replace-singleton-tmpcs",
+                 analysis::OperatorSummary(*op),
+                 analysis::RenderProperties(child, ""));
+      OpPtr map = MakeOp(OpKind::kMap);
+      map->attr = op->attr;
+      map->scalar = MakeScalar(ScalarKind::kNumberConst);
+      map->scalar->number = 1;
+      map->children.push_back(std::move(op->children[0]));
+      *slot = std::move(map);
+      CheckAfterRule(ctx, "replace-singleton-tmpcs", &before, slot->get());
       return removed + 1;
     }
+
+    default:
+      return removed;
   }
-  return removed;
 }
 
 size_t SimplifyScalar(Scalar* scalar, SimplifyCtx* ctx) {
   size_t removed = 0;
   if (scalar->kind == ScalarKind::kNested) {
     removed += SimplifyNode(&scalar->plan, ctx);
+    if (!ctx->status.ok()) return removed;
+    PlanProperties plan_props =
+        analysis::InferPlanProperties(*scalar->plan);
+    if (plan_props.cardinality == Cardinality::kEmpty) {
+      // The nested sequence is provably empty: fold the aggregate.
+      const char* rule = "fold-empty-nested-aggregate";
+      LogRewrite(ctx, rule,
+                 std::string("nested ") + AggKindName(scalar->agg) + "(" +
+                     scalar->input_attr + ")",
+                 analysis::RenderProperties(plan_props, ""));
+      removed += PlanSize(*scalar->plan);
+      AggKind agg = scalar->agg;
+      scalar->plan.reset();
+      scalar->children.clear();
+      scalar->input_attr.clear();
+      switch (agg) {
+        case AggKind::kExists:
+          scalar->kind = ScalarKind::kBoolConst;
+          scalar->boolean = false;
+          break;
+        case AggKind::kCount:
+        case AggKind::kSum:
+          scalar->kind = ScalarKind::kNumberConst;
+          scalar->number = 0;
+          break;
+        case AggKind::kMax:
+        case AggKind::kMin:
+          scalar->kind = ScalarKind::kNumberConst;
+          scalar->number = std::numeric_limits<double>::quiet_NaN();
+          break;
+        case AggKind::kFirstString:
+        case AggKind::kFirstName:
+        case AggKind::kFirstLocalName:
+          scalar->kind = ScalarKind::kStringConst;
+          scalar->string_value.clear();
+          break;
+      }
+      CheckAfterRule(ctx, rule, nullptr, nullptr);
+      return removed;
+    }
   }
   for (ScalarPtr& child : scalar->children) {
     removed += SimplifyScalar(child.get(), ctx);
+    if (!ctx->status.ok()) return removed;
   }
   return removed;
 }
 
 }  // namespace
 
-size_t SimplifyPlan(OpPtr* plan) {
+size_t SimplifyPlan(OpPtr* plan, RewriteLog* log) {
   obs::ScopedSpan span("compile/rewrite");
   SimplifyCtx ctx;
   ctx.root = plan;
+  ctx.log = log;
   return SimplifyNode(plan, &ctx);
 }
 
-StatusOr<size_t> SimplifyPlanChecked(OpPtr* plan) {
+StatusOr<size_t> SimplifyPlanChecked(OpPtr* plan, RewriteLog* log) {
   obs::ScopedSpan span("compile/rewrite");
   SimplifyCtx ctx;
   ctx.root = plan;
+  ctx.log = log;
   ctx.verify = analysis::VerificationEnabled();
   if (ctx.verify) {
     // Whatever the plan legitimately read from its context before

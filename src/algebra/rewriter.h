@@ -3,6 +3,7 @@
 
 #include <set>
 #include <string>
+#include <vector>
 
 #include "algebra/operator.h"
 #include "base/statusor.h"
@@ -10,6 +11,9 @@
 namespace natix::algebra {
 
 /// Properties inferred for the tuple sequence an operator produces.
+/// Compatibility view over the full property-inference engine
+/// (src/analysis/property_inference.h), which additionally tracks
+/// grouping, cardinality bounds and static node classes.
 struct SequenceProperties {
   /// The sequence provably holds at most one tuple.
   bool singleton = false;
@@ -19,32 +23,60 @@ struct SequenceProperties {
   /// ascending ("interesting orders", Hidders/Michiels [13]).
   std::set<std::string> ordered_by;
   /// Attributes whose values are provably pairwise non-nested (no value
-  /// is an ancestor of another) — the side condition that lets child
-  /// steps preserve document order.
+  /// is a proper ancestor of another) — the side condition that lets
+  /// child steps preserve document order and descendant steps preserve
+  /// duplicate-freedom.
   std::set<std::string> non_nested;
 };
 
-/// Infers sequence properties bottom-up (conservatively). This is the
-/// axis-level fragment of the Hidders/Michiels duplicate analysis [13]
-/// that the paper lists as future work (Sec. 4.1): child, attribute and
-/// self steps over duplicate-free contexts produce duplicate-free output.
+/// Infers sequence properties bottom-up (conservatively) by projecting
+/// the property-inference lattice onto the attribute sets above.
 SequenceProperties InferProperties(const Operator& op);
 
-/// Logical plan simplification:
+/// One property-justified plan rewrite: which rule fired, on which
+/// operator, and the inferred property that proves it sound.
+struct RewriteEvent {
+  std::string rule;           // e.g. "drop-redundant-sort"
+  std::string target;         // e.g. "Sort[c4]"
+  std::string justification;  // e.g. "{card:n, ord:doc(c4), dup-free(c4)}"
+};
+using RewriteLog = std::vector<RewriteEvent>;
+
+/// Logical plan simplification. Property-justified rules:
 ///  * removes duplicate eliminations whose input is provably
 ///    duplicate-free on the eliminated attribute,
-///  * removes sorts whose input is provably in document order already,
-///  * removes selections with a constant-true predicate.
-/// Returns the number of operators removed. Also rewrites nested
-/// subplans inside scalar subscripts.
-size_t SimplifyPlan(OpPtr* plan);
+///  * removes sorts whose input is provably in document order (and
+///    duplicate-free, so any stable order is THE order) already,
+///  * removes selections with a constant-true predicate or a provably
+///    empty input,
+///  * replaces navigation steps that are statically empty for the
+///    context's node class (children of an attribute, ancestors of the
+///    root, text() on the attribute axis, ...) by the constant-false
+///    selection marker, keeping the input's bindings,
+///  * prunes statically-empty concat branches (and collapses
+///    single-branch concats), drops anti joins against provably empty
+///    right sides, turns semi joins against empty right sides into
+///    constant-false selections,
+///  * replaces a context-free Tmp^cs over a <=1-tuple input by a
+///    constant map (cs = 1),
+///  * folds aggregates over statically-empty nested subplans into
+///    constants (exists -> false, count/sum -> 0, ...).
+/// Returns the number of operators removed or replaced; each rule
+/// application is appended to `log` (when non-null) with the proving
+/// property. Also rewrites nested subplans inside scalar subscripts.
+size_t SimplifyPlan(OpPtr* plan, RewriteLog* log = nullptr);
 
 /// Like SimplifyPlan, but when plan verification is enabled
-/// (analysis::VerificationEnabled — on by default in debug builds) the
-/// Layer-1 verifier re-checks the whole plan after every rule
-/// application. A violation aborts rewriting and names the offending
-/// rule, instead of letting a malformed plan flow on to code generation.
-StatusOr<size_t> SimplifyPlanChecked(OpPtr* plan);
+/// (analysis::VerificationEnabled — on by default in debug builds) every
+/// rule application is re-checked: Layer 1 re-verifies well-formedness
+/// of the whole plan, and the Layer-1.5 property-preservation pass
+/// re-infers the rewritten subtree's properties and fails if the rule
+/// weakened them (order, duplicate-freedom, nesting, cardinality, node
+/// class). A violation aborts rewriting and names the offending rule,
+/// instead of letting a malformed or semantics-changing plan flow on to
+/// code generation.
+StatusOr<size_t> SimplifyPlanChecked(OpPtr* plan,
+                                     RewriteLog* log = nullptr);
 
 }  // namespace natix::algebra
 

@@ -1,6 +1,8 @@
 #include "analysis/plan_verifier.h"
 
 #include <atomic>
+#include <cstdlib>
+#include <string_view>
 
 #include "algebra/properties.h"
 #include "obs/trace.h"
@@ -22,7 +24,17 @@ constexpr bool kVerifyByDefault = false;
 constexpr bool kVerifyByDefault = true;
 #endif
 
-std::atomic<bool> g_verification_enabled{kVerifyByDefault};
+/// The NATIX_VERIFY_PLANS environment variable overrides the build-type
+/// default ("0"/"" keep it off, anything else forces verification — and
+/// with it the runtime property oracle — on, e.g. for the verify-oracle
+/// CI job running release binaries under sanitizers).
+bool VerifyInitiallyEnabled() {
+  const char* env = std::getenv("NATIX_VERIFY_PLANS");
+  if (env == nullptr) return kVerifyByDefault;
+  return env[0] != '\0' && std::string_view(env) != "0";
+}
+
+std::atomic<bool> g_verification_enabled{VerifyInitiallyEnabled()};
 
 Status Malformed(const Operator& op, const std::string& detail) {
   return Status::Internal(std::string("plan verifier (logical): ") +

@@ -17,15 +17,22 @@ namespace natix::analysis {
 /// Status (code kInternal — a malformed plan is a compiler bug, never a
 /// user error). The layers mirror the compiler pipeline of Sec. 5.1:
 ///
-///   Layer 1 (logical)  — well-formedness of the algebra Operator tree
-///                        produced by translation and rewriting,
-///   Layer 2 (physical) — register dataflow of the compiled iterator
-///                        tree under the open/next protocol,
-///   Layer 3 (NVM)      — bytecode well-formedness of every compiled
-///                        subscript program.
+///   Layer 1 (logical)    — well-formedness of the algebra Operator tree
+///                          produced by translation and rewriting,
+///   Layer 1.5 (property) — every rewrite rule must preserve the
+///                          statically inferred stream properties
+///                          (property_inference.h); run by
+///                          algebra::SimplifyPlanChecked after each rule,
+///   Layer 2 (physical)   — register dataflow of the compiled iterator
+///                          tree under the open/next protocol,
+///   Layer 3 (NVM)        — bytecode well-formedness of every compiled
+///                          subscript program.
 ///
 /// Verification is on by default in debug builds and opt-in in release
-/// builds (natixq --verify-plans, or SetVerificationEnabled(true)).
+/// builds (natixq --verify-plans, SetVerificationEnabled(true), or the
+/// NATIX_VERIFY_PLANS environment variable). When enabled it also arms
+/// the runtime property oracle (src/qe/property_oracle.h), which
+/// cross-checks the static claims against actual tuples.
 
 /// Whether the Translator / Rewriter / Codegen hooks run the verifier.
 bool VerificationEnabled();

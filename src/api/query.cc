@@ -123,7 +123,11 @@ StatusOr<std::vector<storage::StoredNode>> CompiledQuery::EvaluateNodes(
     storage::NodeId context, bool document_order) {
   NATIX_ASSIGN_OR_RETURN(std::vector<runtime::NodeRef> refs,
                          RunNodes(context));
-  if (document_order) {
+  // The sort is skipped when property inference proved the plan's result
+  // stream arrives document-ordered already (the oracle asserts the claim
+  // under NATIX_VERIFY_PLANS).
+  if (document_order && (plan_->force_result_sort() ||
+                         !plan_->result_document_ordered())) {
     obs::ScopedSpan span("exec/sort");
     qe::SortResultNodes(&refs);
   }
@@ -177,7 +181,7 @@ StatusOr<std::string> CompiledQuery::EvaluateString(
     NATIX_ASSIGN_OR_RETURN(std::vector<runtime::NodeRef> refs,
                            RunNodes(context));
     if (refs.empty()) return std::string();
-    qe::SortResultNodes(&refs);
+    if (!plan_->result_document_ordered()) qe::SortResultNodes(&refs);
     return store_->StringValue(refs.front().node_id());
   }
   NATIX_ASSIGN_OR_RETURN(runtime::Value value, EvaluateValue(context));

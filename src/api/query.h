@@ -87,6 +87,34 @@ class CompiledQuery {
     return plan_->verification();
   }
 
+  /// The logical plan annotated per operator with its inferred stream
+  /// properties (cardinality, ordering, duplicate-freedom, node class).
+  const std::string& ExplainProperties() const {
+    return plan_->properties_plan();
+  }
+
+  /// JSON rendering of the annotated operator tree (natixq
+  /// --explain-json).
+  const std::string& ExplainJson() const {
+    return plan_->properties_json();
+  }
+
+  /// The property-justified rewrites applied during translation, each
+  /// with the inferred property that proved it sound.
+  const algebra::RewriteLog& rewrites() const { return plan_->rewrites(); }
+
+  /// Whether the plan's result stream is statically guaranteed to arrive
+  /// in document order, letting Evaluate* skip the final sort.
+  bool ResultDocumentOrdered() const {
+    return plan_->result_document_ordered();
+  }
+
+  /// Ablation knob (benchmarks, differential tests): force the final
+  /// result sort even when inference proved it redundant.
+  void SetForceResultSort(bool force) {
+    plan_->set_force_result_sort(force);
+  }
+
   /// The XPath text this query was compiled from (slow-query log tag).
   const std::string& text() const { return text_; }
 

@@ -5,9 +5,11 @@
 
 #include "algebra/properties.h"
 #include "analysis/plan_verifier.h"
+#include "analysis/property_inference.h"
 #include "nvm/assembler.h"
 #include "obs/trace.h"
 #include "qe/operators.h"
+#include "qe/property_oracle.h"
 
 namespace natix::qe {
 
@@ -154,6 +156,13 @@ class CodegenImpl {
       qstats_ = plan_->stats_.get();
     }
 
+    // Static property inference over the logical plan (ordering,
+    // duplicate-freedom, cardinality, node classes). Runs on every
+    // compiled plan: the annotations drive the EXPLAIN property tags,
+    // the result-order guarantee, and — under verification — the
+    // runtime property oracle wrappers.
+    props_ = analysis::AnnotatePlan(*translation.plan);
+
     // Reserved execution-context attributes (the paper's top-level map).
     plan_->cn_reg_ = Bind(translate::kContextNodeAttr);
     plan_->cp0_reg_ = Bind(translate::kContextPositionAttr);
@@ -163,9 +172,38 @@ class CodegenImpl {
     NATIX_ASSIGN_OR_RETURN(plan_->result_reg_,
                            Resolve(translation.result_attr));
     if (qstats_ != nullptr) qstats_->set_root(root.stats);
+
+    // Result-order guarantee: when the root stream is provably in
+    // (non-strict) document order on the result attribute, the API skips
+    // its final result sort.
+    analysis::AttrProperties result_props;
+    if (auto it = props_.find(translation.plan.get()); it != props_.end()) {
+      result_props = it->second.Lookup(translation.result_attr);
+    }
+    plan_->result_document_ordered_ =
+        translation.type == xpath::ExprType::kNodeSet &&
+        result_props.order == analysis::OrderState::kDocOrdered;
+    // Under verification, the oracle also guards the root stream's
+    // claims across the whole execution (operators inside dependent
+    // branches only assert per re-evaluation).
+    if (analysis::VerificationEnabled() &&
+        translation.type == xpath::ExprType::kNodeSet &&
+        (result_props.order == analysis::OrderState::kDocOrdered ||
+         result_props.duplicate_free)) {
+      root.iter = std::make_unique<PropertyOracleIterator>(
+          state_, std::move(root.iter), plan_->result_reg_,
+          result_props.order == analysis::OrderState::kDocOrdered,
+          result_props.duplicate_free,
+          "result " + translation.result_attr);
+    }
+
     plan_->root_ = std::move(root.iter);
     plan_->result_type_ = translation.type;
     plan_->logical_plan_ = translation.plan->ToString();
+    plan_->properties_plan_ =
+        analysis::RenderAnnotatedPlan(*translation.plan);
+    plan_->properties_json_ = analysis::PlanToJson(*translation.plan);
+    plan_->rewrites_ = translation.rewrites;
     plan_->physical_plan_ =
         "registers: " + std::to_string(next_register_) + ", nested plans: " +
         std::to_string(plan_->nested_.size()) + "\n" +
@@ -193,7 +231,10 @@ class CodegenImpl {
           std::to_string(algebra::PlanSize(*translation.plan)) +
           " operators; physical: " + std::to_string(next_register_) +
           " registers; nvm: " + std::to_string(model.programs.size()) +
-          " subscript programs)";
+          " subscript programs; properties: " +
+          std::to_string(props_.size()) + " operators annotated, " +
+          std::to_string(translation.rewrites.size()) +
+          " property-justified rewrites)";
     } else {
       plan_->verification_ =
           "not verified (release build; enable with --verify-plans)";
@@ -349,7 +390,52 @@ class CodegenImpl {
     return test;
   }
 
+  /// The inferred-property tag appended to EXPLAIN ANALYZE labels, e.g.
+  /// " {card:n, ord:doc(c3), dup-free(c3)}". Colon-separated so golden
+  /// normalizations of numeric counters ("=N") leave it alone.
+  std::string PropTag(const Operator& op) const {
+    auto it = props_.find(&op);
+    if (it == props_.end()) return std::string();
+    return " " + analysis::RenderProperties(it->second, op.attr);
+  }
+
+  /// Wraps stream-producing operators in the runtime property oracle
+  /// while verification is on: the wrapper asserts the static order /
+  /// duplicate-freedom claims of op.attr against the actual tuples.
+  /// Transparent otherwise: no stats node, no register writes.
+  void WrapOracle(const Operator& op, BuildResult* result) {
+    if (!analysis::VerificationEnabled()) return;
+    switch (op.kind) {
+      case OpKind::kUnnestMap:
+      case OpKind::kDupElim:
+      case OpKind::kSort:
+      case OpKind::kCounter:
+      case OpKind::kUnnest:
+      case OpKind::kIdDeref:
+        break;
+      default:
+        return;
+    }
+    auto it = props_.find(&op);
+    if (it == props_.end()) return;
+    analysis::AttrProperties attr = it->second.Lookup(op.attr);
+    bool check_order = attr.order == analysis::OrderState::kDocOrdered;
+    bool check_dup = attr.duplicate_free;
+    if (!check_order && !check_dup) return;
+    StatusOr<RegisterId> reg = Resolve(op.attr);
+    if (!reg.ok()) return;
+    result->iter = std::make_unique<PropertyOracleIterator>(
+        state_, std::move(result->iter), *reg, check_order, check_dup,
+        analysis::OperatorSummary(op) + PropTag(op));
+  }
+
   StatusOr<BuildResult> Build(const Operator& op) {
+    NATIX_ASSIGN_OR_RETURN(BuildResult result, BuildOp(op));
+    WrapOracle(op, &result);
+    return result;
+  }
+
+  StatusOr<BuildResult> BuildOp(const Operator& op) {
     switch (op.kind) {
       case OpKind::kSingletonScan: {
         BuildResult result;
@@ -393,7 +479,7 @@ class CodegenImpl {
                      "Map[" + op.attr + "@r" + std::to_string(out) + "]");
         obs::OpStats* stats = NewStats(
             std::string("Map") + (op.materialize ? "^mat" : "") + "[" +
-            op.attr + " := " + op.scalar->ToString() + "]");
+            op.attr + " := " + op.scalar->ToString() + "]" + PropTag(op));
         std::vector<RegisterId> key_regs;
         if (op.materialize) {
           NATIX_ASSIGN_OR_RETURN(
@@ -449,7 +535,8 @@ class CodegenImpl {
         child.stats = Observe("UnnestMap[" + op.attr + " := " +
                                   op.ctx_attr + "/" +
                                   runtime::AxisName(op.axis) +
-                                  "::" + op.test.ToString() + "]",
+                                  "::" + op.test.ToString() + "]" +
+                                  PropTag(op),
                               child.iter.get(), {child.stats});
         child.written.insert(out);
         PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "UnnestMap");
@@ -528,8 +615,8 @@ class CodegenImpl {
         NATIX_ASSIGN_OR_RETURN(RegisterId attr, Resolve(op.attr));
         child.iter = std::make_unique<DupElimIterator>(
             state_, std::move(child.iter), attr);
-        child.stats = Observe("DupElim[" + op.attr + "]", child.iter.get(),
-                              {child.stats});
+        child.stats = Observe("DupElim[" + op.attr + "]" + PropTag(op),
+                              child.iter.get(), {child.stats});
         PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "DupElim");
         node->reads.push_back(attr);
         node->children.push_back(std::move(child.node));
@@ -550,8 +637,8 @@ class CodegenImpl {
         node->row_regs = rows;
         child.iter = std::make_unique<SortIterator>(
             state_, std::move(child.iter), attr, std::move(rows));
-        child.stats = Observe("Sort[" + op.attr + "]", child.iter.get(),
-                              {child.stats});
+        child.stats = Observe("Sort[" + op.attr + "]" + PropTag(op),
+                              child.iter.get(), {child.stats});
         node->children.push_back(std::move(child.node));
         child.node = std::move(node);
         return child;
@@ -565,7 +652,7 @@ class CodegenImpl {
         obs::OpStats* stats = Observe(
             "Aggregate[" + op.attr + " := " +
                 std::string(algebra::AggKindName(op.agg)) + "(" +
-                op.ctx_attr + ")]",
+                op.ctx_attr + ")]" + PropTag(op),
             agg_iter.get(), {child.stats});
         // The embedded nested plan's smart-aggregation counters land on
         // the Aggregate's own node.
@@ -625,7 +712,7 @@ class CodegenImpl {
         child.stats = Observe(
             "TmpCs[" + op.attr +
                 (op.ctx_attr.empty() ? "" : "; context " + op.ctx_attr) +
-                "]",
+                "]" + PropTag(op),
             child.iter.get(), {child.stats});
         child.written.insert(out);
         node->children.push_back(std::move(child.node));
@@ -705,6 +792,10 @@ class CodegenImpl {
   /// The plan's stats collector; null unless compiled with stats.
   obs::QueryStats* qstats_ = nullptr;
   std::unordered_map<std::string, RegisterId> attribute_map_;
+  /// Inferred static stream properties per logical operator; annotated
+  /// once per compilation and consulted for stats labels, the final-sort
+  /// skip, and the runtime property oracle.
+  analysis::PropertyMap props_;
   RegisterId next_register_ = 0;
   /// Every compiled NVM subscript with its site label (Layer-3 sweep).
   std::vector<std::pair<std::string, nvm::Program>> programs_;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "algebra/rewriter.h"
 #include "qe/iterator.h"
 #include "qe/subscripts.h"
 #include "xpath/ast.h"
@@ -56,6 +57,29 @@ class Plan {
   /// (violations never reach a Plan — compilation fails instead).
   const std::string& verification() const { return verification_; }
 
+  /// The logical plan annotated with the inferred stream properties
+  /// (ordering, duplicate-freedom, cardinality, node class) per operator.
+  const std::string& properties_plan() const { return properties_plan_; }
+
+  /// JSON rendering of the operator tree with the full inferred
+  /// properties (natixq --explain-json).
+  const std::string& properties_json() const { return properties_json_; }
+
+  /// The property-justified rewrites applied during translation, each
+  /// with the inferred property that proved it sound.
+  const algebra::RewriteLog& rewrites() const { return rewrites_; }
+
+  /// Whether the result stream is statically guaranteed to arrive in
+  /// (non-strict) document order, making the final result sort
+  /// redundant.
+  bool result_document_ordered() const { return result_document_ordered_; }
+
+  /// Ablation knob (benchmarks, differential tests): when set, ordered
+  /// evaluations sort the result even if inference proved the stream
+  /// document-ordered — the pre-inference behavior.
+  void set_force_result_sort(bool force) { force_result_sort_ = force; }
+  bool force_result_sort() const { return force_result_sort_; }
+
   ExecState* state() { return state_.get(); }
 
   /// The per-operator stats collector (EXPLAIN ANALYZE), or null when
@@ -79,6 +103,11 @@ class Plan {
   std::string logical_plan_;
   std::string physical_plan_;
   std::string verification_;
+  std::string properties_plan_;
+  std::string properties_json_;
+  algebra::RewriteLog rewrites_;
+  bool result_document_ordered_ = false;
+  bool force_result_sort_ = false;
 };
 
 /// Sorts node references into document order (ascending order keys).

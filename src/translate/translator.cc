@@ -747,7 +747,9 @@ StatusOr<TranslationResult> Translate(const xpath::Expr& root,
   if (options.simplify_plan) {
     // The checked simplifier re-verifies after every rule application
     // (when verification is enabled) and names the offending rule.
-    NATIX_RETURN_IF_ERROR(algebra::SimplifyPlanChecked(&result.plan).status());
+    NATIX_RETURN_IF_ERROR(
+        algebra::SimplifyPlanChecked(&result.plan, &result.rewrites)
+            .status());
   }
   return result;
 }

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "algebra/operator.h"
+#include "algebra/rewriter.h"
 #include "base/statusor.h"
 #include "xpath/ast.h"
 
@@ -43,6 +44,10 @@ struct TranslationResult {
   /// queries, a single scalar tuple otherwise.
   std::string result_attr;
   xpath::ExprType type = xpath::ExprType::kUnknown;
+  /// The property-justified simplifications applied to `plan`, each with
+  /// the inferred property that proved it sound (empty when the
+  /// simplifying rewriter is off).
+  algebra::RewriteLog rewrites;
 };
 
 /// Reserved attribute names bound by the execution context before the

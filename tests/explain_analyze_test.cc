@@ -1,8 +1,12 @@
 // Golden EXPLAIN ANALYZE snapshots for the five paper benchmark query
 // shapes (Figs. 6-10). Counter values are normalized away ("=N" -> "=_")
-// so the goldens pin the operator tree STRUCTURE and the counter NAMES —
-// the stable output contract of obs::QueryStats::RenderAnalyze — without
-// depending on timings or document scale.
+// so the goldens pin the operator tree STRUCTURE, the counter NAMES and
+// the inferred stream-property tags ("{card:..., ord:doc(...), ...}",
+// which contain no '=') — the stable output contract of
+// obs::QueryStats::RenderAnalyze — without depending on timings or
+// document scale. Note Figs. 6-8: the DupElim above the first
+// descendant step is gone, removed by the property-justified
+// simplifier (the step runs over a duplicate-free non-nested context).
 
 #include <gtest/gtest.h>
 
@@ -67,16 +71,15 @@ constexpr char kDblp[] =
 TEST(ExplainAnalyzeGoldenTest, Fig6Query1) {
   EXPECT_EQ(
       AnalyzeQuery(kXdoc, "/child::xdoc/desc::*/anc::*/desc::*/@id"),
-      R"(UnnestMap[c6 := c5/attribute::id] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-  DupElim[c5] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-    UnnestMap[c5 := c4/descendant::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-      DupElim[c4] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-        UnnestMap[c4 := c3/ancestor::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-          DupElim[c3] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-            UnnestMap[c3 := c2/descendant::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-              UnnestMap[c2 := c1/child::xdoc] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-                Map[c1 := root*(cn)] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-                  SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+      R"(UnnestMap[c6 := c5/attribute::id] {card:n, dup-free(c6), non-nested(c6), class:attribute} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+  DupElim[c5] {card:n, dup-free(c5), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+    UnnestMap[c5 := c4/descendant::*] {card:n, class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+      DupElim[c4] {card:n, dup-free(c4), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+        UnnestMap[c4 := c3/ancestor::*] {card:n, class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+          UnnestMap[c3 := c2/descendant::*] {card:n, ord:doc(c3), dup-free(c3), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+            UnnestMap[c2 := c1/child::xdoc] {card:n, ord:doc(c2), dup-free(c2), non-nested(c2), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+              Map[c1 := root*(cn)] {card:1, ord:doc(c1), dup-free(c1), non-nested(c1), class:root} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+                SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
 buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_
 )");
 }
@@ -84,16 +87,15 @@ buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_
 TEST(ExplainAnalyzeGoldenTest, Fig7Query2) {
   EXPECT_EQ(
       AnalyzeQuery(kXdoc, "/child::xdoc/desc::*/pre-sib::*/fol::*/@id"),
-      R"(UnnestMap[c6 := c5/attribute::id] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-  DupElim[c5] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-    UnnestMap[c5 := c4/following::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-      DupElim[c4] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-        UnnestMap[c4 := c3/preceding-sibling::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-          DupElim[c3] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-            UnnestMap[c3 := c2/descendant::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-              UnnestMap[c2 := c1/child::xdoc] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-                Map[c1 := root*(cn)] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-                  SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+      R"(UnnestMap[c6 := c5/attribute::id] {card:n, dup-free(c6), non-nested(c6), class:attribute} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+  DupElim[c5] {card:n, dup-free(c5), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+    UnnestMap[c5 := c4/following::*] {card:n, class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+      DupElim[c4] {card:n, dup-free(c4), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+        UnnestMap[c4 := c3/preceding-sibling::*] {card:n, class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+          UnnestMap[c3 := c2/descendant::*] {card:n, ord:doc(c3), dup-free(c3), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+            UnnestMap[c2 := c1/child::xdoc] {card:n, ord:doc(c2), dup-free(c2), non-nested(c2), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+              Map[c1 := root*(cn)] {card:1, ord:doc(c1), dup-free(c1), non-nested(c1), class:root} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+                SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
 buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_
 )");
 }
@@ -101,16 +103,15 @@ buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_
 TEST(ExplainAnalyzeGoldenTest, Fig8Query3) {
   EXPECT_EQ(
       AnalyzeQuery(kXdoc, "/child::xdoc/desc::*/anc::*/anc::*/@id"),
-      R"(UnnestMap[c6 := c5/attribute::id] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-  DupElim[c5] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-    UnnestMap[c5 := c4/ancestor::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-      DupElim[c4] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-        UnnestMap[c4 := c3/ancestor::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-          DupElim[c3] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-            UnnestMap[c3 := c2/descendant::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-              UnnestMap[c2 := c1/child::xdoc] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-                Map[c1 := root*(cn)] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-                  SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+      R"(UnnestMap[c6 := c5/attribute::id] {card:n, dup-free(c6), non-nested(c6), class:attribute} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+  DupElim[c5] {card:n, dup-free(c5), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+    UnnestMap[c5 := c4/ancestor::*] {card:n, class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+      DupElim[c4] {card:n, dup-free(c4), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+        UnnestMap[c4 := c3/ancestor::*] {card:n, class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+          UnnestMap[c3 := c2/descendant::*] {card:n, ord:doc(c3), dup-free(c3), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+            UnnestMap[c2 := c1/child::xdoc] {card:n, ord:doc(c2), dup-free(c2), non-nested(c2), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+              Map[c1 := root*(cn)] {card:1, ord:doc(c1), dup-free(c1), non-nested(c1), class:root} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+                SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
 buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_
 )");
 }
@@ -118,14 +119,14 @@ buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_
 TEST(ExplainAnalyzeGoldenTest, Fig9Query4) {
   EXPECT_EQ(
       AnalyzeQuery(kXdoc, "/child::xdoc/child::*/par::*/desc::*/@id"),
-      R"(UnnestMap[c6 := c5/attribute::id] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-  DupElim[c5] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-    UnnestMap[c5 := c4/descendant::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-      DupElim[c4] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-        UnnestMap[c4 := c3/parent::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-          UnnestMap[c3 := c2/child::*] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-            UnnestMap[c2 := c1/child::xdoc] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-              Map[c1 := root*(cn)] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+      R"(UnnestMap[c6 := c5/attribute::id] {card:n, dup-free(c6), non-nested(c6), class:attribute} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+  DupElim[c5] {card:n, dup-free(c5), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+    UnnestMap[c5 := c4/descendant::*] {card:n, class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+      DupElim[c4] {card:n, dup-free(c4), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+        UnnestMap[c4 := c3/parent::*] {card:n, class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+          UnnestMap[c3 := c2/child::*] {card:n, ord:doc(c3), dup-free(c3), non-nested(c3), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+            UnnestMap[c2 := c1/child::xdoc] {card:n, ord:doc(c2), dup-free(c2), non-nested(c2), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+              Map[c1 := root*(cn)] {card:1, ord:doc(c1), dup-free(c1), non-nested(c1), class:root} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
                 SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
 buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_
 )");
@@ -141,13 +142,13 @@ TEST(ExplainAnalyzeGoldenTest, Fig10DblpPositional) {
 #endif
   EXPECT_EQ(
       AnalyzeQuery(kDblp, "/dblp/article[position() = last()]/title"),
-      R"(UnnestMap[c6 := c3/child::title] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+      R"(UnnestMap[c6 := c3/child::title] {card:n, ord:doc(c6), dup-free(c6), non-nested(c6), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
   Select[(cp4 = cs5)] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-    TmpCs[cs5; context c2] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_ spooled=_ replayed=_ groups=_)
+    TmpCs[cs5; context c2] {card:n, ord:grouped(cs5), non-nested(cs5), class:value} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_ spooled=_ replayed=_ groups=_)
       Counter[cp4, reset on c2] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-        UnnestMap[c3 := c2/child::article] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-          UnnestMap[c2 := c1/child::dblp] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-            Map[c1 := root*(cn)] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+        UnnestMap[c3 := c2/child::article] {card:n, ord:doc(c3), dup-free(c3), non-nested(c3), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+          UnnestMap[c2 := c1/child::dblp] {card:n, ord:doc(c2), dup-free(c2), non-nested(c2), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+            Map[c1 := root*(cn)] {card:1, ord:doc(c1), dup-free(c1), non-nested(c1), class:root} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
               SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
 buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_
 )");

@@ -39,25 +39,39 @@ TEST(RewriterTest, ChildStepAfterDedupIsDuplicateFree) {
   auto result = TranslateNoSimplify("//a/b");
   // Before: dedup after the ppd // step AND a final dedup.
   EXPECT_EQ(CountKind(*result.plan, OpKind::kDupElim), 2u);
-  size_t removed = SimplifyPlan(&result.plan);
-  EXPECT_EQ(removed, 1u);
-  // The remaining dedup is the one after descendant-or-self.
-  EXPECT_EQ(CountKind(*result.plan, OpKind::kDupElim), 1u);
-  EXPECT_NE(result.plan->kind, OpKind::kDupElim);
+  RewriteLog log;
+  size_t removed = SimplifyPlan(&result.plan, &log);
+  // Both are provably redundant: descendant-or-self expands the
+  // non-nested document root (inherently duplicate-free), and the child
+  // step runs over that deduplicated context.
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(CountKind(*result.plan, OpKind::kDupElim), 0u);
+  ASSERT_EQ(log.size(), 2u);
+  for (const RewriteEvent& event : log) {
+    EXPECT_EQ(event.rule, "drop-redundant-duplicate-elimination");
+    EXPECT_FALSE(event.target.empty());
+    EXPECT_NE(event.justification.find("dup-free"), std::string::npos);
+  }
 }
 
-TEST(RewriterTest, PpdOutputDedupIsKept) {
+TEST(RewriterTest, DescendantOverNonNestedContextDedupIsRemoved) {
   auto result = TranslateNoSimplify("/a/descendant::b");
   EXPECT_EQ(CountKind(*result.plan, OpKind::kDupElim), 1u);
   size_t removed = SimplifyPlan(&result.plan);
-  // descendant output can hold duplicates: the dedup must survive...
-  // except that here the context (/a over the root) is duplicate-free
-  // AND descendant sets of distinct... no: distinct contexts can share
-  // descendants only if one contains the other; children of the root's
-  // /a elements are disjoint but `a` elements may nest! Conservative
-  // analysis keeps it.
-  EXPECT_EQ(removed, 0u);
-  EXPECT_EQ(CountKind(*result.plan, OpKind::kDupElim), 1u);
+  // /a elements are siblings (children of the root), hence non-nested:
+  // their descendant sets are disjoint, so the dedup is redundant.
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(CountKind(*result.plan, OpKind::kDupElim), 0u);
+}
+
+TEST(RewriterTest, DescendantOverNestedContextDedupIsKept) {
+  auto result = TranslateNoSimplify("//a/descendant::b");
+  size_t before = CountKind(*result.plan, OpKind::kDupElim);
+  SimplifyPlan(&result.plan);
+  // //a contexts can nest, so distinct contexts may share descendants:
+  // the dedup after descendant::b must survive.
+  EXPECT_GE(CountKind(*result.plan, OpKind::kDupElim), 1u);
+  EXPECT_LT(CountKind(*result.plan, OpKind::kDupElim), before);
 }
 
 TEST(RewriterTest, UnionDedupIsKept) {
@@ -154,8 +168,23 @@ TEST(RewriterTest, AttributeStepsKeepDocumentOrder) {
   EXPECT_EQ(CountKind(*result.plan, OpKind::kSort), 0u);
 }
 
+TEST(RewriterTest, SortAfterDescendantUnderFollowingSiblingIsKept) {
+  // following-sibling over a many-node context emits per-context runs
+  // that interleave, and distinct contexts share siblings: neither
+  // order nor duplicate-freedom can be claimed, so both the dedup and
+  // the sort must survive (the unsound-removal regression case).
+  auto result =
+      TranslateNoSimplify("(/a/b/following-sibling::*/descendant::c)[1]");
+  size_t sorts = CountKind(*result.plan, OpKind::kSort);
+  ASSERT_GE(sorts, 1u);
+  SimplifyPlan(&result.plan);
+  EXPECT_EQ(CountKind(*result.plan, OpKind::kSort), sorts);
+  EXPECT_GE(CountKind(*result.plan, OpKind::kDupElim), 1u);
+}
+
 TEST(RewriterTest, ImprovedDefaultsSimplify) {
-  // Through the public options, //a/b carries a single dedup.
+  // Through the public options, //a/b needs no dedup at all: the
+  // descendant-or-self step expands the non-nested document root.
   auto ast = xpath::ParseXPath("//a/b");
   ASSERT_TRUE(ast.ok());
   ASSERT_TRUE(xpath::Analyze(ast->get()).ok());
@@ -163,7 +192,17 @@ TEST(RewriterTest, ImprovedDefaultsSimplify) {
   auto result =
       translate::Translate(**ast, translate::TranslatorOptions::Improved());
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(CountKind(*result->plan, OpKind::kDupElim), 1u);
+  EXPECT_EQ(CountKind(*result->plan, OpKind::kDupElim), 0u);
+  // The applied rewrites are logged with their proving properties.
+  EXPECT_EQ(result->rewrites.size(), 2u);
+}
+
+TEST(RewriterTest, CheckedSimplifyAcceptsItsOwnRewrites) {
+  auto result = TranslateNoSimplify("(//a/b)[1]");
+  RewriteLog log;
+  auto removed = SimplifyPlanChecked(&result.plan, &log);
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_GE(*removed, 1u);
 }
 
 }  // namespace

@@ -5,7 +5,11 @@
 //   natixq [options] <file.xml> <xpath>
 //   natixq [options] --queries-file=F <file.xml> [<xpath>]
 //   options:
-//     --explain       print logical + physical plans instead of evaluating
+//     --explain       print logical + physical plans, inferred stream
+//                     properties, and property-justified rewrites
+//                     instead of evaluating
+//     --explain-json  print the operator tree with its inferred
+//                     properties as JSON instead of evaluating
 //     --canonical     use the canonical (Sec. 3) translation
 //     --values        print string-values instead of XML serialization
 //     --count         print only the number of result nodes
@@ -45,7 +49,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: natixq [--explain] [--analyze] [--canonical] "
+               "usage: natixq [--explain] [--explain-json] [--analyze] "
+               "[--canonical] "
                "[--values] [--count] [--verify-plans] [--var k=v]... "
                "[--trace=FILE] [--metrics] [--metrics-json=FILE] "
                "[--slow-log[=MS]] [--queries-file=F] <file.xml> [<xpath>]\n");
@@ -95,6 +100,7 @@ bool RunBatchQuery(natix::Database* db, natix::storage::NodeId root,
 
 int main(int argc, char** argv) {
   bool explain = false;
+  bool explain_json = false;
   bool analyze = false;
   bool canonical = false;
   bool values = false;
@@ -113,6 +119,8 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--explain") {
       explain = true;
+    } else if (arg == "--explain-json") {
+      explain_json = true;
     } else if (arg == "--analyze") {
       analyze = true;
     } else if (arg == "--canonical") {
@@ -246,11 +254,26 @@ int main(int argc, char** argv) {
     (*query)->SetVariable(name, natix::runtime::Value::String(value));
   }
 
+  if (explain_json) {
+    std::printf("%s\n", (*query)->ExplainJson().c_str());
+    return finish();
+  }
+
   if (explain) {
+    std::string rewrites;
+    for (const natix::algebra::RewriteEvent& event : (*query)->rewrites()) {
+      rewrites += event.rule + ": " + event.target + " (" +
+                  event.justification + ")\n";
+    }
+    if (rewrites.empty()) rewrites = "(none)\n";
     std::printf("=== logical plan ===\n%s\n=== physical plan ===\n%s"
+                "=== stream properties ===\n%s"
+                "=== rewrites ===\n%s"
                 "=== verification ===\n%s\n",
                 (*query)->ExplainLogical().c_str(),
                 (*query)->ExplainPhysical().c_str(),
+                (*query)->ExplainProperties().c_str(),
+                rewrites.c_str(),
                 (*query)->VerificationReport().c_str());
     return finish();
   }
