@@ -1,0 +1,152 @@
+// Multi-threaded query throughput over shared prepared plans: the
+// compile-once / execute-many split (PreparedQuery + per-thread
+// Execution) combined with the striped buffer pool. Each measurement
+// point runs a fixed batch of executions of the five paper queries
+// (Figs. 6-10 shapes) round-robin across N worker threads and reports
+// queries/sec; the shard sweep isolates the pool-latch ablation
+// (1 shard = the classic single-lock pool).
+//
+// Writes BENCH_throughput.json. Numbers are honest for the machine the
+// bench runs on: on a single-core container the thread sweep shows
+// latch overhead rather than parallel speedup (hardware_concurrency is
+// recorded in the JSON so readers can tell).
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/database.h"
+#include "base/logging.h"
+#include "gen/xdoc_generator.h"
+#include "obs/metrics.h"
+#include "util.h"
+
+namespace {
+
+const char* kQueries[] = {
+    "/child::xdoc/desc::*/anc::*/desc::*/@id",   // fig6 (query 1)
+    "/child::xdoc/desc::*/pre-sib::*/fol::*/@id",  // fig7 (query 2)
+    "/child::xdoc/desc::*/anc::*/anc::*/@id",    // fig8 (query 3)
+    "/child::xdoc/child::*/par::*/desc::*/@id",  // fig9 (query 4)
+    "/xdoc/n[position() = last()]/@id",          // fig10-style positional
+};
+constexpr size_t kNumQueries = sizeof(kQueries) / sizeof(kQueries[0]);
+
+struct Point {
+  size_t shards = 0;
+  size_t threads = 0;
+  size_t executions = 0;
+  double seconds = 0;
+  double qps = 0;
+};
+
+Point RunPoint(const std::string& xml, size_t shards, size_t threads,
+               size_t executions) {
+  natix::Database::Options options;
+  options.buffer_pages = 1024;
+  options.buffer_shards = shards;
+  auto db = natix::Database::CreateTemp(options);
+  NATIX_CHECK(db.ok());
+  auto info = (*db)->LoadDocument("doc", xml);
+  NATIX_CHECK(info.ok());
+
+  // Compile each plan exactly once; every worker shares the immutable
+  // templates and instantiates its own executions.
+  std::vector<std::shared_ptr<const natix::PreparedQuery>> prepared;
+  for (const char* query : kQueries) {
+    auto plan = (*db)->Prepare(query);
+    NATIX_CHECK(plan.ok());
+    prepared.push_back(std::move(plan).value());
+  }
+
+  std::atomic<size_t> cursor{0};
+  Point point;
+  point.shards = shards;
+  point.threads = threads;
+  point.executions = executions;
+  point.seconds = natix::benchutil::TimeSeconds([&] {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        // One private execution per plan per worker, reused across the
+        // worker's share of the batch.
+        std::vector<std::unique_ptr<natix::PreparedQuery::Execution>> execs;
+        for (const auto& plan : prepared) {
+          auto exec = plan->NewExecution();
+          NATIX_CHECK(exec.ok());
+          execs.push_back(std::move(exec).value());
+        }
+        for (size_t i = cursor.fetch_add(1); i < executions;
+             i = cursor.fetch_add(1)) {
+          auto nodes = execs[i % kNumQueries]->EvaluateNodes(info->root);
+          NATIX_CHECK(nodes.ok());
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  });
+  point.qps = point.executions / point.seconds;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  natix::gen::XDocOptions gen_options;
+  gen_options.max_elements = 2000;
+  gen_options.fanout = 6;
+  gen_options.depth = 5;
+  size_t executions = 160;
+  if (std::getenv("NATIX_BENCH_SMALL") != nullptr) {
+    gen_options.max_elements = 500;
+    executions = 48;
+  }
+  const std::string xml = natix::gen::GenerateXDoc(gen_options);
+
+  std::printf("# throughput over %llu-element document, %zu executions "
+              "per point, %u hardware threads\n",
+              static_cast<unsigned long long>(gen_options.max_elements),
+              executions, std::thread::hardware_concurrency());
+  std::printf("%-8s %-8s %12s %14s\n", "shards", "threads", "time[s]",
+              "queries/sec");
+
+  std::vector<Point> points;
+  for (size_t shards : {1u, 8u}) {
+    for (size_t threads : {1u, 2u, 4u, 8u, 16u}) {
+      Point point = RunPoint(xml, shards, threads, executions);
+      std::printf("%-8zu %-8zu %12.4f %14.1f\n", point.shards,
+                  point.threads, point.seconds, point.qps);
+      std::fflush(stdout);
+      points.push_back(point);
+    }
+  }
+
+  std::string out = "{\n  \"bench\": \"throughput\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"elements\": %llu,\n  \"executions\": %zu,\n"
+                "  \"hardware_threads\": %u,\n  \"rows\": [\n",
+                static_cast<unsigned long long>(gen_options.max_elements),
+                executions, std::thread::hardware_concurrency());
+  out += buf;
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"shards\": %zu, \"threads\": %zu, "
+                  "\"seconds\": %.6f, \"qps\": %.2f}%s\n",
+                  points[i].shards, points[i].threads, points[i].seconds,
+                  points[i].qps, i + 1 < points.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ],\n  \"metrics\": " +
+         natix::obs::MetricsRegistry::Global().SnapshotJson() + "\n}\n";
+  std::FILE* f = std::fopen("BENCH_throughput.json", "w");
+  if (f != nullptr) {
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("# wrote BENCH_throughput.json\n");
+  }
+  return 0;
+}

@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "api/plan_cache.h"
+#include "api/prepared_query.h"
 #include "api/query.h"
 #include "base/statusor.h"
 #include "storage/node_store.h"
@@ -20,12 +22,37 @@ namespace natix {
 ///   auto db = natix::Database::CreateTemp();
 ///   db->LoadDocument("books", xml_text);
 ///   auto titles = db->QueryNodes("books", "/catalog/book/title");
+///
+/// Concurrent use: Prepare() hands out immutable plans that any number
+/// of threads can instantiate executions from; the buffer pool is
+/// striped (`Options::buffer_shards`) so those executions don't
+/// serialize on one pool latch. Document loading is not concurrent with
+/// query execution.
 class Database {
  public:
   struct Options {
     Options() {}
     /// Buffer pool size in pages (8 KiB each).
     size_t buffer_pages = 4096;
+    /// Number of buffer-pool stripes (mutex + LRU + page table each).
+    /// 0 picks a default from the hardware concurrency; 1 reproduces
+    /// the classic single-lock pool.
+    size_t buffer_shards = 0;
+    /// Capacity of the prepared-plan LRU cache consulted by Compile()
+    /// and Prepare(). 0 disables plan caching.
+    size_t plan_cache_capacity = 64;
+
+    /// Checks the configuration for nonsense that would technically run
+    /// but thrash or deadlock-by-starvation in practice:
+    ///  - buffer_pages below the root-to-leaf working set (a handful of
+    ///    index inner pages plus record/extent pages per open iterator;
+    ///    16 pages is the floor under which even single queries thrash),
+    ///  - fewer than 2 pages per shard (a 1-page shard cannot hold a
+    ///    pinned page and fault a second one through the same stripe).
+    Status Validate() const;
+    /// The shard count actually used: buffer_shards, or the hardware
+    /// default when 0 (clamped so every shard keeps >= 2 pages).
+    size_t EffectiveShards() const;
   };
 
   /// Creates a new database file (truncating any existing one).
@@ -41,7 +68,8 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// Parses `xml_text` and stores it as document `name`.
+  /// Parses `xml_text` and stores it as document `name`. Invalidates
+  /// the plan cache (prepared plans bake in name-dictionary ids).
   StatusOr<storage::DocumentInfo> LoadDocument(std::string_view name,
                                                std::string_view xml_text);
   /// Loads a document from a file on disk.
@@ -51,8 +79,17 @@ class Database {
   /// The document node of document `name`.
   StatusOr<storage::StoredNode> Root(std::string_view name) const;
 
-  /// Compiles a reusable query. With `collect_stats` the query carries
-  /// the per-operator EXPLAIN ANALYZE counters (CompiledQuery::Stats).
+  /// Compiles (or serves from the plan cache) an immutable, shareable
+  /// prepared query. This is the concurrent API: one Prepare, then one
+  /// PreparedQuery::NewExecution per thread.
+  StatusOr<std::shared_ptr<const PreparedQuery>> Prepare(
+      std::string_view xpath,
+      const translate::TranslatorOptions& options =
+          translate::TranslatorOptions::Improved()) const;
+
+  /// Compiles a reusable query (plan served from the cache when
+  /// possible). With `collect_stats` the query carries the per-operator
+  /// EXPLAIN ANALYZE counters (CompiledQuery::Stats).
   StatusOr<std::unique_ptr<CompiledQuery>> Compile(
       std::string_view xpath,
       const translate::TranslatorOptions& options =
@@ -94,11 +131,18 @@ class Database {
   storage::NodeStore* store() { return store_.get(); }
   const storage::NodeStore* store() const { return store_.get(); }
 
+  /// The prepared-plan cache (introspection: size, hits, evictions).
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
  private:
-  explicit Database(std::unique_ptr<storage::NodeStore> store)
-      : store_(std::move(store)) {}
+  Database(std::unique_ptr<storage::NodeStore> store, const Options& options)
+      : store_(std::move(store)),
+        plan_cache_(options.plan_cache_capacity) {}
 
   std::unique_ptr<storage::NodeStore> store_;
+  /// mutable: Compile()/Prepare() are logically const reads of the
+  /// database; the cache is internally synchronized.
+  mutable PlanCache plan_cache_;
 };
 
 }  // namespace natix

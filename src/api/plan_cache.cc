@@ -1,0 +1,86 @@
+#include "api/plan_cache.h"
+
+#include "obs/metrics.h"
+
+namespace natix {
+
+std::string PlanCache::MakeKey(std::string_view xpath,
+                               const translate::TranslatorOptions& options) {
+  // The option fingerprint is one character per strategy switch,
+  // separated from the text by a byte that cannot occur in XPath.
+  std::string key;
+  key.reserve(xpath.size() + 8);
+  key += options.stacked_outer_paths ? '1' : '0';
+  key += options.push_duplicate_elimination ? '1' : '0';
+  key += options.memoize_inner_paths ? '1' : '0';
+  key += options.split_expensive_predicates ? '1' : '0';
+  key += options.simplify_plan ? '1' : '0';
+  key += '\n';
+  key += xpath;
+  return key;
+}
+
+std::shared_ptr<const PreparedQuery> PlanCache::Lookup(
+    const std::string& key) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    metrics.plan_cache_misses.Add();
+    return nullptr;
+  }
+  ++hits_;
+  metrics.plan_cache_hits.Add();
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const PreparedQuery> plan) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // A racing thread prepared the same query first; keep the newer
+    // plan and refresh recency.
+    it->second->second = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(plan));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  index_.clear();
+  lru_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+uint64_t PlanCache::hit_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+uint64_t PlanCache::miss_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+uint64_t PlanCache::eviction_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace natix

@@ -1,0 +1,78 @@
+#ifndef NATIX_API_PLAN_CACHE_H_
+#define NATIX_API_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "translate/translator.h"
+
+namespace natix {
+
+class PreparedQuery;
+
+/// An LRU cache of prepared plans, keyed by the XPath text plus a
+/// fingerprint of the translation strategy (two compilations of the
+/// same text under different TranslatorOptions are different plans).
+///
+/// PreparedQuery is immutable and shareable, so a hit hands out the
+/// same shared_ptr any number of times; evicted plans stay alive while
+/// executions still pin them. Thread-safe behind one mutex — the
+/// critical section is a hash lookup plus a list splice, never a
+/// compilation, so contention is negligible next to the compile it
+/// saves. Capacity 0 disables caching (every lookup misses).
+///
+/// The cache does not observe store mutations: the owner must Clear()
+/// when documents are (re)loaded, since prepared plans bake in name
+/// dictionary ids resolved at compile time.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// The cache key of one (query text, translation strategy) pair.
+  static std::string MakeKey(std::string_view xpath,
+                             const translate::TranslatorOptions& options);
+
+  /// Returns the cached plan and refreshes its recency, or null on miss.
+  /// Feeds the process-wide plan_cache_hits / plan_cache_misses metrics.
+  std::shared_ptr<const PreparedQuery> Lookup(const std::string& key);
+
+  /// Inserts (or refreshes) `plan` under `key`, evicting the least
+  /// recently used entry when over capacity.
+  void Insert(const std::string& key,
+              std::shared_ptr<const PreparedQuery> plan);
+
+  /// Drops every entry (document loads invalidate all prepared plans).
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  uint64_t hit_count() const;
+  uint64_t miss_count() const;
+  uint64_t eviction_count() const;
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const PreparedQuery>>;
+
+  mutable std::mutex mutex_;
+  const size_t capacity_;
+  /// Most recently used first.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_API_PLAN_CACHE_H_

@@ -1,193 +1,21 @@
 #include "api/query.h"
 
-#include "base/xpath_number.h"
-
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "qe/codegen.h"
-#include "runtime/conversions.h"
-#include "xpath/fold.h"
-#include "xpath/normalizer.h"
-#include "xpath/parser.h"
-#include "xpath/sema.h"
-
 namespace natix {
-
-namespace {
-
-/// The compiler pipeline of Sec. 5.1. Each phase emits its own trace
-/// span; this helper exists so the caller can time and account for the
-/// whole pipeline once, success or failure.
-StatusOr<std::unique_ptr<qe::Plan>> RunCompilePipeline(
-    std::string_view xpath, const storage::NodeStore* store,
-    const translate::TranslatorOptions& options, bool collect_stats) {
-  NATIX_ASSIGN_OR_RETURN(xpath::ExprPtr ast, xpath::ParseXPath(xpath));
-  NATIX_RETURN_IF_ERROR(xpath::Analyze(ast.get()));
-  xpath::FoldConstants(ast.get());
-  xpath::Normalize(ast.get());
-  NATIX_ASSIGN_OR_RETURN(translate::TranslationResult translation,
-                         translate::Translate(*ast, options));
-  return qe::Codegen::Compile(translation, store, collect_stats);
-}
-
-}  // namespace
 
 StatusOr<std::unique_ptr<CompiledQuery>> CompiledQuery::Compile(
     std::string_view xpath, const storage::NodeStore* store,
     const translate::TranslatorOptions& options, bool collect_stats) {
-  obs::ScopedSpan span("compile", xpath);
-  const uint64_t begin_ns = obs::MonotonicNowNs();
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  auto plan = RunCompilePipeline(xpath, store, options, collect_stats);
-  if (!plan.ok()) {
-    metrics.compile_errors.Add();
-    return plan.status();
-  }
-  metrics.compile_ns.Record(obs::MonotonicNowNs() - begin_ns);
-  metrics.queries_compiled.Add();
-  auto query = std::unique_ptr<CompiledQuery>(
-      new CompiledQuery(store, std::move(plan).value()));
-  query->text_ = std::string(xpath);
-  return query;
+  NATIX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> prepared,
+                         PreparedQuery::Prepare(xpath, store, options));
+  return FromPrepared(std::move(prepared), collect_stats);
 }
 
-void CompiledQuery::SetVariable(const std::string& name,
-                                runtime::Value value) {
-  plan_->SetVariable(name, std::move(value));
-}
-
-Status CompiledQuery::BindContext(storage::NodeId context) {
-  storage::NodeRecord record;
-  NATIX_RETURN_IF_ERROR(store_->ReadNode(context, &record));
-  plan_->SetContextNode(runtime::NodeRef::Make(context, record.order));
-  BeginStats();
-  return Status::OK();
-}
-
-void CompiledQuery::BeginStats() {
-  tuples_baseline_ = plan_->state()->tuples_produced;
-  buffer_baseline_ = obs::CaptureBufferCounters(store_->buffer_manager());
-  exec_begin_ns_ = obs::MonotonicNowNs();
-}
-
-void CompiledQuery::EndStats() {
-  last_stats_.step_tuples =
-      plan_->state()->tuples_produced - tuples_baseline_;
-  obs::BufferCounters now =
-      obs::CaptureBufferCounters(store_->buffer_manager());
-  last_stats_.page_faults = now.page_reads - buffer_baseline_.page_reads;
-  if (obs::QueryStats* stats = plan_->stats()) {
-    // Query-level buffer deltas accumulate across evaluations alongside
-    // the per-operator counters.
-    stats->buffer() += obs::BufferCounters{
-        now.page_reads - buffer_baseline_.page_reads,
-        now.page_hits - buffer_baseline_.page_hits,
-        now.page_writes - buffer_baseline_.page_writes,
-        now.evictions - buffer_baseline_.evictions};
-    stats->RecordExecution();
-  }
-
-  // Feed the process-wide registry (compiles away under NATIX_OBS=OFF).
-  const uint64_t exec_ns = obs::MonotonicNowNs() - exec_begin_ns_;
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  metrics.exec_ns.Record(exec_ns);
-  metrics.pages_per_query.Record(last_stats_.page_faults);
-  metrics.tuples_per_query.Record(last_stats_.step_tuples);
-  metrics.queries_executed.Add();
-  obs::SlowQueryLog& slow_log = metrics.slow_log();
-  if (slow_log.ShouldLog(exec_ns)) {
-    metrics.slow_queries.Add();
-    obs::SlowQueryEntry entry;
-    entry.xpath = text_;
-    entry.exec_ns = exec_ns;
-    entry.page_faults = last_stats_.page_faults;
-    entry.tuples = last_stats_.step_tuples;
-    entry.analyze = ExplainAnalyze();
-    slow_log.Record(std::move(entry));
-  }
-}
-
-StatusOr<std::vector<runtime::NodeRef>> CompiledQuery::RunNodes(
-    storage::NodeId context) {
-  NATIX_RETURN_IF_ERROR(BindContext(context));
-  StatusOr<std::vector<runtime::NodeRef>> refs = plan_->ExecuteNodes();
-  if (!refs.ok()) {
-    obs::MetricsRegistry::Global().exec_errors.Add();
-    return refs.status();
-  }
-  EndStats();
-  return refs;
-}
-
-StatusOr<std::vector<storage::StoredNode>> CompiledQuery::EvaluateNodes(
-    storage::NodeId context, bool document_order) {
-  NATIX_ASSIGN_OR_RETURN(std::vector<runtime::NodeRef> refs,
-                         RunNodes(context));
-  // The sort is skipped when property inference proved the plan's result
-  // stream arrives document-ordered already (the oracle asserts the claim
-  // under NATIX_VERIFY_PLANS).
-  if (document_order && (plan_->force_result_sort() ||
-                         !plan_->result_document_ordered())) {
-    obs::ScopedSpan span("exec/sort");
-    qe::SortResultNodes(&refs);
-  }
-  std::vector<storage::StoredNode> nodes;
-  nodes.reserve(refs.size());
-  for (const runtime::NodeRef& ref : refs) {
-    nodes.emplace_back(store_, ref.node_id());
-  }
-  return nodes;
-}
-
-StatusOr<runtime::Value> CompiledQuery::EvaluateValue(
-    storage::NodeId context) {
-  NATIX_RETURN_IF_ERROR(BindContext(context));
-  StatusOr<runtime::Value> value = plan_->ExecuteValue();
-  if (!value.ok()) {
-    obs::MetricsRegistry::Global().exec_errors.Add();
-    return value.status();
-  }
-  EndStats();
-  return value;
-}
-
-StatusOr<double> CompiledQuery::EvaluateNumber(storage::NodeId context) {
-  if (result_type() == xpath::ExprType::kNodeSet ||
-      result_type() == xpath::ExprType::kString) {
-    NATIX_ASSIGN_OR_RETURN(std::string s, EvaluateString(context));
-    return StringToXPathNumber(s);
-  }
-  NATIX_ASSIGN_OR_RETURN(runtime::Value value, EvaluateValue(context));
-  runtime::EvalContext ctx;
-  ctx.store = store_;
-  return runtime::ToNumber(value, ctx);
-}
-
-StatusOr<bool> CompiledQuery::EvaluateBoolean(storage::NodeId context) {
-  if (result_type() == xpath::ExprType::kNodeSet) {
-    NATIX_ASSIGN_OR_RETURN(std::vector<runtime::NodeRef> refs,
-                           RunNodes(context));
-    return !refs.empty();
-  }
-  NATIX_ASSIGN_OR_RETURN(runtime::Value value, EvaluateValue(context));
-  runtime::EvalContext ctx;
-  ctx.store = store_;
-  return runtime::ToBoolean(value, ctx);
-}
-
-StatusOr<std::string> CompiledQuery::EvaluateString(
-    storage::NodeId context) {
-  if (result_type() == xpath::ExprType::kNodeSet) {
-    NATIX_ASSIGN_OR_RETURN(std::vector<runtime::NodeRef> refs,
-                           RunNodes(context));
-    if (refs.empty()) return std::string();
-    if (!plan_->result_document_ordered()) qe::SortResultNodes(&refs);
-    return store_->StringValue(refs.front().node_id());
-  }
-  NATIX_ASSIGN_OR_RETURN(runtime::Value value, EvaluateValue(context));
-  runtime::EvalContext ctx;
-  ctx.store = store_;
-  return runtime::ToStringValue(value, ctx);
+StatusOr<std::unique_ptr<CompiledQuery>> CompiledQuery::FromPrepared(
+    std::shared_ptr<const PreparedQuery> prepared, bool collect_stats) {
+  NATIX_ASSIGN_OR_RETURN(std::unique_ptr<PreparedQuery::Execution> exec,
+                         prepared->NewExecution(collect_stats));
+  return std::unique_ptr<CompiledQuery>(
+      new CompiledQuery(std::move(prepared), std::move(exec)));
 }
 
 }  // namespace natix

@@ -6,30 +6,28 @@
 #include <string_view>
 #include <vector>
 
+#include "api/prepared_query.h"
 #include "base/statusor.h"
-#include "qe/plan.h"
 #include "storage/node_store.h"
 #include "storage/stored_node.h"
 #include "translate/translator.h"
 
 namespace natix {
 
-/// Counters from the most recent evaluation of a compiled query.
-struct ExecutionStats {
-  /// Tuples produced by location-step (unnest-map) iterators.
-  uint64_t step_tuples = 0;
-  /// Pages faulted into the buffer pool during the evaluation.
-  uint64_t page_faults = 0;
-};
-
-/// A compiled XPath query bound to a store: the product of the full
-/// compiler pipeline of Sec. 5.1 (parse, normalize, semantic analysis,
-/// rewrite, translation into algebra, code generation). Reusable across
-/// context nodes; not thread-safe (it owns its register file).
+/// A compiled XPath query bound to a store — the classic single-object
+/// API, kept as a thin shim over the PreparedQuery / Execution split so
+/// existing call sites compile unchanged.
+///
+/// A CompiledQuery is one PreparedQuery plus one Execution: reusable
+/// across context nodes, but single-threaded (it owns its register
+/// file). New code that shares plans across threads, or executes the
+/// same query many times, should use Database::Prepare /
+/// PreparedQuery::NewExecution directly — one prepared plan, one cheap
+/// execution per thread — and gets the prepared-plan cache for free.
 class CompiledQuery {
  public:
   /// Compiles `xpath` for `store` with the given translation strategy.
-  /// With `collect_stats` the plan carries per-operator counters
+  /// With `collect_stats` the query carries per-operator counters
   /// (Stats/ExplainAnalyze); without it the query runs uninstrumented.
   static StatusOr<std::unique_ptr<CompiledQuery>> Compile(
       std::string_view xpath, const storage::NodeStore* store,
@@ -37,123 +35,120 @@ class CompiledQuery {
           translate::TranslatorOptions::Improved(),
       bool collect_stats = false);
 
+  /// Wraps an already-prepared plan (the Database::Compile plan-cache
+  /// path) in a fresh execution.
+  static StatusOr<std::unique_ptr<CompiledQuery>> FromPrepared(
+      std::shared_ptr<const PreparedQuery> prepared,
+      bool collect_stats = false);
+
   CompiledQuery(const CompiledQuery&) = delete;
   CompiledQuery& operator=(const CompiledQuery&) = delete;
 
   /// Binds an XPath $variable (atomic values only).
-  void SetVariable(const std::string& name, runtime::Value value);
+  void SetVariable(const std::string& name, runtime::Value value) {
+    exec_->SetVariable(name, std::move(value));
+  }
 
   /// The query's static result type.
-  xpath::ExprType result_type() const { return plan_->result_type(); }
+  xpath::ExprType result_type() const { return prepared_->result_type(); }
 
   /// Evaluates a node-set query from `context`. Results carry set
   /// semantics; with `document_order` they are sorted, otherwise they
   /// arrive in plan order.
   StatusOr<std::vector<storage::StoredNode>> EvaluateNodes(
-      storage::NodeId context, bool document_order = true);
+      storage::NodeId context, bool document_order = true) {
+    return exec_->EvaluateNodes(context, document_order);
+  }
 
   /// Evaluates a scalar (boolean/number/string) query from `context`.
-  StatusOr<runtime::Value> EvaluateValue(storage::NodeId context);
+  StatusOr<runtime::Value> EvaluateValue(storage::NodeId context) {
+    return exec_->EvaluateValue(context);
+  }
 
-  /// Evaluates any query and converts the result to a string: scalar
-  /// results via string(), node-set results via the string-value of the
-  /// node first in document order ("" for an empty result).
-  StatusOr<std::string> EvaluateString(storage::NodeId context);
+  /// Evaluates any query and converts the result to a string.
+  StatusOr<std::string> EvaluateString(storage::NodeId context) {
+    return exec_->EvaluateString(context);
+  }
 
-  /// Evaluates any query and converts the result with number() / the
-  /// node-set conversion rules.
-  StatusOr<double> EvaluateNumber(storage::NodeId context);
+  /// Evaluates any query and converts the result with number().
+  StatusOr<double> EvaluateNumber(storage::NodeId context) {
+    return exec_->EvaluateNumber(context);
+  }
 
-  /// Evaluates any query and converts with boolean() (node sets:
-  /// non-emptiness — evaluated without sorting, and scalar plans convert
-  /// their single value).
-  StatusOr<bool> EvaluateBoolean(storage::NodeId context);
+  /// Evaluates any query and converts with boolean().
+  StatusOr<bool> EvaluateBoolean(storage::NodeId context) {
+    return exec_->EvaluateBoolean(context);
+  }
 
   /// Multi-line rendering of the translated logical plan.
   const std::string& ExplainLogical() const {
-    return plan_->logical_plan();
+    return prepared_->ExplainLogical();
   }
 
   /// The physical execution plan: the iterator tree with the attribute
   /// manager's register assignments (aliases marked).
   const std::string& ExplainPhysical() const {
-    return plan_->physical_plan();
+    return prepared_->ExplainPhysical();
   }
 
-  /// One-line verdict of the static plan verifier (Layers 1-3): "VERIFIED
-  /// (...)" when every check passed, or a note that verification was
-  /// skipped. Violations never produce a CompiledQuery — Compile fails.
+  /// One-line verdict of the static plan verifier (Layers 1-3).
   const std::string& VerificationReport() const {
-    return plan_->verification();
+    return prepared_->VerificationReport();
   }
 
   /// The logical plan annotated per operator with its inferred stream
   /// properties (cardinality, ordering, duplicate-freedom, node class).
   const std::string& ExplainProperties() const {
-    return plan_->properties_plan();
+    return prepared_->ExplainProperties();
   }
 
   /// JSON rendering of the annotated operator tree (natixq
   /// --explain-json).
-  const std::string& ExplainJson() const {
-    return plan_->properties_json();
-  }
+  const std::string& ExplainJson() const { return prepared_->ExplainJson(); }
 
-  /// The property-justified rewrites applied during translation, each
-  /// with the inferred property that proved it sound.
-  const algebra::RewriteLog& rewrites() const { return plan_->rewrites(); }
+  /// The property-justified rewrites applied during translation.
+  const algebra::RewriteLog& rewrites() const {
+    return prepared_->rewrites();
+  }
 
   /// Whether the plan's result stream is statically guaranteed to arrive
   /// in document order, letting Evaluate* skip the final sort.
   bool ResultDocumentOrdered() const {
-    return plan_->result_document_ordered();
+    return prepared_->ResultDocumentOrdered();
   }
 
   /// Ablation knob (benchmarks, differential tests): force the final
   /// result sort even when inference proved it redundant.
-  void SetForceResultSort(bool force) {
-    plan_->set_force_result_sort(force);
-  }
+  void SetForceResultSort(bool force) { exec_->SetForceResultSort(force); }
 
   /// The XPath text this query was compiled from (slow-query log tag).
-  const std::string& text() const { return text_; }
+  const std::string& text() const { return prepared_->text(); }
 
   /// Counters from the most recent Evaluate* call.
-  const ExecutionStats& last_stats() const { return last_stats_; }
+  const ExecutionStats& last_stats() const { return exec_->last_stats(); }
 
   /// The per-operator stats collector, or null when the query was
   /// compiled without `collect_stats`. Counters accumulate across
   /// Evaluate* calls until QueryStats::Reset().
-  const obs::QueryStats* Stats() const { return plan_->stats(); }
-  obs::QueryStats* MutableStats() { return plan_->stats(); }
+  const obs::QueryStats* Stats() const { return exec_->Stats(); }
+  obs::QueryStats* MutableStats() { return exec_->MutableStats(); }
 
   /// The EXPLAIN ANALYZE rendering of the accumulated per-operator
   /// counters ("" when compiled without stats collection).
-  std::string ExplainAnalyze() const {
-    return plan_->stats() == nullptr ? std::string()
-                                     : plan_->stats()->RenderAnalyze();
-  }
+  std::string ExplainAnalyze() const { return exec_->ExplainAnalyze(); }
 
-  qe::Plan* plan() { return plan_.get(); }
+  /// The shared immutable plan behind this query.
+  const PreparedQuery& prepared() const { return *prepared_; }
+  /// This query's private execution.
+  PreparedQuery::Execution* execution() { return exec_.get(); }
 
  private:
-  CompiledQuery(const storage::NodeStore* store,
-                std::unique_ptr<qe::Plan> plan)
-      : store_(store), plan_(std::move(plan)) {}
+  CompiledQuery(std::shared_ptr<const PreparedQuery> prepared,
+                std::unique_ptr<PreparedQuery::Execution> exec)
+      : prepared_(std::move(prepared)), exec_(std::move(exec)) {}
 
-  Status BindContext(storage::NodeId context);
-  void BeginStats();
-  void EndStats();
-  /// Bind + execute + stats/registry accounting for node-set plans.
-  StatusOr<std::vector<runtime::NodeRef>> RunNodes(storage::NodeId context);
-
-  const storage::NodeStore* store_;
-  std::unique_ptr<qe::Plan> plan_;
-  std::string text_;
-  ExecutionStats last_stats_;
-  uint64_t tuples_baseline_ = 0;
-  uint64_t exec_begin_ns_ = 0;
-  obs::BufferCounters buffer_baseline_;
+  std::shared_ptr<const PreparedQuery> prepared_;
+  std::unique_ptr<PreparedQuery::Execution> exec_;
 };
 
 }  // namespace natix

@@ -203,15 +203,18 @@ std::string MetricsRegistry::SnapshotJson() const {
   out += ",";
   AppendHistogramJson(&out, "tuples_per_query", tuples_per_query);
   out += "},\"counters\":{";
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "\"queries_compiled\":%" PRIu64
                 ",\"queries_executed\":%" PRIu64
                 ",\"compile_errors\":%" PRIu64 ",\"exec_errors\":%" PRIu64
-                ",\"slow_queries\":%" PRIu64 "}}",
+                ",\"slow_queries\":%" PRIu64
+                ",\"plan_cache_hits\":%" PRIu64
+                ",\"plan_cache_misses\":%" PRIu64 "}}",
                 queries_compiled.value(), queries_executed.value(),
                 compile_errors.value(), exec_errors.value(),
-                slow_queries.value());
+                slow_queries.value(), plan_cache_hits.value(),
+                plan_cache_misses.value());
   out += buf;
   return out;
 }
@@ -222,14 +225,17 @@ std::string MetricsRegistry::RenderText() const {
   AppendHistogramText(&out, "exec_ns", exec_ns);
   AppendHistogramText(&out, "pages_per_query", pages_per_query);
   AppendHistogramText(&out, "tuples_per_query", tuples_per_query);
-  char buf[192];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "  counters: queries_compiled=%" PRIu64
                 " queries_executed=%" PRIu64 " compile_errors=%" PRIu64
-                " exec_errors=%" PRIu64 " slow_queries=%" PRIu64 "\n",
+                " exec_errors=%" PRIu64 " slow_queries=%" PRIu64
+                " plan_cache_hits=%" PRIu64 " plan_cache_misses=%" PRIu64
+                "\n",
                 queries_compiled.value(), queries_executed.value(),
                 compile_errors.value(), exec_errors.value(),
-                slow_queries.value());
+                slow_queries.value(), plan_cache_hits.value(),
+                plan_cache_misses.value());
   out += buf;
   return out;
 }
@@ -244,6 +250,8 @@ void MetricsRegistry::Reset() {
   compile_errors.Reset();
   exec_errors.Reset();
   slow_queries.Reset();
+  plan_cache_hits.Reset();
+  plan_cache_misses.Reset();
   slow_log_.Clear();
 }
 

@@ -126,7 +126,8 @@ class SlowQueryLog {
 /// The process-wide registry. Instrument names are a stable contract
 /// (tests and dashboards read them): histograms compile_ns, exec_ns,
 /// pages_per_query, tuples_per_query; counters queries_compiled,
-/// queries_executed, compile_errors, exec_errors, slow_queries.
+/// queries_executed, compile_errors, exec_errors, slow_queries,
+/// plan_cache_hits, plan_cache_misses.
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
@@ -141,6 +142,9 @@ class MetricsRegistry {
   CounterCell compile_errors;
   CounterCell exec_errors;
   CounterCell slow_queries;
+  /// Prepared-plan cache (api::PlanCache): compilations avoided / paid.
+  CounterCell plan_cache_hits;
+  CounterCell plan_cache_misses;
 
   SlowQueryLog& slow_log() { return slow_log_; }
   const SlowQueryLog& slow_log() const { return slow_log_; }
@@ -225,6 +229,8 @@ class MetricsRegistry {
   CounterCell compile_errors;
   CounterCell exec_errors;
   CounterCell slow_queries;
+  CounterCell plan_cache_hits;
+  CounterCell plan_cache_misses;
 
   SlowQueryLog& slow_log() { return slow_log_; }
   const SlowQueryLog& slow_log() const { return slow_log_; }

@@ -63,6 +63,20 @@ BufferCounters CaptureBufferCounters(const storage::BufferManager* buffer) {
   return out;
 }
 
+BufferCounters SnapshotBufferCounters(const storage::BufferManager* buffer) {
+  BufferCounters out;
+  if (buffer == nullptr) return out;
+  // One coherent snapshot (all shard locks held) instead of four
+  // independent relaxed reads: per-query deltas computed from two
+  // captures can't tear across pool stripes while other queries run.
+  storage::BufferManager::CounterSnapshot snap = buffer->Snapshot();
+  out.page_reads = snap.faults;
+  out.page_hits = snap.hits;
+  out.page_writes = snap.writes;
+  out.evictions = snap.evictions;
+  return out;
+}
+
 uint64_t OpStats::exclusive_ns() const {
   uint64_t child_ns = 0;
   for (const OpStats* c : children) child_ns += c->inclusive_ns;

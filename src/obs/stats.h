@@ -39,8 +39,16 @@ struct BufferCounters {
   }
 };
 
-/// Reads the current counters of `buffer` (all zero for null).
+/// Reads the current counters of `buffer` (all zero for null) with four
+/// independent relaxed loads: cheap enough for the per-operator timer's
+/// hot path, but the four values can tear across pool stripes while
+/// other queries run. Use SnapshotBufferCounters for per-query deltas.
 BufferCounters CaptureBufferCounters(const storage::BufferManager* buffer);
+
+/// Reads the counters as one coherent snapshot (every pool-stripe lock
+/// held across the four reads — BufferManager::Snapshot), so deltas of
+/// two snapshots never tear across shards.
+BufferCounters SnapshotBufferCounters(const storage::BufferManager* buffer);
 
 /// Per-operator counters of one compiled plan, arranged as a tree
 /// mirroring the physical iterator tree (nested subscript plans hang off

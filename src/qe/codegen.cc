@@ -8,6 +8,7 @@
 #include "analysis/property_inference.h"
 #include "nvm/assembler.h"
 #include "obs/trace.h"
+#include "qe/exec_context.h"
 #include "qe/operators.h"
 #include "qe/property_oracle.h"
 
@@ -27,7 +28,7 @@ using analysis::PhysNodePtr;
 /// Iterator plus the registers its subtree writes (needed by
 /// materializing parents for row snapshots), the node of the Layer-2
 /// dataflow model mirroring the iterator, and the per-operator stats
-/// node (null unless the query is compiled with stats collection).
+/// node (null unless the context is instantiated with stats collection).
 struct BuildResult {
   IteratorPtr iter;
   std::set<RegisterId> written;
@@ -139,94 +140,94 @@ class PhysicalPrinter {
   std::string out_;
 };
 
-/// Declared in plan.h as Plan's friend; lives in the internal namespace
-/// so the friendship can be expressed across translation units.
+/// Declared a friend of PlanTemplate and ExecutionContext; lives in the
+/// internal namespace so the friendship can be expressed across
+/// translation units. One CodegenImpl lowers one template into one
+/// context: Prepare runs it once against a scratch context (fixing the
+/// register assignment, rendering the physical plan and verifying);
+/// NewContext runs it once per instantiation.
 class CodegenImpl {
  public:
-  CodegenImpl(Plan* plan, const storage::NodeStore* store)
-      : plan_(plan), store_(store) {}
+  /// `prepare` additionally collects the compiled NVM programs for the
+  /// Layer-3 verification sweep (instantiation skips the copies).
+  CodegenImpl(const PlanTemplate& tmpl, ExecutionContext* ctx, bool prepare)
+      : tmpl_(tmpl),
+        ctx_(ctx),
+        store_(tmpl.store_),
+        props_(tmpl.props_),
+        prepare_(prepare) {}
 
-  Status Run(const translate::TranslationResult& translation,
-             bool collect_stats) {
-    plan_->state_ = std::make_unique<ExecState>();
-    plan_->state_->eval_ctx.store = store_;
-    state_ = plan_->state_.get();
+  Status Instantiate(bool collect_stats) {
+    const translate::TranslationResult& translation = tmpl_.translation_;
+    ctx_->template_ = &tmpl_;
+    ctx_->eval_ctx.store = store_;
+    state_ = ctx_;
     if (collect_stats) {
-      plan_->stats_ = std::make_unique<obs::QueryStats>();
-      qstats_ = plan_->stats_.get();
+      ctx_->stats_ = std::make_unique<obs::QueryStats>();
+      qstats_ = ctx_->stats_.get();
     }
 
-    // Static property inference over the logical plan (ordering,
-    // duplicate-freedom, cardinality, node classes). Runs on every
-    // compiled plan: the annotations drive the EXPLAIN property tags,
-    // the result-order guarantee, and — under verification — the
-    // runtime property oracle wrappers.
-    props_ = analysis::AnnotatePlan(*translation.plan);
-
     // Reserved execution-context attributes (the paper's top-level map).
-    plan_->cn_reg_ = Bind(translate::kContextNodeAttr);
-    plan_->cp0_reg_ = Bind(translate::kContextPositionAttr);
-    plan_->cs0_reg_ = Bind(translate::kContextSizeAttr);
+    ctx_->cn_reg_ = Bind(translate::kContextNodeAttr);
+    ctx_->cp0_reg_ = Bind(translate::kContextPositionAttr);
+    ctx_->cs0_reg_ = Bind(translate::kContextSizeAttr);
 
     NATIX_ASSIGN_OR_RETURN(BuildResult root, Build(*translation.plan));
-    NATIX_ASSIGN_OR_RETURN(plan_->result_reg_,
+    NATIX_ASSIGN_OR_RETURN(ctx_->result_reg_,
                            Resolve(translation.result_attr));
     if (qstats_ != nullptr) qstats_->set_root(root.stats);
 
-    // Result-order guarantee: when the root stream is provably in
-    // (non-strict) document order on the result attribute, the API skips
-    // its final result sort.
+    // Under verification, the oracle also guards the root stream's
+    // statically inferred claims across the whole execution (operators
+    // inside dependent branches only assert per re-evaluation).
     analysis::AttrProperties result_props;
     if (auto it = props_.find(translation.plan.get()); it != props_.end()) {
       result_props = it->second.Lookup(translation.result_attr);
     }
-    plan_->result_document_ordered_ =
-        translation.type == xpath::ExprType::kNodeSet &&
-        result_props.order == analysis::OrderState::kDocOrdered;
-    // Under verification, the oracle also guards the root stream's
-    // claims across the whole execution (operators inside dependent
-    // branches only assert per re-evaluation).
     if (analysis::VerificationEnabled() &&
         translation.type == xpath::ExprType::kNodeSet &&
         (result_props.order == analysis::OrderState::kDocOrdered ||
          result_props.duplicate_free)) {
       root.iter = std::make_unique<PropertyOracleIterator>(
-          state_, std::move(root.iter), plan_->result_reg_,
+          state_, std::move(root.iter), ctx_->result_reg_,
           result_props.order == analysis::OrderState::kDocOrdered,
           result_props.duplicate_free,
           "result " + translation.result_attr);
     }
 
-    plan_->root_ = std::move(root.iter);
-    plan_->result_type_ = translation.type;
-    plan_->logical_plan_ = translation.plan->ToString();
-    plan_->properties_plan_ =
-        analysis::RenderAnnotatedPlan(*translation.plan);
-    plan_->properties_json_ = analysis::PlanToJson(*translation.plan);
-    plan_->rewrites_ = translation.rewrites;
-    plan_->physical_plan_ =
-        "registers: " + std::to_string(next_register_) + ", nested plans: " +
-        std::to_string(plan_->nested_.size()) + "\n" +
-        PhysicalPrinter(attribute_map_).Render(*translation.plan);
-    state_->registers.Resize(next_register_);
+    ctx_->root_ = std::move(root.iter);
+    ctx_->result_type_ = translation.type;
+    ctx_->registers.Resize(next_register_);
+    root_node_ = std::move(root.node);
+    return Status::OK();
+  }
 
-    // Static verification of the compiled plan (Layers 1-3). Violations
-    // fail compilation: a malformed plan must never reach execution.
+  /// Prepare-time epilogue: fixes the template's register count, renders
+  /// the physical plan and runs the static verifier (Layers 1-3) over
+  /// the validation lowering. Violations fail compilation: a malformed
+  /// plan must never reach execution.
+  Status FinishPrepare(PlanTemplate* tmpl) {
+    const translate::TranslationResult& translation = tmpl->translation_;
+    tmpl->register_count_ = next_register_;
+    tmpl->physical_plan_ =
+        "registers: " + std::to_string(next_register_) + ", nested plans: " +
+        std::to_string(ctx_->nested_.size()) + "\n" +
+        PhysicalPrinter(attribute_map_).Render(*translation.plan);
+
     obs::ScopedSpan verify_span(
         "compile/verify",
         analysis::VerificationEnabled() ? "layers 1-3" : "skipped");
     if (analysis::VerificationEnabled()) {
       analysis::PhysicalModel model;
-      model.root = std::move(root.node);
+      model.root = std::move(root_node_);
       model.register_count = next_register_;
-      model.context_regs = {plan_->cn_reg_, plan_->cp0_reg_,
-                            plan_->cs0_reg_};
-      model.result_reg = plan_->result_reg_;
-      model.nested_count = plan_->nested_.size();
+      model.context_regs = {ctx_->cn_reg_, ctx_->cp0_reg_, ctx_->cs0_reg_};
+      model.result_reg = ctx_->result_reg_;
+      model.nested_count = ctx_->nested_.size();
       model.programs = std::move(programs_);
       NATIX_RETURN_IF_ERROR(analysis::VerifyTranslation(translation));
       NATIX_RETURN_IF_ERROR(analysis::VerifyPhysical(model));
-      plan_->verification_ =
+      tmpl->verification_ =
           "VERIFIED (logical: " +
           std::to_string(algebra::PlanSize(*translation.plan)) +
           " operators; physical: " + std::to_string(next_register_) +
@@ -236,14 +237,16 @@ class CodegenImpl {
           std::to_string(translation.rewrites.size()) +
           " property-justified rewrites)";
     } else {
-      plan_->verification_ =
+      tmpl->verification_ =
           "not verified (release build; enable with --verify-plans)";
     }
     return Status::OK();
   }
 
+  size_t register_count() const { return next_register_; }
+
  private:
-  /// Allocates a stats node in the plan's collector; null when stats
+  /// Allocates a stats node in the context's collector; null when stats
   /// collection is off, so every call site stays branch-free.
   obs::OpStats* NewStats(std::string label) {
     if (qstats_ == nullptr) return nullptr;
@@ -342,9 +345,9 @@ class CodegenImpl {
         entry->stats = agg;
         host_stats->children.push_back(agg);
       }
-      plan_->nested_.push_back(std::move(entry));
+      ctx_->nested_.push_back(std::move(entry));
       host->nested.emplace_back(std::move(sub.node), input);
-      return plan_->nested_.size() - 1;
+      return ctx_->nested_.size() - 1;
     };
     NATIX_ASSIGN_OR_RETURN(nvm::Program program,
                            nvm::CompileScalar(scalar, resolver, registrar));
@@ -353,9 +356,9 @@ class CodegenImpl {
     for (const nvm::Instruction& ins : program.code) {
       if (ins.op == nvm::OpCode::kLoadAttr) host->reads.push_back(ins.b);
     }
-    programs_.emplace_back(host->label, program);
+    if (prepare_) programs_.emplace_back(host->label, program);
     return std::make_unique<Subscript>(std::move(program), state_,
-                                       &plan_->nested_);
+                                       &ctx_->nested_);
   }
 
   StatusOr<runtime::NodeTest> ResolveNodeTest(const xpath::AstNodeTest& t) {
@@ -786,31 +789,84 @@ class CodegenImpl {
     return Status::Internal("unknown operator kind");
   }
 
-  Plan* plan_;
+  const PlanTemplate& tmpl_;
+  ExecutionContext* ctx_;
   const storage::NodeStore* store_;
-  ExecState* state_ = nullptr;
-  /// The plan's stats collector; null unless compiled with stats.
+  /// The template's property map (computed once at prepare time); the
+  /// lowering only reads it.
+  const analysis::PropertyMap& props_;
+  const bool prepare_;
+  ExecutionContext* state_ = nullptr;
+  /// The context's stats collector; null unless instantiated with stats.
   obs::QueryStats* qstats_ = nullptr;
   std::unordered_map<std::string, RegisterId> attribute_map_;
-  /// Inferred static stream properties per logical operator; annotated
-  /// once per compilation and consulted for stats labels, the final-sort
-  /// skip, and the runtime property oracle.
-  analysis::PropertyMap props_;
   RegisterId next_register_ = 0;
-  /// Every compiled NVM subscript with its site label (Layer-3 sweep).
+  /// Root of the Layer-2 dataflow model (consumed by FinishPrepare).
+  PhysNodePtr root_node_;
+  /// Every compiled NVM subscript with its site label (Layer-3 sweep;
+  /// collected at prepare time only).
   std::vector<std::pair<std::string, nvm::Program>> programs_;
 };
 
 }  // namespace internal
 
-StatusOr<std::unique_ptr<Plan>> Codegen::Compile(
-    const translate::TranslationResult& translation,
-    const storage::NodeStore* store, bool collect_stats) {
+StatusOr<std::unique_ptr<PlanTemplate>> Codegen::Prepare(
+    translate::TranslationResult translation,
+    const storage::NodeStore* store) {
   obs::ScopedSpan span("compile/codegen");
-  auto plan = std::make_unique<Plan>();
-  internal::CodegenImpl impl(plan.get(), store);
-  NATIX_RETURN_IF_ERROR(impl.Run(translation, collect_stats));
-  return plan;
+  std::unique_ptr<PlanTemplate> tmpl(new PlanTemplate());
+  tmpl->store_ = store;
+
+  // Static property inference over the logical plan (ordering,
+  // duplicate-freedom, cardinality, node classes). Runs once per
+  // template: the annotations drive the EXPLAIN property tags, the
+  // result-order guarantee, and — under verification — the runtime
+  // property oracle wrappers of every instantiation.
+  tmpl->props_ = analysis::AnnotatePlan(*translation.plan);
+  tmpl->logical_plan_ = translation.plan->ToString();
+  tmpl->properties_plan_ = analysis::RenderAnnotatedPlan(*translation.plan);
+  tmpl->properties_json_ = analysis::PlanToJson(*translation.plan);
+  tmpl->rewrites_ = translation.rewrites;
+
+  // Result-order guarantee: when the root stream is provably in
+  // (non-strict) document order on the result attribute, the API skips
+  // its final result sort.
+  analysis::AttrProperties result_props;
+  if (auto it = tmpl->props_.find(translation.plan.get());
+      it != tmpl->props_.end()) {
+    result_props = it->second.Lookup(translation.result_attr);
+  }
+  tmpl->result_document_ordered_ =
+      translation.type == xpath::ExprType::kNodeSet &&
+      result_props.order == analysis::OrderState::kDocOrdered;
+
+  // The template takes ownership of the operator tree; the property map
+  // keys stay valid (moving the TranslationResult moves the root
+  // pointer, not the operators).
+  tmpl->translation_ = std::move(translation);
+
+  // Validation lowering: one throwaway context fixes the (deterministic)
+  // register assignment, renders the physical plan, and feeds the static
+  // verifier. Real executions instantiate their own contexts later.
+  ExecutionContext scratch;
+  internal::CodegenImpl impl(*tmpl, &scratch, /*prepare=*/true);
+  NATIX_RETURN_IF_ERROR(impl.Instantiate(/*collect_stats=*/false));
+  NATIX_RETURN_IF_ERROR(impl.FinishPrepare(tmpl.get()));
+  return tmpl;
+}
+
+StatusOr<std::unique_ptr<ExecutionContext>> PlanTemplate::NewContext(
+    bool collect_stats) const {
+  obs::ScopedSpan span("exec/instantiate");
+  auto ctx = std::make_unique<ExecutionContext>();
+  internal::CodegenImpl impl(*this, ctx.get(), /*prepare=*/false);
+  NATIX_RETURN_IF_ERROR(impl.Instantiate(collect_stats));
+  if (impl.register_count() != register_count_) {
+    return Status::Internal(
+        "plan instantiation diverged from the prepared template (register "
+        "assignment is expected to be deterministic)");
+  }
+  return ctx;
 }
 
 }  // namespace natix::qe

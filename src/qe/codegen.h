@@ -15,15 +15,22 @@ namespace natix::qe {
 /// register file. The attribute manager maps attribute names onto
 /// registers; renaming maps (chi_{a := b}) emit no copies — both names
 /// alias one register — exactly as the paper describes.
+///
+/// Codegen is split along the compile-once / execute-many axis:
+/// Prepare() runs the expensive, deterministic-per-query work exactly
+/// once (property inference, a validation lowering that fixes the
+/// register assignment, static verification, explain rendering) and
+/// returns an immutable PlanTemplate; PlanTemplate::NewContext() then
+/// re-runs only the lowering pass to instantiate a private iterator
+/// tree per execution context.
 class Codegen {
  public:
-  /// Compiles `translation` into an executable plan bound to `store`.
-  /// With `collect_stats` the plan carries a per-operator stats tree
-  /// (src/obs) and every iterator is instrumented; without it the plan
-  /// runs uninstrumented (one dormant branch per iterator call).
-  static StatusOr<std::unique_ptr<Plan>> Compile(
-      const translate::TranslationResult& translation,
-      const storage::NodeStore* store, bool collect_stats = false);
+  /// Prepares `translation` into an immutable plan template bound to
+  /// `store`. The template takes ownership of the translation (the
+  /// inferred property map points into its operator tree).
+  static StatusOr<std::unique_ptr<PlanTemplate>> Prepare(
+      translate::TranslationResult translation,
+      const storage::NodeStore* store);
 };
 
 }  // namespace natix::qe

@@ -1,0 +1,96 @@
+#include "qe/exec_context.h"
+
+#include "obs/trace.h"
+
+namespace natix::qe {
+
+void ExecutionContext::SetContextNode(runtime::NodeRef node) {
+  registers[cn_reg_] = runtime::Value::Node(node);
+  // Default context position/size: a singleton context.
+  registers[cp0_reg_] = runtime::Value::Number(1);
+  registers[cs0_reg_] = runtime::Value::Number(1);
+}
+
+void ExecutionContext::SetVariable(const std::string& name,
+                                   runtime::Value value) {
+  variables[name] = std::move(value);
+}
+
+StatusOr<std::vector<runtime::NodeRef>> ExecutionContext::ExecuteNodes() {
+  if (result_type_ != xpath::ExprType::kNodeSet) {
+    return Status::InvalidArgument(
+        "ExecuteNodes called on a non-node-set query");
+  }
+  obs::ScopedSpan exec_span("exec/nodes");
+  std::vector<runtime::NodeRef> result;
+  {
+    obs::ScopedSpan span("exec/open");
+    NATIX_RETURN_IF_ERROR(root_->Open());
+  }
+  bool has = false;
+  {
+    // The first Next is where pipeline-breaking operators do their
+    // work (spooling, sorting); it gets its own span so startup cost
+    // separates from the per-tuple drain.
+    obs::ScopedSpan span("exec/first-next");
+    Status st = root_->Next(&has);
+    if (!st.ok()) {
+      (void)root_->Close();
+      return st;
+    }
+  }
+  {
+    obs::ScopedSpan span("exec/drain");
+    while (has) {
+      const runtime::Value& v = registers[result_reg_];
+      if (v.kind() != runtime::ValueKind::kNode) {
+        (void)root_->Close();
+        return Status::Internal("node-set plan produced a non-node value");
+      }
+      result.push_back(v.AsNode());
+      Status st = root_->Next(&has);
+      if (!st.ok()) {
+        (void)root_->Close();
+        return st;
+      }
+    }
+  }
+  {
+    obs::ScopedSpan span("exec/close");
+    NATIX_RETURN_IF_ERROR(root_->Close());
+  }
+  return result;
+}
+
+StatusOr<runtime::Value> ExecutionContext::ExecuteValue() {
+  if (result_type_ == xpath::ExprType::kNodeSet) {
+    return Status::InvalidArgument(
+        "ExecuteValue called on a node-set query");
+  }
+  obs::ScopedSpan exec_span("exec/value");
+  {
+    obs::ScopedSpan span("exec/open");
+    NATIX_RETURN_IF_ERROR(root_->Open());
+  }
+  bool has = false;
+  {
+    obs::ScopedSpan span("exec/first-next");
+    Status st = root_->Next(&has);
+    if (!st.ok()) {
+      (void)root_->Close();
+      return st;
+    }
+  }
+  if (!has) {
+    (void)root_->Close();
+    return Status::Internal("scalar plan produced no tuple");
+  }
+  runtime::Value result = registers[result_reg_];
+  {
+    obs::ScopedSpan span("exec/close");
+    NATIX_RETURN_IF_ERROR(root_->Close());
+  }
+  return result;
+}
+
+}  // namespace natix::qe

@@ -1,0 +1,112 @@
+#ifndef NATIX_QE_EXEC_CONTEXT_H_
+#define NATIX_QE_EXEC_CONTEXT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/statusor.h"
+#include "obs/stats.h"
+#include "qe/iterator.h"
+#include "qe/subscripts.h"
+#include "runtime/conversions.h"
+#include "runtime/register_file.h"
+#include "runtime/value.h"
+#include "xpath/ast.h"
+
+namespace natix::qe {
+
+namespace internal {
+class CodegenImpl;
+}  // namespace internal
+
+class PlanTemplate;
+
+/// The per-execution half of a compiled query: one iterator tree
+/// instantiated from a PlanTemplate together with everything the tree
+/// mutates while running — the plan-wide register file (the attribute
+/// manager's memory, Sec. 5.1), the execution-context bindings (context
+/// node, $variables), per-context caches, and the optional per-operator
+/// stats collector.
+///
+/// Contexts are cheap relative to compilation (no parse / rewrite /
+/// inference / verification — only the deterministic lowering pass) and
+/// reusable: Execute* may be called any number of times, rebinding the
+/// context node between calls. A context is single-threaded; concurrency
+/// comes from instantiating one context per thread off a shared
+/// template. Non-movable: iterators and NVM subscripts hold stable
+/// pointers into it.
+class ExecutionContext {
+ public:
+  ExecutionContext() = default;
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// Binds the execution context's context node (the free cn of the
+  /// paper's top-level map). Must be called before Execute for queries
+  /// that reference the context.
+  void SetContextNode(runtime::NodeRef node);
+
+  /// Binds an XPath $variable.
+  void SetVariable(const std::string& name, runtime::Value value);
+
+  /// Runs a node-set query, returning the result nodes in plan order
+  /// (set semantics: no duplicates). Call SortResultNodes for document
+  /// order.
+  StatusOr<std::vector<runtime::NodeRef>> ExecuteNodes();
+
+  /// Runs a scalar query (boolean/number/string), returning the value of
+  /// its single result tuple.
+  StatusOr<runtime::Value> ExecuteValue();
+
+  xpath::ExprType result_type() const { return result_type_; }
+
+  /// The template this context was instantiated from (null for bare
+  /// contexts built directly in operator unit tests).
+  const PlanTemplate* plan() const { return template_; }
+
+  /// Ablation knob (benchmarks, differential tests): when set, ordered
+  /// evaluations sort the result even if inference proved the stream
+  /// document-ordered — the pre-inference behavior.
+  void set_force_result_sort(bool force) { force_result_sort_ = force; }
+  bool force_result_sort() const { return force_result_sort_; }
+
+  /// The per-operator stats collector (EXPLAIN ANALYZE), or null when
+  /// the context was instantiated without stats collection. Counters
+  /// accumulate across executions until QueryStats::Reset().
+  obs::QueryStats* stats() { return stats_.get(); }
+  const obs::QueryStats* stats() const { return stats_.get(); }
+
+  // -- Mutable execution state, written by the iterators ------------------
+
+  runtime::RegisterFile registers{0};
+  runtime::EvalContext eval_ctx;
+  std::unordered_map<std::string, runtime::Value> variables;
+  /// Lazily built id() indexes: document root (packed) -> id token ->
+  /// element node.
+  std::unordered_map<uint64_t,
+                     std::unordered_map<std::string, runtime::NodeRef>>
+      id_indexes;
+  /// Statistics for tests/benchmarks.
+  uint64_t tuples_produced = 0;
+
+ private:
+  friend class internal::CodegenImpl;
+
+  const PlanTemplate* template_ = nullptr;
+  IteratorPtr root_;
+  NestedTable nested_;
+  std::unique_ptr<obs::QueryStats> stats_;
+  runtime::RegisterId result_reg_ = 0;
+  runtime::RegisterId cn_reg_ = 0;
+  runtime::RegisterId cp0_reg_ = 0;
+  runtime::RegisterId cs0_reg_ = 0;
+  xpath::ExprType result_type_ = xpath::ExprType::kUnknown;
+  bool force_result_sort_ = false;
+};
+
+}  // namespace natix::qe
+
+#endif  // NATIX_QE_EXEC_CONTEXT_H_

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "qe/exec_context.h"
+
 namespace natix::qe {
 
 std::string EncodeValueKey(const runtime::Value& value) {
@@ -41,7 +43,7 @@ std::string EncodeValueKey(const runtime::Value& value) {
   return "?";
 }
 
-std::string EncodeRowKey(const ExecState& state,
+std::string EncodeRowKey(const ExecutionContext& state,
                          const std::vector<runtime::RegisterId>& regs) {
   std::string out;
   for (runtime::RegisterId reg : regs) {

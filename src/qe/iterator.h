@@ -15,21 +15,11 @@
 
 namespace natix::qe {
 
-/// Shared execution state of one physical plan: the plan-wide register
-/// file (the attribute manager's memory, Sec. 5.1), the store handle, the
-/// execution-context variables, and caches.
-struct ExecState {
-  runtime::RegisterFile registers{0};
-  runtime::EvalContext eval_ctx;
-  std::unordered_map<std::string, runtime::Value> variables;
-  /// Lazily built id() indexes: document root (packed) -> id token ->
-  /// element node.
-  std::unordered_map<uint64_t,
-                     std::unordered_map<std::string, runtime::NodeRef>>
-      id_indexes;
-  /// Statistics for tests/benchmarks.
-  uint64_t tuples_produced = 0;
-};
+/// The per-execution state one iterator tree runs against: the plan-wide
+/// register file (the attribute manager's memory, Sec. 5.1), the store
+/// handle, the execution-context variables, and caches. Defined in
+/// qe/exec_context.h; iterators only hold a pointer.
+class ExecutionContext;
 
 /// The iterator interface of the Natix Query Execution Engine
 /// (Sec. 5.2.1, after Graefe): Open / Next / Close. Iterators communicate
@@ -100,7 +90,7 @@ using IteratorPtr = std::unique_ptr<Iterator>;
 /// MemoX and chi^mat cache keys). Nodes key by identity, atomic values by
 /// tagged content.
 std::string EncodeValueKey(const runtime::Value& value);
-std::string EncodeRowKey(const ExecState& state,
+std::string EncodeRowKey(const ExecutionContext& state,
                          const std::vector<runtime::RegisterId>& regs);
 
 }  // namespace natix::qe

@@ -1,3 +1,4 @@
+#include "qe/exec_context.h"
 #include "qe/operators.h"
 
 #include <algorithm>

@@ -56,7 +56,7 @@ class SelectIterator : public Iterator {
 /// expensive predicates).
 class MapIterator : public Iterator {
  public:
-  MapIterator(ExecState* state, IteratorPtr child, SubscriptPtr subscript,
+  MapIterator(ExecutionContext* state, IteratorPtr child, SubscriptPtr subscript,
               runtime::RegisterId out, bool materialize,
               std::vector<runtime::RegisterId> key_regs)
       : state_(state),
@@ -70,7 +70,7 @@ class MapIterator : public Iterator {
   Status CloseImpl() override { return child_->Close(); }
 
  private:
-  ExecState* state_;
+  ExecutionContext* state_;
   IteratorPtr child_;
   SubscriptPtr subscript_;
   runtime::RegisterId out_;
@@ -85,7 +85,7 @@ class MapIterator : public Iterator {
 /// expressions).
 class CounterIterator : public Iterator {
  public:
-  CounterIterator(ExecState* state, IteratorPtr child,
+  CounterIterator(ExecutionContext* state, IteratorPtr child,
                   runtime::RegisterId out,
                   std::optional<runtime::RegisterId> reset_reg)
       : state_(state),
@@ -97,7 +97,7 @@ class CounterIterator : public Iterator {
   Status CloseImpl() override { return child_->Close(); }
 
  private:
-  ExecState* state_;
+  ExecutionContext* state_;
   IteratorPtr child_;
   runtime::RegisterId out_;
   std::optional<runtime::RegisterId> reset_reg_;
@@ -111,7 +111,7 @@ class CounterIterator : public Iterator {
 /// navigating the page buffer directly.
 class UnnestMapIterator : public Iterator {
  public:
-  UnnestMapIterator(ExecState* state, IteratorPtr child,
+  UnnestMapIterator(ExecutionContext* state, IteratorPtr child,
                     runtime::RegisterId ctx, runtime::RegisterId out,
                     runtime::Axis axis, runtime::NodeTest test)
       : state_(state),
@@ -126,7 +126,7 @@ class UnnestMapIterator : public Iterator {
   Status CloseImpl() override { return child_->Close(); }
 
  private:
-  ExecState* state_;
+  ExecutionContext* state_;
   IteratorPtr child_;
   runtime::RegisterId ctx_;
   runtime::RegisterId out_;
@@ -204,7 +204,7 @@ class SemiJoinIterator : public Iterator {
 /// attributes and the input order of first occurrences.
 class DupElimIterator : public Iterator {
  public:
-  DupElimIterator(ExecState* state, IteratorPtr child,
+  DupElimIterator(ExecutionContext* state, IteratorPtr child,
                   runtime::RegisterId attr)
       : state_(state), child_(std::move(child)), attr_(attr) {}
   Status OpenImpl() override;
@@ -212,7 +212,7 @@ class DupElimIterator : public Iterator {
   Status CloseImpl() override { return child_->Close(); }
 
  private:
-  ExecState* state_;
+  ExecutionContext* state_;
   IteratorPtr child_;
   runtime::RegisterId attr_;
   /// Fast path: node attributes dedup on packed node ids.
@@ -224,7 +224,7 @@ class DupElimIterator : public Iterator {
 /// the child's written registers.
 class SortIterator : public Iterator {
  public:
-  SortIterator(ExecState* state, IteratorPtr child, runtime::RegisterId attr,
+  SortIterator(ExecutionContext* state, IteratorPtr child, runtime::RegisterId attr,
                std::vector<runtime::RegisterId> row_regs)
       : state_(state),
         child_(std::move(child)),
@@ -235,7 +235,7 @@ class SortIterator : public Iterator {
   Status CloseImpl() override { return child_->Close(); }
 
  private:
-  ExecState* state_;
+  ExecutionContext* state_;
   IteratorPtr child_;
   runtime::RegisterId attr_;
   std::vector<runtime::RegisterId> row_regs_;
@@ -251,7 +251,7 @@ class SortIterator : public Iterator {
 /// covers Tmp^cs as a special case").
 class TmpCsIterator : public Iterator {
  public:
-  TmpCsIterator(ExecState* state, IteratorPtr child, runtime::RegisterId out,
+  TmpCsIterator(ExecutionContext* state, IteratorPtr child, runtime::RegisterId out,
                 std::optional<runtime::RegisterId> ctx_reg,
                 std::vector<runtime::RegisterId> row_regs)
       : state_(state),
@@ -266,7 +266,7 @@ class TmpCsIterator : public Iterator {
  private:
   Status FillGroup();
 
-  ExecState* state_;
+  ExecutionContext* state_;
   IteratorPtr child_;
   runtime::RegisterId out_;
   std::optional<runtime::RegisterId> ctx_reg_;
@@ -287,7 +287,7 @@ class TmpCsIterator : public Iterator {
 /// completely.
 class MemoXIterator : public Iterator {
  public:
-  MemoXIterator(ExecState* state, IteratorPtr child,
+  MemoXIterator(ExecutionContext* state, IteratorPtr child,
                 std::vector<runtime::RegisterId> key_regs,
                 std::vector<runtime::RegisterId> row_regs)
       : state_(state),
@@ -302,7 +302,7 @@ class MemoXIterator : public Iterator {
   uint64_t miss_count() const { return misses_; }
 
  private:
-  ExecState* state_;
+  ExecutionContext* state_;
   IteratorPtr child_;
   std::vector<runtime::RegisterId> key_regs_;
   std::vector<runtime::RegisterId> row_regs_;
@@ -327,7 +327,7 @@ class MemoXIterator : public Iterator {
 /// tuple carrying the aggregate in `out`.
 class AggregateIterator : public Iterator {
  public:
-  AggregateIterator(ExecState* state, IteratorPtr child,
+  AggregateIterator(ExecutionContext* state, IteratorPtr child,
                     algebra::AggKind agg, runtime::RegisterId input,
                     runtime::RegisterId out)
       : state_(state), out_(out) {
@@ -346,7 +346,7 @@ class AggregateIterator : public Iterator {
   Status CloseImpl() override { return Status::OK(); }
 
  private:
-  ExecState* state_;
+  ExecutionContext* state_;
   NestedPlan nested_;
   runtime::RegisterId out_;
   bool done_ = false;
@@ -358,7 +358,7 @@ class AggregateIterator : public Iterator {
 /// nested-loop form).
 class BinaryGroupIterator : public Iterator {
  public:
-  BinaryGroupIterator(ExecState* state, IteratorPtr left, IteratorPtr right,
+  BinaryGroupIterator(ExecutionContext* state, IteratorPtr left, IteratorPtr right,
                       algebra::AggKind agg, runtime::RegisterId left_attr,
                       runtime::RegisterId right_attr,
                       runtime::RegisterId agg_input,
@@ -376,7 +376,7 @@ class BinaryGroupIterator : public Iterator {
   Status CloseImpl() override { return left_->Close(); }
 
  private:
-  ExecState* state_;
+  ExecutionContext* state_;
   IteratorPtr left_;
   IteratorPtr right_;
   algebra::AggKind agg_;
@@ -390,7 +390,7 @@ class BinaryGroupIterator : public Iterator {
 /// per element, the element placed in `out`.
 class UnnestIterator : public Iterator {
  public:
-  UnnestIterator(ExecState* state, IteratorPtr child,
+  UnnestIterator(ExecutionContext* state, IteratorPtr child,
                  runtime::RegisterId seq_attr, runtime::RegisterId out)
       : state_(state),
         child_(std::move(child)),
@@ -405,7 +405,7 @@ class UnnestIterator : public Iterator {
   Status CloseImpl() override { return child_->Close(); }
 
  private:
-  ExecState* state_;
+  ExecutionContext* state_;
   IteratorPtr child_;
   runtime::RegisterId seq_attr_;
   runtime::RegisterId out_;
@@ -420,7 +420,7 @@ class UnnestIterator : public Iterator {
 /// one evaluation of a scalar subscript.
 class IdDerefIterator : public Iterator {
  public:
-  IdDerefIterator(ExecState* state, IteratorPtr child,
+  IdDerefIterator(ExecutionContext* state, IteratorPtr child,
                   std::optional<runtime::RegisterId> ctx,
                   SubscriptPtr scalar, runtime::RegisterId out)
       : state_(state),
@@ -439,7 +439,7 @@ class IdDerefIterator : public Iterator {
   IndexFor(runtime::NodeRef node);
   Status LoadTokens();
 
-  ExecState* state_;
+  ExecutionContext* state_;
   IteratorPtr child_;
   std::optional<runtime::RegisterId> ctx_;
   SubscriptPtr scalar_;

@@ -2,97 +2,10 @@
 
 #include <algorithm>
 
-#include "obs/trace.h"
-
 namespace natix::qe {
 
-void Plan::SetContextNode(runtime::NodeRef node) {
-  state_->registers[cn_reg_] = runtime::Value::Node(node);
-  // Default context position/size: a singleton context.
-  state_->registers[cp0_reg_] = runtime::Value::Number(1);
-  state_->registers[cs0_reg_] = runtime::Value::Number(1);
-}
-
-void Plan::SetVariable(const std::string& name, runtime::Value value) {
-  state_->variables[name] = std::move(value);
-}
-
-StatusOr<std::vector<runtime::NodeRef>> Plan::ExecuteNodes() {
-  if (result_type_ != xpath::ExprType::kNodeSet) {
-    return Status::InvalidArgument(
-        "ExecuteNodes called on a non-node-set query");
-  }
-  obs::ScopedSpan exec_span("exec/nodes");
-  std::vector<runtime::NodeRef> result;
-  {
-    obs::ScopedSpan span("exec/open");
-    NATIX_RETURN_IF_ERROR(root_->Open());
-  }
-  bool has = false;
-  {
-    // The first Next is where pipeline-breaking operators do their
-    // work (spooling, sorting); it gets its own span so startup cost
-    // separates from the per-tuple drain.
-    obs::ScopedSpan span("exec/first-next");
-    Status st = root_->Next(&has);
-    if (!st.ok()) {
-      (void)root_->Close();
-      return st;
-    }
-  }
-  {
-    obs::ScopedSpan span("exec/drain");
-    while (has) {
-      const runtime::Value& v = state_->registers[result_reg_];
-      if (v.kind() != runtime::ValueKind::kNode) {
-        (void)root_->Close();
-        return Status::Internal("node-set plan produced a non-node value");
-      }
-      result.push_back(v.AsNode());
-      Status st = root_->Next(&has);
-      if (!st.ok()) {
-        (void)root_->Close();
-        return st;
-      }
-    }
-  }
-  {
-    obs::ScopedSpan span("exec/close");
-    NATIX_RETURN_IF_ERROR(root_->Close());
-  }
-  return result;
-}
-
-StatusOr<runtime::Value> Plan::ExecuteValue() {
-  if (result_type_ == xpath::ExprType::kNodeSet) {
-    return Status::InvalidArgument(
-        "ExecuteValue called on a node-set query");
-  }
-  obs::ScopedSpan exec_span("exec/value");
-  {
-    obs::ScopedSpan span("exec/open");
-    NATIX_RETURN_IF_ERROR(root_->Open());
-  }
-  bool has = false;
-  {
-    obs::ScopedSpan span("exec/first-next");
-    Status st = root_->Next(&has);
-    if (!st.ok()) {
-      (void)root_->Close();
-      return st;
-    }
-  }
-  if (!has) {
-    (void)root_->Close();
-    return Status::Internal("scalar plan produced no tuple");
-  }
-  runtime::Value result = state_->registers[result_reg_];
-  {
-    obs::ScopedSpan span("exec/close");
-    NATIX_RETURN_IF_ERROR(root_->Close());
-  }
-  return result;
-}
+// PlanTemplate::NewContext lives in codegen.cc: instantiation is the
+// code generator's Build pass re-run against a fresh context.
 
 void SortResultNodes(std::vector<runtime::NodeRef>* nodes) {
   std::sort(nodes->begin(), nodes->end(),

@@ -1,15 +1,21 @@
 #ifndef NATIX_QE_PLAN_H_
 #define NATIX_QE_PLAN_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "algebra/rewriter.h"
-#include "qe/iterator.h"
-#include "qe/subscripts.h"
+#include "analysis/property_inference.h"
+#include "base/statusor.h"
+#include "qe/exec_context.h"
+#include "translate/translator.h"
 #include "xpath/ast.h"
+
+namespace natix::storage {
+class NodeStore;
+}  // namespace natix::storage
 
 namespace natix::qe {
 
@@ -17,33 +23,35 @@ namespace internal {
 class CodegenImpl;
 }  // namespace internal
 
-/// A compiled, executable physical plan: the iterator tree, the nested
-/// iterator table, the plan-wide register file, and the binding of the
-/// execution context (context node, $variables).
-class Plan {
+class Codegen;
+
+/// The immutable, shareable half of a compiled query: the translated
+/// algebra plan, its inferred stream properties, the explain renderings
+/// and the verification verdict — everything that is a function of the
+/// XPath text and the store schema, nothing that execution mutates.
+///
+/// Compilation (parse, rewrite, translation, property inference, static
+/// verification, explain rendering) happens exactly once per template;
+/// each evaluation then instantiates a fresh ExecutionContext, which
+/// re-runs only the deterministic lowering of the operator tree into an
+/// iterator tree over a private register file.
+///
+/// Thread safety: a template is deeply const after Codegen::Prepare
+/// returns it. Any number of threads may call NewContext and the
+/// accessors concurrently; the contexts themselves are single-threaded.
+class PlanTemplate {
  public:
-  Plan() = default;
-  Plan(const Plan&) = delete;
-  Plan& operator=(const Plan&) = delete;
+  PlanTemplate(const PlanTemplate&) = delete;
+  PlanTemplate& operator=(const PlanTemplate&) = delete;
 
-  /// Binds the execution context's context node (the free cn of the
-  /// paper's top-level map). Must be called before Execute for queries
-  /// that reference the context.
-  void SetContextNode(runtime::NodeRef node);
+  /// Instantiates the plan into a fresh, independent execution context.
+  /// With `collect_stats` the context carries a per-operator stats tree
+  /// (src/obs) and every iterator is instrumented; without it the
+  /// context runs uninstrumented (one dormant branch per iterator call).
+  StatusOr<std::unique_ptr<ExecutionContext>> NewContext(
+      bool collect_stats = false) const;
 
-  /// Binds an XPath $variable.
-  void SetVariable(const std::string& name, runtime::Value value);
-
-  /// Runs a node-set query, returning the result nodes in plan order
-  /// (set semantics: no duplicates). Call SortResultNodes for document
-  /// order.
-  StatusOr<std::vector<runtime::NodeRef>> ExecuteNodes();
-
-  /// Runs a scalar query (boolean/number/string), returning the value of
-  /// its single result tuple.
-  StatusOr<runtime::Value> ExecuteValue();
-
-  xpath::ExprType result_type() const { return result_type_; }
+  xpath::ExprType result_type() const { return translation_.type; }
 
   /// The logical plan this was compiled from (explain output).
   const std::string& logical_plan() const { return logical_plan_; }
@@ -54,7 +62,7 @@ class Plan {
 
   /// One-line verdict of the static plan verifier: "VERIFIED (...)" when
   /// all three layers passed, or a note that verification was skipped
-  /// (violations never reach a Plan — compilation fails instead).
+  /// (violations never reach a PlanTemplate — compilation fails instead).
   const std::string& verification() const { return verification_; }
 
   /// The logical plan annotated with the inferred stream properties
@@ -74,32 +82,27 @@ class Plan {
   /// redundant.
   bool result_document_ordered() const { return result_document_ordered_; }
 
-  /// Ablation knob (benchmarks, differential tests): when set, ordered
-  /// evaluations sort the result even if inference proved the stream
-  /// document-ordered — the pre-inference behavior.
-  void set_force_result_sort(bool force) { force_result_sort_ = force; }
-  bool force_result_sort() const { return force_result_sort_; }
+  /// Registers each instantiated context allocates (fixed at prepare
+  /// time; lowering is deterministic).
+  size_t register_count() const { return register_count_; }
 
-  ExecState* state() { return state_.get(); }
-
-  /// The per-operator stats collector (EXPLAIN ANALYZE), or null when
-  /// the plan was compiled without stats collection. Counters accumulate
-  /// across executions until QueryStats::Reset().
-  obs::QueryStats* stats() { return stats_.get(); }
-  const obs::QueryStats* stats() const { return stats_.get(); }
+  const storage::NodeStore* store() const { return store_; }
 
  private:
   friend class internal::CodegenImpl;
+  friend class Codegen;
 
-  std::unique_ptr<ExecState> state_;
-  std::unique_ptr<obs::QueryStats> stats_;
-  IteratorPtr root_;
-  NestedTable nested_;
-  runtime::RegisterId result_reg_ = 0;
-  runtime::RegisterId cn_reg_ = 0;
-  runtime::RegisterId cp0_reg_ = 0;
-  runtime::RegisterId cs0_reg_ = 0;
-  xpath::ExprType result_type_ = xpath::ExprType::kUnknown;
+  PlanTemplate() = default;
+
+  /// Owns the operator tree; the property map below points into it, so
+  /// the template must own both with matching lifetime.
+  translate::TranslationResult translation_;
+  const storage::NodeStore* store_ = nullptr;
+  /// Inferred static stream properties per logical operator, computed
+  /// once and consulted by every instantiation (stats labels, oracle
+  /// wrappers, final-sort skip).
+  analysis::PropertyMap props_;
+  size_t register_count_ = 0;
   std::string logical_plan_;
   std::string physical_plan_;
   std::string verification_;
@@ -107,7 +110,6 @@ class Plan {
   std::string properties_json_;
   algebra::RewriteLog rewrites_;
   bool result_document_ordered_ = false;
-  bool force_result_sort_ = false;
 };
 
 /// Sorts node references into document order (ascending order keys).

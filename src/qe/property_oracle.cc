@@ -1,3 +1,4 @@
+#include "qe/exec_context.h"
 #include "qe/property_oracle.h"
 
 #include <utility>
@@ -5,7 +6,7 @@
 namespace natix::qe {
 
 PropertyOracleIterator::PropertyOracleIterator(
-    ExecState* state, IteratorPtr child, runtime::RegisterId reg,
+    ExecutionContext* state, IteratorPtr child, runtime::RegisterId reg,
     bool check_order, bool check_duplicate_free, std::string label)
     : state_(state),
       child_(std::move(child)),

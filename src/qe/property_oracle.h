@@ -26,7 +26,7 @@ namespace natix::qe {
 /// oracle resets its state on Open.
 class PropertyOracleIterator : public Iterator {
  public:
-  PropertyOracleIterator(ExecState* state, IteratorPtr child,
+  PropertyOracleIterator(ExecutionContext* state, IteratorPtr child,
                          runtime::RegisterId reg, bool check_order,
                          bool check_duplicate_free, std::string label);
 
@@ -36,7 +36,7 @@ class PropertyOracleIterator : public Iterator {
   Status CloseImpl() override;
 
  private:
-  ExecState* state_;
+  ExecutionContext* state_;
   IteratorPtr child_;
   runtime::RegisterId reg_;
   bool check_order_;

@@ -1,3 +1,4 @@
+#include "qe/exec_context.h"
 #include "qe/subscripts.h"
 
 #include <cmath>
@@ -15,7 +16,7 @@ using runtime::ValueKind;
 
 }  // namespace
 
-StatusOr<Value> RunNestedAggregate(NestedPlan* nested, ExecState* state) {
+StatusOr<Value> RunNestedAggregate(NestedPlan* nested, ExecutionContext* state) {
   // Time the whole evaluation onto the NestedAgg node so the host
   // operator's exclusive time excludes subscript-driven subplans. A
   // top-level Aggregate routes its embedded plan onto its own node,

@@ -29,14 +29,14 @@ using NestedTable = std::vector<std::unique_ptr<NestedPlan>>;
 /// Runs a nested plan to completion (with smart-aggregation early exit
 /// where the aggregate allows it) and returns the aggregated value.
 StatusOr<runtime::Value> RunNestedAggregate(NestedPlan* nested,
-                                            ExecState* state);
+                                            ExecutionContext* state);
 
 /// A compiled NVM subscript bound to its plan: evaluating it reads the
 /// current tuple from the plan registers. Non-movable (the Vm holds a
 /// pointer to the program).
 class Subscript {
  public:
-  Subscript(nvm::Program program, ExecState* state, NestedTable* nested)
+  Subscript(nvm::Program program, ExecutionContext* state, NestedTable* nested)
       : program_(std::move(program)),
         vm_(&program_),
         state_(state),
@@ -59,7 +59,7 @@ class Subscript {
  private:
   nvm::Program program_;
   nvm::Vm vm_;
-  ExecState* state_;
+  ExecutionContext* state_;
   NestedTable* nested_;
   nvm::NestedEvaluator nested_eval_;
 };

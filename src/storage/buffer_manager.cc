@@ -54,17 +54,28 @@ const uint8_t* PageHandle::data() const {
 
 uint8_t* PageHandle::mutable_data() {
   NATIX_DCHECK(valid());
-  manager_->frames_[frame_].dirty = true;
+  manager_->frames_[frame_].dirty.store(true, std::memory_order_relaxed);
   return manager_->frames_[frame_].data.get();
 }
 
-BufferManager::BufferManager(PagedFile* file, size_t capacity)
-    : file_(file), frames_(capacity) {
-  NATIX_CHECK(capacity > 0);
-  free_frames_.reserve(capacity);
-  for (size_t i = 0; i < capacity; ++i) {
-    frames_[i].data = std::make_unique<uint8_t[]>(kPageSize);
-    free_frames_.push_back(capacity - 1 - i);
+BufferManager::BufferManager(PagedFile* file, size_t capacity, size_t shards)
+    : file_(file), frames_(capacity), shards_(shards == 0 ? 1 : shards) {
+  NATIX_CHECK(capacity >= shards_.size());
+  // Distribute frames over shards as evenly as possible; shard s owns a
+  // contiguous run of global frame indices.
+  size_t next = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    size_t count = capacity / shards_.size() +
+                   (s < capacity % shards_.size() ? 1 : 0);
+    shards_[s].free_frames.reserve(count);
+    size_t begin = next;
+    for (size_t i = 0; i < count; ++i, ++next) {
+      frames_[next].shard = static_cast<uint32_t>(s);
+      frames_[next].data = std::make_unique<uint8_t[]>(kPageSize);
+      // Free frames are handed out lowest-index-first (back of the list),
+      // matching the classic single-shard pool's allocation order.
+      shards_[s].free_frames.push_back(begin + count - 1 - i);
+    }
   }
 }
 
@@ -75,110 +86,142 @@ BufferManager::~BufferManager() {
 }
 
 void BufferManager::Pin(size_t frame) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Frame& f = frames_[frame];
-  if (f.in_lru) {
-    lru_.erase(f.lru_pos);
-    f.in_lru = false;
-  }
-  ++f.pin_count;
+  // Only reachable by copying a valid handle: the frame is already
+  // pinned, hence not in any LRU list and not evictable — a plain
+  // increment suffices, no shard lock.
+  uint32_t prev =
+      frames_[frame].pin_count.fetch_add(1, std::memory_order_relaxed);
+  NATIX_DCHECK(prev > 0);
+  (void)prev;
 }
 
 void BufferManager::Unpin(size_t frame) {
-  std::lock_guard<std::mutex> lock(mutex_);
   Frame& f = frames_[frame];
-  NATIX_DCHECK(f.pin_count > 0);
-  if (--f.pin_count == 0) {
-    f.lru_pos = lru_.insert(lru_.end(), frame);
+  uint32_t prev = f.pin_count.fetch_sub(1, std::memory_order_acq_rel);
+  NATIX_DCHECK(prev > 0);
+  if (prev != 1) return;
+  // Possibly the last pin: move the frame to its shard's LRU list. The
+  // frame may have been re-pinned by a concurrent FixPage between the
+  // decrement and the lock, so every condition is re-checked under the
+  // shard mutex (FixPage holds it for the matching transitions).
+  Shard& shard = shards_[f.shard];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (f.pin_count.load(std::memory_order_relaxed) == 0 && !f.in_lru &&
+      f.page_id != kInvalidPage) {
+    f.lru_pos = shard.lru.insert(shard.lru.end(), frame);
     f.in_lru = true;
   }
 }
 
-Status BufferManager::EvictOne(size_t* frame_out) {
-  if (lru_.empty()) {
-    return Status::ResourceExhausted(
-        "buffer pool exhausted: all frames are pinned");
+StatusOr<size_t> BufferManager::ClaimFrame(Shard& shard) {
+  if (!shard.free_frames.empty()) {
+    size_t frame = shard.free_frames.back();
+    shard.free_frames.pop_back();
+    return frame;
   }
-  size_t frame = lru_.front();
-  lru_.pop_front();
+  if (shard.lru.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool exhausted: all frames of the page's shard are pinned");
+  }
+  size_t frame = shard.lru.front();
+  shard.lru.pop_front();
   Frame& f = frames_[frame];
   f.in_lru = false;
-  if (f.dirty) {
+  if (f.dirty.load(std::memory_order_relaxed)) {
     NATIX_RETURN_IF_ERROR(file_->WritePage(f.page_id, f.data.get()));
-    f.dirty = false;
-    write_count_.fetch_add(1, std::memory_order_relaxed);
+    f.dirty.store(false, std::memory_order_relaxed);
+    shard.writes.fetch_add(1, std::memory_order_relaxed);
   }
-  page_table_.erase(f.page_id);
+  shard.page_table.erase(f.page_id);
   f.page_id = kInvalidPage;
-  eviction_count_.fetch_add(1, std::memory_order_relaxed);
-  *frame_out = frame;
-  return Status::OK();
+  shard.evictions.fetch_add(1, std::memory_order_relaxed);
+  return frame;
 }
 
 StatusOr<PageHandle> BufferManager::FixPage(PageId id) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
+  Shard& shard = shards_[ShardOf(id)];
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  auto it = shard.page_table.find(id);
+  if (it != shard.page_table.end()) {
     size_t frame = it->second;
     Frame& f = frames_[frame];
     if (f.in_lru) {
-      lru_.erase(f.lru_pos);
+      shard.lru.erase(f.lru_pos);
       f.in_lru = false;
     }
-    ++f.pin_count;
-    hit_count_.fetch_add(1, std::memory_order_relaxed);
+    f.pin_count.fetch_add(1, std::memory_order_relaxed);
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
     return PageHandle(this, id, frame);
   }
-  fault_count_.fetch_add(1, std::memory_order_relaxed);
-  size_t frame;
-  if (!free_frames_.empty()) {
-    frame = free_frames_.back();
-    free_frames_.pop_back();
-  } else {
-    NATIX_RETURN_IF_ERROR(EvictOne(&frame));
-  }
+  shard.faults.fetch_add(1, std::memory_order_relaxed);
+  NATIX_ASSIGN_OR_RETURN(size_t frame, ClaimFrame(shard));
   Frame& f = frames_[frame];
+  // The read runs under the shard lock: faults on one stripe serialize,
+  // but hits and faults on other stripes proceed (PagedFile reads are
+  // positioned pread calls, safe concurrently).
   Status st = file_->ReadPage(id, f.data.get());
   if (!st.ok()) {
-    free_frames_.push_back(frame);
+    shard.free_frames.push_back(frame);
     return st;
   }
   f.page_id = id;
-  f.pin_count = 1;
-  f.dirty = false;
-  page_table_[id] = frame;
+  f.pin_count.store(1, std::memory_order_relaxed);
+  f.dirty.store(false, std::memory_order_relaxed);
+  shard.page_table[id] = frame;
   return PageHandle(this, id, frame);
 }
 
 StatusOr<PageHandle> BufferManager::NewPage() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  NATIX_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
-  size_t frame;
-  if (!free_frames_.empty()) {
-    frame = free_frames_.back();
-    free_frames_.pop_back();
-  } else {
-    NATIX_RETURN_IF_ERROR(EvictOne(&frame));
+  PageId id;
+  {
+    std::lock_guard<std::mutex> alloc_lock(alloc_mutex_);
+    NATIX_ASSIGN_OR_RETURN(id, file_->AllocatePage());
   }
+  Shard& shard = shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  NATIX_ASSIGN_OR_RETURN(size_t frame, ClaimFrame(shard));
   Frame& f = frames_[frame];
   std::memset(f.data.get(), 0, kPageSize);
   f.page_id = id;
-  f.pin_count = 1;
-  f.dirty = true;
-  page_table_[id] = frame;
+  f.pin_count.store(1, std::memory_order_relaxed);
+  f.dirty.store(true, std::memory_order_relaxed);
+  shard.page_table[id] = frame;
   return PageHandle(this, id, frame);
 }
 
 Status BufferManager::FlushAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (Frame& f : frames_) {
-    if (f.page_id != kInvalidPage && f.dirty) {
-      NATIX_RETURN_IF_ERROR(file_->WritePage(f.page_id, f.data.get()));
-      f.dirty = false;
-      write_count_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (Frame& f : frames_) {
+      if (f.shard != s) continue;
+      if (f.page_id != kInvalidPage &&
+          f.dirty.load(std::memory_order_relaxed)) {
+        NATIX_RETURN_IF_ERROR(file_->WritePage(f.page_id, f.data.get()));
+        f.dirty.store(false, std::memory_order_relaxed);
+        shard.writes.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
   return Status::OK();
+}
+
+BufferManager::CounterSnapshot BufferManager::Snapshot() const {
+  // Lock every shard (in index order — the only multi-shard acquisition,
+  // so no ordering conflicts), then read: no increment can interleave.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    locks.emplace_back(shard.mutex);
+  }
+  CounterSnapshot snap;
+  for (const Shard& shard : shards_) {
+    snap.faults += shard.faults.load(std::memory_order_relaxed);
+    snap.hits += shard.hits.load(std::memory_order_relaxed);
+    snap.writes += shard.writes.load(std::memory_order_relaxed);
+    snap.evictions += shard.evictions.load(std::memory_order_relaxed);
+  }
+  return snap;
 }
 
 }  // namespace natix::storage

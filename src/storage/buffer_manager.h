@@ -48,18 +48,28 @@ class PageHandle {
   size_t frame_ = 0;
 };
 
-/// A classic pin/unpin buffer manager with LRU replacement over a
-/// PagedFile — the "Natix page buffer" the paper's physical algebra
+/// A striped pin/unpin buffer manager with per-shard LRU replacement over
+/// a PagedFile — the "Natix page buffer" the paper's physical algebra
 /// navigates directly (Sec. 5.2.2).
 ///
-/// Thread safety: the pin/unpin/fault bookkeeping is serialized by an
-/// internal mutex, so concurrent read-only queries (each with its own
-/// Plan) can share one store. Writers (document loading) must not run
-/// concurrently with anything else.
+/// The pool is partitioned into `shards` independent stripes; a page
+/// belongs to the shard `page_id % shards`, and each shard serializes its
+/// own page table, free list and LRU behind its own mutex, so concurrent
+/// read-only executions contend per stripe instead of on one pool-wide
+/// lock. Pin counts are atomic per frame: copying an already-valid
+/// PageHandle (an extra pin on a pinned frame) never takes a lock.
+///
+/// Thread safety: FixPage/NewPage/FlushAll/Snapshot and handle
+/// copy/release may be called from any thread. Writers (document
+/// loading) must not run concurrently with readers — the caller
+/// serializes load vs. query, not the pool.
 class BufferManager {
  public:
-  /// `capacity` is the number of page frames held in memory.
-  BufferManager(PagedFile* file, size_t capacity);
+  /// `capacity` is the number of page frames held in memory, distributed
+  /// as evenly as possible over `shards` stripes (capacity must be >=
+  /// shards; shards >= 1). One shard reproduces the classic single-lock,
+  /// single-LRU pool exactly.
+  BufferManager(PagedFile* file, size_t capacity, size_t shards = 1);
   ~BufferManager();
 
   BufferManager(const BufferManager&) = delete;
@@ -74,54 +84,91 @@ class BufferManager {
   /// Writes back all dirty frames.
   Status FlushAll();
 
+  /// A coherent point-in-time snapshot of all four counters: every shard
+  /// mutex is held while reading, so no increment can land between the
+  /// four reads. Per-query deltas in src/obs subtract two snapshots and
+  /// therefore never tear across shards (a torn read could otherwise
+  /// show, e.g., a fault without its matching eviction).
+  struct CounterSnapshot {
+    uint64_t faults = 0;     ///< pages faulted in from the file
+    uint64_t hits = 0;       ///< fixes served from the pool
+    uint64_t writes = 0;     ///< dirty pages written back
+    uint64_t evictions = 0;  ///< frames reclaimed from an LRU list
+  };
+  CounterSnapshot Snapshot() const;
+
   /// Statistics for tests, benchmarks, and the observability layer
-  /// (src/obs). Counters are relaxed atomics: they are incremented under
-  /// the internal mutex but read lock-free by per-query stats capture
-  /// while other queries run.
-  uint64_t fault_count() const {
-    return fault_count_.load(std::memory_order_relaxed);
-  }
+  /// (src/obs). Counters are relaxed atomics summed over shards: cheap to
+  /// read while other queries run, but a multi-counter read can tear —
+  /// use Snapshot() for coherent deltas.
+  uint64_t fault_count() const { return SumCounter(&Shard::faults); }
   /// Fixes served from the pool without touching the file.
-  uint64_t hit_count() const {
-    return hit_count_.load(std::memory_order_relaxed);
-  }
+  uint64_t hit_count() const { return SumCounter(&Shard::hits); }
   /// Dirty pages written back (eviction or FlushAll).
-  uint64_t write_count() const {
-    return write_count_.load(std::memory_order_relaxed);
-  }
-  uint64_t eviction_count() const {
-    return eviction_count_.load(std::memory_order_relaxed);
-  }
+  uint64_t write_count() const { return SumCounter(&Shard::writes); }
+  uint64_t eviction_count() const { return SumCounter(&Shard::evictions); }
+
   size_t capacity() const { return frames_.size(); }
+  size_t shard_count() const { return shards_.size(); }
 
  private:
   friend class PageHandle;
 
   struct Frame {
     PageId page_id = kInvalidPage;
-    uint32_t pin_count = 0;
-    bool dirty = false;
-    /// Position in lru_ when unpinned.
+    /// The owning shard (fixed at construction).
+    uint32_t shard = 0;
+    /// Atomic so an extra pin on an already-pinned frame (handle copy)
+    /// and the fast path of Unpin skip the shard mutex. A frame with
+    /// pin_count > 0 is never in an LRU list and never evicted.
+    std::atomic<uint32_t> pin_count{0};
+    /// Relaxed atomic: set by writers holding a pin, read by eviction /
+    /// flush under the shard mutex.
+    std::atomic<bool> dirty{false};
+    /// Position in the shard's lru when unpinned.
     std::list<size_t>::iterator lru_pos;
     bool in_lru = false;
     std::unique_ptr<uint8_t[]> data;
   };
 
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<size_t> free_frames;
+    /// Unpinned frames, least recently used first (global frame indices).
+    std::list<size_t> lru;
+    std::unordered_map<PageId, size_t> page_table;
+    // Counters are incremented only under `mutex`; atomic so the lock-free
+    // accessors above may read them concurrently.
+    std::atomic<uint64_t> faults{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> writes{0};
+    std::atomic<uint64_t> evictions{0};
+  };
+
+  size_t ShardOf(PageId id) const { return id % shards_.size(); }
+
+  uint64_t SumCounter(std::atomic<uint64_t> Shard::* counter) const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += (shard.*counter).load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
   void Pin(size_t frame);
   void Unpin(size_t frame);
-  Status EvictOne(size_t* frame_out);  // caller holds mutex_
+  /// Claims a frame for `shard` from its free list or by evicting its LRU
+  /// victim. Caller holds the shard mutex.
+  StatusOr<size_t> ClaimFrame(Shard& shard);
 
   PagedFile* file_;
-  mutable std::mutex mutex_;
+  /// Serializes PagedFile::AllocatePage (the file's page counter is not
+  /// itself thread-safe).
+  std::mutex alloc_mutex_;
+  /// Globally indexed so PageHandle stays a (manager, frame) pair; each
+  /// frame is owned by exactly one shard and never migrates.
   std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  /// Unpinned frames, least recently used first.
-  std::list<size_t> lru_;
-  std::unordered_map<PageId, size_t> page_table_;
-  std::atomic<uint64_t> fault_count_{0};
-  std::atomic<uint64_t> hit_count_{0};
-  std::atomic<uint64_t> write_count_{0};
-  std::atomic<uint64_t> eviction_count_{0};
+  std::vector<Shard> shards_;
 };
 
 }  // namespace natix::storage

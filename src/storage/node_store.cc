@@ -104,7 +104,8 @@ void DecodeHeader(const uint8_t* p, NodeHeader* header) {
 NodeStore::NodeStore(std::unique_ptr<PagedFile> file, const Options& options)
     : file_(std::move(file)),
       buffer_(std::make_unique<BufferManager>(file_.get(),
-                                              options.buffer_pages)) {}
+                                              options.buffer_pages,
+                                              options.buffer_shards)) {}
 
 StatusOr<std::unique_ptr<NodeStore>> NodeStore::Create(
     const std::string& path, const Options& options) {

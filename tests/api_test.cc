@@ -143,7 +143,8 @@ TEST(DatabaseTest, PhysicalExplainMarksAliases) {
 
 TEST(DatabaseTest, ExecutionStatsTrackWork) {
   Database::Options options;
-  options.buffer_pages = 8;  // force faults
+  options.buffer_pages = 16;  // smallest valid pool: force faults
+  options.buffer_shards = 1;
   auto db = Database::CreateTemp(options);
   ASSERT_TRUE(db.ok());
   std::string xml = "<r>";

@@ -1,0 +1,66 @@
+// Database::Options validation: configurations that would thrash (a
+// pool below the root-to-leaf working set) or starve (shards of fewer
+// than two pages) are rejected at open time with InvalidArgument,
+// instead of surfacing later as mysterious eviction livelock.
+
+#include <gtest/gtest.h>
+
+#include "api/database.h"
+
+namespace natix {
+namespace {
+
+TEST(DatabaseOptionsTest, RejectsPoolBelowWorkingSet) {
+  Database::Options options;
+  options.buffer_pages = 8;
+  EXPECT_FALSE(options.Validate().ok());
+  auto db = Database::CreateTemp(options);
+  EXPECT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseOptionsTest, RejectsShardsWithFewerThanTwoPagesEach) {
+  Database::Options options;
+  options.buffer_pages = 16;
+  options.buffer_shards = 16;  // 1 page per shard: a pinned page blocks
+                               // every other fault through that stripe
+  EXPECT_FALSE(options.Validate().ok());
+  EXPECT_FALSE(Database::CreateTemp(options).ok());
+
+  options.buffer_shards = 8;  // 2 pages per shard: the floor
+  EXPECT_TRUE(options.Validate().ok());
+  auto db = Database::CreateTemp(options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->store()->buffer_manager()->shard_count(), 8u);
+}
+
+TEST(DatabaseOptionsTest, AutoShardSelectionAlwaysValidates) {
+  // buffer_shards = 0 never turns a valid pool size invalid: the
+  // hardware-derived default is clamped to >= 2 pages per shard.
+  for (size_t pages : {16u, 17u, 64u, 4096u}) {
+    Database::Options options;
+    options.buffer_pages = pages;
+    EXPECT_TRUE(options.Validate().ok()) << pages;
+    size_t shards = options.EffectiveShards();
+    EXPECT_GE(shards, 1u);
+    EXPECT_LE(2 * shards, pages);
+    auto db = Database::CreateTemp(options);
+    ASSERT_TRUE(db.ok()) << pages;
+    EXPECT_EQ((*db)->store()->buffer_manager()->shard_count(), shards);
+  }
+}
+
+TEST(DatabaseOptionsTest, MinimumValidPoolStillAnswersQueries) {
+  Database::Options options;
+  options.buffer_pages = 16;
+  options.buffer_shards = 1;
+  auto db = Database::CreateTemp(options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->LoadDocument("doc", "<r><a/><a/></r>").ok());
+  auto count = (*db)->QueryNumber("doc", "count(//a)");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2.0);
+}
+
+}  // namespace
+}  // namespace natix

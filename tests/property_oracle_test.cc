@@ -4,6 +4,7 @@
 // are hand-built and deliberately lie, so the oracle must catch them;
 // honest streams must pass untouched.
 
+#include "qe/exec_context.h"
 #include "qe/property_oracle.h"
 
 #include <gtest/gtest.h>
@@ -22,7 +23,7 @@ namespace {
 /// Emits a fixed list of values into one register.
 class VectorIterator : public Iterator {
  public:
-  VectorIterator(ExecState* state, runtime::RegisterId reg,
+  VectorIterator(ExecutionContext* state, runtime::RegisterId reg,
                  std::vector<runtime::Value> values)
       : state_(state), reg_(reg), values_(std::move(values)) {}
 
@@ -45,7 +46,7 @@ class VectorIterator : public Iterator {
   Status CloseImpl() override { return Status::OK(); }
 
  private:
-  ExecState* state_;
+  ExecutionContext* state_;
   runtime::RegisterId reg_;
   std::vector<runtime::Value> values_;
   size_t at_ = 0;
@@ -71,7 +72,7 @@ Status Drain(Iterator* iter, size_t* tuples = nullptr) {
 }
 
 struct OracleHarness {
-  ExecState state;
+  ExecutionContext state;
 
   OracleHarness() { state.registers.Resize(1); }
 

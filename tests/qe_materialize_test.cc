@@ -7,6 +7,7 @@
 #include <cmath>
 #include <memory>
 
+#include "qe/exec_context.h"
 #include "qe/operators.h"
 #include "qe/subscripts.h"
 #include "nvm/assembler.h"
@@ -21,7 +22,7 @@ using runtime::Value;
 /// counting how often it is opened (to observe memoization).
 class NumbersIterator : public Iterator {
  public:
-  NumbersIterator(ExecState* state, RegisterId out,
+  NumbersIterator(ExecutionContext* state, RegisterId out,
                   std::vector<double> values)
       : state_(state), out_(out), values_(std::move(values)) {}
 
@@ -44,14 +45,14 @@ class NumbersIterator : public Iterator {
   int open_count() const { return open_count_; }
 
  private:
-  ExecState* state_;
+  ExecutionContext* state_;
   RegisterId out_;
   std::vector<double> values_;
   size_t pos_ = 0;
   int open_count_ = 0;
 };
 
-std::vector<double> Drain(Iterator* iter, ExecState* state,
+std::vector<double> Drain(Iterator* iter, ExecutionContext* state,
                           RegisterId reg) {
   NATIX_CHECK(iter->Open().ok());
   std::vector<double> out;
@@ -66,7 +67,7 @@ std::vector<double> Drain(Iterator* iter, ExecState* state,
 }
 
 TEST(MemoXIteratorTest, HitsReplayWithoutReopeningChild) {
-  ExecState state;
+  ExecutionContext state;
   state.registers.Resize(2);
   // Register 0 is the memo key; register 1 the child's output.
   auto numbers = std::make_unique<NumbersIterator>(
@@ -92,7 +93,7 @@ TEST(MemoXIteratorTest, HitsReplayWithoutReopeningChild) {
 }
 
 TEST(MemoXIteratorTest, PartialDrainIsNotCommitted) {
-  ExecState state;
+  ExecutionContext state;
   state.registers.Resize(2);
   auto numbers = std::make_unique<NumbersIterator>(
       &state, 1, std::vector<double>{1, 2, 3});
@@ -114,7 +115,7 @@ TEST(MemoXIteratorTest, PartialDrainIsNotCommitted) {
 }
 
 TEST(TmpCsIteratorTest, WholeInputIsOneContextWithoutBoundary) {
-  ExecState state;
+  ExecutionContext state;
   state.registers.Resize(2);
   auto numbers = std::make_unique<NumbersIterator>(
       &state, 0, std::vector<double>{4, 5, 6, 7});
@@ -132,7 +133,7 @@ TEST(TmpCsIteratorTest, WholeInputIsOneContextWithoutBoundary) {
 }
 
 TEST(TmpCsIteratorTest, GroupsByBoundaryRuns) {
-  ExecState state;
+  ExecutionContext state;
   state.registers.Resize(3);
   // Register 0: boundary values 1,1,2,2,2,3 (runs of sizes 2,3,1).
   auto numbers = std::make_unique<NumbersIterator>(
@@ -154,7 +155,7 @@ TEST(TmpCsIteratorTest, GroupsByBoundaryRuns) {
 }
 
 TEST(TmpCsIteratorTest, EmptyInput) {
-  ExecState state;
+  ExecutionContext state;
   state.registers.Resize(2);
   auto numbers =
       std::make_unique<NumbersIterator>(&state, 0, std::vector<double>{});
@@ -166,7 +167,7 @@ TEST(TmpCsIteratorTest, EmptyInput) {
 }
 
 /// Compiles "left < right" over two number registers.
-SubscriptPtr LessThan(ExecState* state, NestedTable* nested,
+SubscriptPtr LessThan(ExecutionContext* state, NestedTable* nested,
                       RegisterId left, RegisterId right) {
   auto lhs = algebra::MakeScalar(algebra::ScalarKind::kAttrRef);
   lhs->name = "l";
@@ -192,7 +193,7 @@ SubscriptPtr LessThan(ExecState* state, NestedTable* nested,
 TEST(SemiJoinIteratorTest, SemiAndAntiAreComplements) {
   for (auto mode :
        {SemiJoinIterator::Mode::kSemi, SemiJoinIterator::Mode::kAnti}) {
-    ExecState state;
+    ExecutionContext state;
     state.registers.Resize(2);
     NestedTable nested;
     auto left = std::make_unique<NumbersIterator>(
@@ -214,7 +215,7 @@ TEST(SemiJoinIteratorTest, SemiAndAntiAreComplements) {
 
 TEST(AggregateTest, MaxMinOverNumbers) {
   for (auto agg : {algebra::AggKind::kMax, algebra::AggKind::kMin}) {
-    ExecState state;
+    ExecutionContext state;
     state.registers.Resize(2);
     NestedPlan plan;
     plan.iter = std::make_unique<NumbersIterator>(
@@ -228,7 +229,7 @@ TEST(AggregateTest, MaxMinOverNumbers) {
 }
 
 TEST(AggregateTest, EmptyExtremaAreNaN) {
-  ExecState state;
+  ExecutionContext state;
   state.registers.Resize(1);
   NestedPlan plan;
   plan.iter =

@@ -11,6 +11,7 @@
 #include "algebra/operator.h"
 #include "api/database.h"
 #include "qe/codegen.h"
+#include "qe/exec_context.h"
 #include "qe/operators.h"
 #include "translate/translator.h"
 
@@ -76,29 +77,29 @@ struct Harness {
     translation.plan = std::move(plan);
     translation.result_attr = result_attr;
     translation.type = type;
-    auto compiled = Codegen::Compile(translation, db->store());
-    NATIX_CHECK(compiled.ok());
+    auto prepared = Codegen::Prepare(std::move(translation), db->store());
+    NATIX_CHECK(prepared.ok());
+    auto context = (*prepared)->NewContext();
+    NATIX_CHECK(context.ok());
     storage::NodeRecord record;
     NATIX_CHECK(db->store()->ReadNode(root, &record).ok());
-    (*compiled)->SetContextNode(runtime::NodeRef::Make(root, record.order));
+    (*context)->SetContextNode(runtime::NodeRef::Make(root, record.order));
     // Drain through the generic node path or value path by hand.
     std::vector<std::string> out;
-    ExecState* state = (*compiled)->state();
     // Use ExecuteNodes only for node results; otherwise inspect values by
     // running through a scalar single-tuple execution. For generality we
     // re-execute through the plan API when the type is node-set.
     if (type == xpath::ExprType::kNodeSet) {
-      auto nodes = (*compiled)->ExecuteNodes();
+      auto nodes = (*context)->ExecuteNodes();
       NATIX_CHECK(nodes.ok());
       for (const runtime::NodeRef& ref : *nodes) {
         out.push_back(std::to_string(ref.order));
       }
     } else {
-      auto value = (*compiled)->ExecuteValue();
+      auto value = (*context)->ExecuteValue();
       NATIX_CHECK(value.ok());
       out.push_back(value->DebugString());
     }
-    (void)state;
     return out;
   }
 
@@ -191,7 +192,7 @@ TEST(QeOperatorTest, UnnestExplodesSequences) {
   // whose subscript is a nested count... Simplest honest test: unnest of
   // a sequence produced by a nested plan aggregated into... not
   // available. So exercise UnnestIterator directly.
-  ExecState state;
+  ExecutionContext state;
   state.registers.Resize(2);
   state.registers[0] = runtime::Value::Sequence(seq);
   auto scan = std::make_unique<SingletonScanIterator>();

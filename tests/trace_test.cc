@@ -226,16 +226,25 @@ TEST(TraceTest, ConcurrentExecutesUnderTracingAndRegistry) {
   EXPECT_EQ(failures.load(), 0);
   const obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   EXPECT_EQ(metrics.queries_executed.value(), 40u);
-  EXPECT_EQ(metrics.queries_compiled.value(), 40u);
+  // The plan cache dedupes the 40 Compile calls down to one compile per
+  // unique workload, plus however many threads raced past the same miss.
+  EXPECT_GE(metrics.queries_compiled.value(), std::size(workloads));
+  EXPECT_LE(metrics.queries_compiled.value(), 40u);
+  EXPECT_EQ(metrics.plan_cache_hits.value() +
+                metrics.plan_cache_misses.value(),
+            40u);
+  EXPECT_EQ(metrics.plan_cache_misses.value(),
+            metrics.queries_compiled.value());
   EXPECT_EQ(metrics.exec_ns.count(), 40u);
 
-  // Every thread's spans are present and self-consistent.
+  // Every thread's spans are present and self-consistent: exactly one
+  // compile span per actual (uncached) compile.
   size_t compiles = 0;
   for (const obs::TraceEvent& e : events) {
     if (std::string("compile") == e.name) ++compiles;
     EXPECT_GT(e.tid, 0u);
   }
-  EXPECT_EQ(compiles, 40u);
+  EXPECT_EQ(compiles, metrics.queries_compiled.value());
 }
 
 TEST(MetricsTest, HistogramPercentilesAreBucketAccurate) {
@@ -271,7 +280,11 @@ TEST(MetricsTest, RegistrySnapshotAfterQueries) {
   ASSERT_FALSE(f.db->QueryNodes("doc", "/xdoc/(((").ok());
 
   const obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  EXPECT_EQ(metrics.queries_compiled.value(), 10u);
+  // One real compile: the other nine QueryNodes hit the plan cache. The
+  // malformed query misses the cache, then fails in the parser.
+  EXPECT_EQ(metrics.queries_compiled.value(), 1u);
+  EXPECT_EQ(metrics.plan_cache_hits.value(), 9u);
+  EXPECT_EQ(metrics.plan_cache_misses.value(), 2u);
   EXPECT_EQ(metrics.queries_executed.value(), 10u);
   EXPECT_EQ(metrics.compile_errors.value(), 1u);
   EXPECT_EQ(metrics.exec_ns.count(), 10u);
@@ -281,8 +294,9 @@ TEST(MetricsTest, RegistrySnapshotAfterQueries) {
   std::string json = metrics.SnapshotJson();
   for (const char* key :
        {"\"compile_ns\"", "\"exec_ns\"", "\"pages_per_query\"",
-        "\"tuples_per_query\"", "\"queries_compiled\":10",
-        "\"queries_executed\":10", "\"compile_errors\":1"}) {
+        "\"tuples_per_query\"", "\"queries_compiled\":1",
+        "\"queries_executed\":10", "\"compile_errors\":1",
+        "\"plan_cache_hits\":9", "\"plan_cache_misses\":2"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
   }
   std::string text = metrics.RenderText();

@@ -33,11 +33,17 @@
 //     --queries-file=F
 //                     batch mode: additionally run every non-empty,
 //                     non-'#' line of F as a query against <file.xml>
+//     --jobs=N        batch mode: execute the queries on N worker
+//                     threads (shared plan cache, striped buffer pool);
+//                     prints the batch wall time and queries/sec
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/plan_verifier.h"
@@ -53,7 +59,8 @@ int Usage() {
                "[--canonical] "
                "[--values] [--count] [--verify-plans] [--var k=v]... "
                "[--trace=FILE] [--metrics] [--metrics-json=FILE] "
-               "[--slow-log[=MS]] [--queries-file=F] <file.xml> [<xpath>]\n");
+               "[--slow-log[=MS]] [--queries-file=F] [--jobs=N] "
+               "<file.xml> [<xpath>]\n");
   return 2;
 }
 
@@ -109,6 +116,7 @@ int main(int argc, char** argv) {
   bool metrics = false;
   bool slow_log = false;
   double slow_log_ms = 0.0;
+  long jobs = 1;
   std::string trace_path;
   std::string metrics_json_path;
   std::string queries_file;
@@ -149,6 +157,10 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--queries-file=", 0) == 0) {
       queries_file = arg.substr(std::strlen("--queries-file="));
       if (queries_file.empty()) return Usage();
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      char* end = nullptr;
+      jobs = std::strtol(arg.c_str() + std::strlen("--jobs="), &end, 10);
+      if (jobs < 1 || (end != nullptr && *end != '\0')) return Usage();
     } else if (arg == "--verify-plans") {
       natix::analysis::SetVerificationEnabled(true);
     } else if (arg == "--var") {
@@ -224,20 +236,53 @@ int main(int argc, char** argv) {
                    queries_file.c_str());
       return 1;
     }
-    size_t batch_total = 0;
+    std::vector<std::string> batch;
     std::string line;
     while (std::getline(in, line)) {
       // Trim trailing CR (queries files may be CRLF) and skip comments.
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty() || line[0] == '#') continue;
-      ++batch_total;
-      if (!RunBatchQuery(db->get(), info->root, line, options,
-                         collect_stats)) {
-        ++batch_failures;
-      }
+      batch.push_back(line);
     }
-    std::printf("batch: %zu queries, %d failed\n", batch_total,
-                batch_failures);
+
+    const auto batch_begin = std::chrono::steady_clock::now();
+    if (jobs <= 1) {
+      for (const std::string& xpath : batch) {
+        if (!RunBatchQuery(db->get(), info->root, xpath, options,
+                           collect_stats)) {
+          ++batch_failures;
+        }
+      }
+    } else {
+      // Worker pool over the batch: each worker claims queries off one
+      // shared cursor. Compiles are served by the database's plan cache,
+      // so repeated queries are prepared once and executed everywhere.
+      std::atomic<size_t> cursor{0};
+      std::atomic<int> failures{0};
+      std::vector<std::thread> workers;
+      workers.reserve(static_cast<size_t>(jobs));
+      for (long t = 0; t < jobs; ++t) {
+        workers.emplace_back([&] {
+          for (size_t i = cursor.fetch_add(1); i < batch.size();
+               i = cursor.fetch_add(1)) {
+            if (!RunBatchQuery(db->get(), info->root, batch[i], options,
+                               collect_stats)) {
+              failures.fetch_add(1);
+            }
+          }
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
+      batch_failures = failures.load();
+    }
+    const double batch_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      batch_begin)
+            .count();
+    std::printf("batch: %zu queries, %d failed, %ld jobs, %.3f s, "
+                "%.1f queries/sec\n",
+                batch.size(), batch_failures, jobs, batch_seconds,
+                batch_seconds > 0 ? batch.size() / batch_seconds : 0.0);
     if (positional.size() < 2) {
       int rc = finish();
       return rc != 0 ? rc : (batch_failures != 0 ? 1 : 0);
