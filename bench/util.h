@@ -67,6 +67,23 @@ RepTimings TimeNatixReps(LoadedDocument& doc, const std::string& query,
 RepTimings TimeNatixRepsNoRewrite(LoadedDocument& doc,
                                   const std::string& query);
 
+/// Same, but with the NVM bytecode optimizer off (improved translation,
+/// optimize_nvm = false): the ablation baseline for the subscript
+/// instruction counts in the emitted BENCH_*.json.
+RepTimings TimeNatixRepsNoNvmOpt(LoadedDocument& doc,
+                                 const std::string& query);
+
+/// NVM subscript instruction counts for `query`: static bytecode sizes
+/// before/after optimization (summed over the plan's subscripts) and
+/// instructions retired by one evaluation with the optimizer on / off.
+struct NvmCounts {
+  uint64_t insns_before = 0;
+  uint64_t insns_after = 0;
+  uint64_t retired_opt = 0;
+  uint64_t retired_noopt = 0;
+};
+NvmCounts CountNvm(LoadedDocument& doc, const std::string& query);
+
 /// One instrumented run of `query`: compiles with stats collection,
 /// evaluates once, and returns the wall time plus the plan-wide counter
 /// totals and query-level buffer deltas (src/obs).

@@ -2,6 +2,7 @@
 #include <deque>
 #include <vector>
 
+#include "analysis/nvm_dataflow.h"
 #include "analysis/plan_verifier.h"
 #include "runtime/conversions.h"
 
@@ -14,105 +15,11 @@ using nvm::OpCode;
 using nvm::OpCodeName;
 using nvm::Program;
 
-/// Operand roles of one instruction, derived from the VM's dispatch
-/// loop: which fields name frame registers (read/written), table
-/// indices, or jump targets.
-struct OperandRoles {
-  uint16_t reads[3];
-  int read_count = 0;
-  bool writes_a = false;
-  bool const_b = false;    // b indexes program.constants
-  bool var_b = false;      // b indexes program.variable_names
-  bool attr_b = false;     // b indexes the plan (tuple) register file
-  bool nested_b = false;   // b indexes the nested-iterator table
-  bool jump_b = false;     // b is a jump target
-  bool cmp_d = false;      // d encodes a runtime::CompareOp
-};
-
-OperandRoles RolesOf(const Instruction& ins) {
-  OperandRoles roles;
-  auto read = [&roles](uint16_t reg) { roles.reads[roles.read_count++] = reg; };
-  switch (ins.op) {
-    case OpCode::kLoadConst:
-      roles.writes_a = true;
-      roles.const_b = true;
-      break;
-    case OpCode::kLoadAttr:
-      roles.writes_a = true;
-      roles.attr_b = true;
-      break;
-    case OpCode::kLoadVar:
-      roles.writes_a = true;
-      roles.var_b = true;
-      break;
-    case OpCode::kAdd:
-    case OpCode::kSub:
-    case OpCode::kMul:
-    case OpCode::kDiv:
-    case OpCode::kMod:
-    case OpCode::kConcat2:
-    case OpCode::kStartsWith:
-    case OpCode::kContains:
-    case OpCode::kSubstringBefore:
-    case OpCode::kSubstringAfter:
-    case OpCode::kSubstring2:
-    case OpCode::kLang:
-      roles.writes_a = true;
-      read(ins.b);
-      read(ins.c);
-      break;
-    case OpCode::kCompare:
-      roles.writes_a = true;
-      read(ins.b);
-      read(ins.c);
-      roles.cmp_d = true;
-      break;
-    case OpCode::kSubstring3:
-    case OpCode::kTranslate:
-      roles.writes_a = true;
-      read(ins.b);
-      read(ins.c);
-      read(ins.d);
-      break;
-    case OpCode::kNeg:
-    case OpCode::kNot:
-    case OpCode::kToBool:
-    case OpCode::kToNum:
-    case OpCode::kToStr:
-    case OpCode::kStringLength:
-    case OpCode::kNormalizeSpace:
-    case OpCode::kFloor:
-    case OpCode::kCeiling:
-    case OpCode::kRound:
-    case OpCode::kRoot:
-    case OpCode::kNodeName:
-    case OpCode::kNodeLocalName:
-      roles.writes_a = true;
-      read(ins.b);
-      break;
-    case OpCode::kJump:
-      roles.jump_b = true;
-      break;
-    case OpCode::kJumpIfTrue:
-    case OpCode::kJumpIfFalse:
-      read(ins.a);
-      roles.jump_b = true;
-      break;
-    case OpCode::kEvalNested:
-      roles.writes_a = true;
-      roles.nested_b = true;
-      break;
-    case OpCode::kHalt:
-      read(ins.a);
-      break;
-  }
-  return roles;
-}
-
-Status Malformed(size_t pc, const Instruction& ins,
-                 const std::string& detail) {
+Status Malformed(const Program& program, size_t pc, const std::string& detail) {
+  const Instruction& ins = program.code[pc];
   return Status::Internal("plan verifier (nvm): pc " + std::to_string(pc) +
-                          " " + OpCodeName(ins.op) + ": " + detail);
+                          " " + OpCodeName(ins.op) + ": " + detail + " [" +
+                          RenderNvmInstruction(program, pc) + "]");
 }
 
 /// Definitely-written frame registers, merged by intersection at control
@@ -135,58 +42,79 @@ Status VerifyProgram(const Program& program, size_t tuple_register_count,
   }
 
   // Structural pass: operand bounds for every instruction, reachable or
-  // not, and no instruction whose fall-through leaves the program.
+  // not, and no instruction whose fall-through leaves the program. The
+  // operand-role model is shared with the dataflow framework
+  // (nvm_dataflow.h), so optimizer-introduced superinstructions are
+  // checked by the same table the passes justify themselves with.
   for (size_t pc = 0; pc < code.size(); ++pc) {
     const Instruction& ins = code[pc];
-    OperandRoles roles = RolesOf(ins);
+    NvmOperandRoles roles = NvmRolesOf(ins);
     if (roles.writes_a && ins.a >= program.register_count) {
-      return Malformed(pc, ins,
+      return Malformed(program, pc,
                        "writes register r" + std::to_string(ins.a) +
                            " outside the frame of " +
                            std::to_string(program.register_count));
     }
     for (int i = 0; i < roles.read_count; ++i) {
-      if (roles.reads[i] >= program.register_count) {
-        return Malformed(pc, ins,
-                         "reads register r" + std::to_string(roles.reads[i]) +
+      if (roles.read(ins, i) >= program.register_count) {
+        return Malformed(program, pc,
+                         "reads register r" +
+                             std::to_string(roles.read(ins, i)) +
                              " outside the frame of " +
                              std::to_string(program.register_count));
       }
     }
     if (roles.const_b && ins.b >= program.constants.size()) {
-      return Malformed(pc, ins,
+      return Malformed(program, pc,
                        "constant index " + std::to_string(ins.b) +
                            " out of range");
     }
+    if (roles.const_c && ins.c >= program.constants.size()) {
+      return Malformed(program, pc,
+                       "constant index " + std::to_string(ins.c) +
+                           " out of range");
+    }
     if (roles.var_b && ins.b >= program.variable_names.size()) {
-      return Malformed(pc, ins,
+      return Malformed(program, pc,
                        "variable index " + std::to_string(ins.b) +
                            " out of range");
     }
     if (roles.attr_b && ins.b >= tuple_register_count) {
-      return Malformed(pc, ins,
+      return Malformed(program, pc,
                        "tuple register r" + std::to_string(ins.b) +
                            " outside the plan register file of " +
                            std::to_string(tuple_register_count));
     }
     if (roles.nested_b && ins.b >= nested_count) {
-      return Malformed(pc, ins,
+      return Malformed(program, pc,
                        "nested plan index " + std::to_string(ins.b) +
                            " out of range");
     }
     if (roles.jump_b && ins.b >= code.size()) {
-      return Malformed(pc, ins,
+      return Malformed(program, pc,
                        "jump target " + std::to_string(ins.b) +
                            " out of range");
     }
-    if (roles.cmp_d &&
-        ins.d > static_cast<uint16_t>(runtime::CompareOp::kGe)) {
-      return Malformed(pc, ins,
-                       "invalid comparison code " + std::to_string(ins.d));
+    if (roles.jump_a && ins.a >= code.size()) {
+      return Malformed(program, pc,
+                       "jump target " + std::to_string(ins.a) +
+                           " out of range");
+    }
+    if (roles.cmp_d) {
+      const uint16_t op_bits =
+          roles.cmp_flag_d ? static_cast<uint16_t>(ins.d & 0xFF) : ins.d;
+      if (op_bits > static_cast<uint16_t>(runtime::CompareOp::kGe)) {
+        return Malformed(program, pc,
+                         "invalid comparison code " + std::to_string(op_bits));
+      }
+      if (roles.cmp_flag_d && ins.d > (nvm::kCmpFlagBit | 0xFF)) {
+        return Malformed(program, pc,
+                         "invalid comparison flags " + std::to_string(ins.d));
+      }
     }
     bool falls_through = ins.op != OpCode::kHalt && ins.op != OpCode::kJump;
     if (falls_through && pc + 1 == code.size()) {
-      return Malformed(pc, ins, "program can fall off the end");
+      return Malformed(program, pc, "program can fall off the end");
     }
   }
 
@@ -199,28 +127,30 @@ Status VerifyProgram(const Program& program, size_t tuple_register_count,
   seen[0] = true;
   worklist.push_back(0);
 
+  std::vector<size_t> succs;
   while (!worklist.empty()) {
     size_t pc = worklist.front();
     worklist.pop_front();
     const Instruction& ins = code[pc];
-    OperandRoles roles = RolesOf(ins);
+    NvmOperandRoles roles = NvmRolesOf(ins);
     for (int i = 0; i < roles.read_count; ++i) {
-      if (!in[pc][roles.reads[i]]) {
-        return Malformed(pc, ins,
+      if (!in[pc][roles.read(ins, i)]) {
+        return Malformed(program, pc,
                          "reads register r" +
-                             std::to_string(roles.reads[i]) +
+                             std::to_string(roles.read(ins, i)) +
                              " before it is written on every path");
       }
     }
     Defs out = in[pc];
     if (roles.writes_a) out[ins.a] = true;
 
-    auto propagate = [&](size_t succ) {
+    NvmSuccessors(program, pc, &succs);
+    for (size_t succ : succs) {
       if (!seen[succ]) {
         in[succ] = out;
         seen[succ] = true;
         worklist.push_back(succ);
-        return;
+        continue;
       }
       // Re-queue only when the merge actually removes definitions.
       Defs merged = in[succ];
@@ -229,22 +159,6 @@ Status VerifyProgram(const Program& program, size_t tuple_register_count,
         in[succ] = std::move(merged);
         worklist.push_back(succ);
       }
-    };
-
-    switch (ins.op) {
-      case OpCode::kHalt:
-        break;
-      case OpCode::kJump:
-        propagate(ins.b);
-        break;
-      case OpCode::kJumpIfTrue:
-      case OpCode::kJumpIfFalse:
-        propagate(ins.b);
-        propagate(pc + 1);
-        break;
-      default:
-        propagate(pc + 1);
-        break;
     }
   }
   return Status::OK();

@@ -15,6 +15,7 @@ std::string PlanCache::MakeKey(std::string_view xpath,
   key += options.memoize_inner_paths ? '1' : '0';
   key += options.split_expensive_predicates ? '1' : '0';
   key += options.simplify_plan ? '1' : '0';
+  key += options.optimize_nvm ? '1' : '0';
   key += '\n';
   key += xpath;
   return key;

@@ -72,6 +72,7 @@ Status PreparedQuery::Execution::BindContext(storage::NodeId context) {
 
 void PreparedQuery::Execution::BeginStats() {
   tuples_baseline_ = context_->tuples_produced;
+  nvm_baseline_ = context_->nvm_insns_retired;
   // Coherent per-query baseline: with concurrent executions over a
   // striped pool, relaxed multi-counter reads could tear.
   buffer_baseline_ = obs::SnapshotBufferCounters(store_->buffer_manager());
@@ -80,6 +81,7 @@ void PreparedQuery::Execution::BeginStats() {
 
 void PreparedQuery::Execution::EndStats() {
   last_stats_.step_tuples = context_->tuples_produced - tuples_baseline_;
+  last_stats_.nvm_insns = context_->nvm_insns_retired - nvm_baseline_;
   obs::BufferCounters now =
       obs::SnapshotBufferCounters(store_->buffer_manager());
   last_stats_.page_faults = now.page_reads - buffer_baseline_.page_reads;
@@ -100,6 +102,7 @@ void PreparedQuery::Execution::EndStats() {
   metrics.exec_ns.Record(exec_ns);
   metrics.pages_per_query.Record(last_stats_.page_faults);
   metrics.tuples_per_query.Record(last_stats_.step_tuples);
+  metrics.nvm_insns_retired.Add(last_stats_.nvm_insns);
   metrics.queries_executed.Add();
   obs::SlowQueryLog& slow_log = metrics.slow_log();
   if (slow_log.ShouldLog(exec_ns)) {

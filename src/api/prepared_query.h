@@ -21,6 +21,8 @@ struct ExecutionStats {
   uint64_t step_tuples = 0;
   /// Pages faulted into the buffer pool during the evaluation.
   uint64_t page_faults = 0;
+  /// NVM bytecode instructions retired by subscript programs.
+  uint64_t nvm_insns = 0;
 };
 
 /// A prepared XPath query: the immutable product of the full compiler
@@ -191,6 +193,7 @@ class PreparedQuery::Execution {
   std::unique_ptr<qe::ExecutionContext> context_;
   ExecutionStats last_stats_;
   uint64_t tuples_baseline_ = 0;
+  uint64_t nvm_baseline_ = 0;
   uint64_t exec_begin_ns_ = 0;
   obs::BufferCounters buffer_baseline_;
 };

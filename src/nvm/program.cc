@@ -76,6 +76,12 @@ const char* OpCodeName(OpCode op) {
       return "eval_nested";
     case OpCode::kHalt:
       return "halt";
+    case OpCode::kMove:
+      return "move";
+    case OpCode::kCmpAttrConst:
+      return "cmp_attr_const";
+    case OpCode::kCmpBranch:
+      return "cmp_branch";
   }
   return "?";
 }
@@ -107,6 +113,17 @@ std::string Program::Disassemble() const {
       case OpCode::kCompare:
         out += ", r" + std::to_string(ins.b) + ", r" + std::to_string(ins.c) +
                ", op#" + std::to_string(ins.d);
+        break;
+      case OpCode::kCmpAttrConst:
+        out += ", attr#" + std::to_string(ins.b) + ", " +
+               constants[ins.c].DebugString() + ", op#" +
+               std::to_string(ins.d);
+        break;
+      case OpCode::kCmpBranch:
+        // The `a` printed above is the jump target, not a register.
+        out += ", r" + std::to_string(ins.b) + ", r" + std::to_string(ins.c) +
+               ", op#" + std::to_string(ins.d) + " -> " +
+               std::to_string(ins.a);
         break;
       case OpCode::kHalt:
         break;

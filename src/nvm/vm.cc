@@ -91,7 +91,7 @@ StatusOr<NodeRef> RootOf(NodeRef node, const EvalContext& ctx) {
 StatusOr<Value> Vm::Run(
     const runtime::RegisterFile& tuple, const EvalContext& ctx,
     const std::unordered_map<std::string, Value>& variables,
-    const NestedEvaluator& nested) {
+    const NestedEvaluator& nested, uint64_t* retired) {
   auto& r = frame_;
   const std::vector<Instruction>& code = program_->code;
 
@@ -112,8 +112,10 @@ StatusOr<Value> Vm::Run(
   };
 
   size_t pc = 0;
+  uint64_t executed = 0;
   while (pc < code.size()) {
     const Instruction& ins = code[pc];
+    ++executed;
     switch (ins.op) {
       case OpCode::kLoadConst:
         r[ins.a] = program_->constants[ins.b];
@@ -319,7 +321,34 @@ StatusOr<Value> Vm::Run(
         r[ins.a] = std::move(v);
         break;
       }
+      case OpCode::kMove:
+        r[ins.a] = r[ins.b];
+        break;
+      case OpCode::kCmpAttrConst: {
+        const bool swapped = (ins.d & kCmpFlagBit) != 0;
+        const auto op = static_cast<runtime::CompareOp>(ins.d & 0xFF);
+        const Value& attr = tuple[ins.b];
+        const Value& constant = program_->constants[ins.c];
+        NATIX_ASSIGN_OR_RETURN(
+            bool out, swapped
+                          ? runtime::CompareAtomic(op, constant, attr, ctx)
+                          : runtime::CompareAtomic(op, attr, constant, ctx));
+        r[ins.a] = Value::Boolean(out);
+        break;
+      }
+      case OpCode::kCmpBranch: {
+        const bool sense = (ins.d & kCmpFlagBit) != 0;
+        const auto op = static_cast<runtime::CompareOp>(ins.d & 0xFF);
+        NATIX_ASSIGN_OR_RETURN(
+            bool out, runtime::CompareAtomic(op, r[ins.b], r[ins.c], ctx));
+        if (out == sense) {
+          pc = ins.a;
+          continue;
+        }
+        break;
+      }
       case OpCode::kHalt:
+        if (retired != nullptr) *retired += executed;
         return r[ins.a];
     }
     ++pc;

@@ -1,6 +1,7 @@
 #ifndef NATIX_NVM_VM_H_
 #define NATIX_NVM_VM_H_
 
+#include <cstdint>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -28,13 +29,18 @@ class Vm {
 
   /// Runs the program against the current tuple (the plan register file),
   /// the execution context (store access + $variables) and the nested
-  /// iterator table. Returns the value of the halt register.
+  /// iterator table. Returns the value of the halt register. When
+  /// `retired` is non-null, the number of instructions executed by a
+  /// successful run is added to it (the nvm_insns_retired metric;
+  /// failing runs abort the query, so their partial counts are not
+  /// accounted).
   StatusOr<runtime::Value> Run(const runtime::RegisterFile& tuple,
                                const runtime::EvalContext& ctx,
                                const std::unordered_map<std::string,
                                                         runtime::Value>&
                                    variables,
-                               const NestedEvaluator& nested);
+                               const NestedEvaluator& nested,
+                               uint64_t* retired = nullptr);
 
  private:
   const Program* program_;

@@ -210,11 +210,12 @@ std::string MetricsRegistry::SnapshotJson() const {
                 ",\"compile_errors\":%" PRIu64 ",\"exec_errors\":%" PRIu64
                 ",\"slow_queries\":%" PRIu64
                 ",\"plan_cache_hits\":%" PRIu64
-                ",\"plan_cache_misses\":%" PRIu64 "}}",
+                ",\"plan_cache_misses\":%" PRIu64
+                ",\"nvm_insns_retired\":%" PRIu64 "}}",
                 queries_compiled.value(), queries_executed.value(),
                 compile_errors.value(), exec_errors.value(),
                 slow_queries.value(), plan_cache_hits.value(),
-                plan_cache_misses.value());
+                plan_cache_misses.value(), nvm_insns_retired.value());
   out += buf;
   return out;
 }
@@ -231,11 +232,11 @@ std::string MetricsRegistry::RenderText() const {
                 " queries_executed=%" PRIu64 " compile_errors=%" PRIu64
                 " exec_errors=%" PRIu64 " slow_queries=%" PRIu64
                 " plan_cache_hits=%" PRIu64 " plan_cache_misses=%" PRIu64
-                "\n",
+                " nvm_insns_retired=%" PRIu64 "\n",
                 queries_compiled.value(), queries_executed.value(),
                 compile_errors.value(), exec_errors.value(),
                 slow_queries.value(), plan_cache_hits.value(),
-                plan_cache_misses.value());
+                plan_cache_misses.value(), nvm_insns_retired.value());
   out += buf;
   return out;
 }
@@ -252,6 +253,7 @@ void MetricsRegistry::Reset() {
   slow_queries.Reset();
   plan_cache_hits.Reset();
   plan_cache_misses.Reset();
+  nvm_insns_retired.Reset();
   slow_log_.Clear();
 }
 

@@ -127,7 +127,7 @@ class SlowQueryLog {
 /// (tests and dashboards read them): histograms compile_ns, exec_ns,
 /// pages_per_query, tuples_per_query; counters queries_compiled,
 /// queries_executed, compile_errors, exec_errors, slow_queries,
-/// plan_cache_hits, plan_cache_misses.
+/// plan_cache_hits, plan_cache_misses, nvm_insns_retired.
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
@@ -145,6 +145,8 @@ class MetricsRegistry {
   /// Prepared-plan cache (api::PlanCache): compilations avoided / paid.
   CounterCell plan_cache_hits;
   CounterCell plan_cache_misses;
+  /// NVM bytecode instructions retired by subscript programs.
+  CounterCell nvm_insns_retired;
 
   SlowQueryLog& slow_log() { return slow_log_; }
   const SlowQueryLog& slow_log() const { return slow_log_; }
@@ -231,6 +233,7 @@ class MetricsRegistry {
   CounterCell slow_queries;
   CounterCell plan_cache_hits;
   CounterCell plan_cache_misses;
+  CounterCell nvm_insns_retired;
 
   SlowQueryLog& slow_log() { return slow_log_; }
   const SlowQueryLog& slow_log() const { return slow_log_; }

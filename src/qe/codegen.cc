@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "algebra/properties.h"
+#include "analysis/nvm_dataflow.h"
+#include "analysis/nvm_optimizer.h"
 #include "analysis/plan_verifier.h"
 #include "analysis/property_inference.h"
 #include "nvm/assembler.h"
@@ -213,6 +215,13 @@ class CodegenImpl {
         "registers: " + std::to_string(next_register_) + ", nested plans: " +
         std::to_string(ctx_->nested_.size()) + "\n" +
         PhysicalPrinter(attribute_map_).Render(*translation.plan);
+    tmpl->nvm_programs_ = std::move(optimized_programs_);
+    tmpl->nvm_listing_before_ = std::move(nvm_listing_before_);
+    tmpl->nvm_listing_after_ = std::move(nvm_listing_after_);
+    tmpl->nvm_insns_before_ = nvm_insns_before_;
+    tmpl->nvm_insns_after_ = nvm_insns_after_;
+    tmpl->rewrites_.insert(tmpl->rewrites_.end(), nvm_rewrites_.begin(),
+                           nvm_rewrites_.end());
 
     obs::ScopedSpan verify_span(
         "compile/verify",
@@ -235,7 +244,8 @@ class CodegenImpl {
           " subscript programs; properties: " +
           std::to_string(props_.size()) + " operators annotated, " +
           std::to_string(translation.rewrites.size()) +
-          " property-justified rewrites)";
+          " property-justified rewrites; nvm optimizer: " +
+          std::to_string(nvm_rewrites_.size()) + " bytecode rewrites)";
     } else {
       tmpl->verification_ =
           "not verified (release build; enable with --verify-plans)";
@@ -351,10 +361,41 @@ class CodegenImpl {
     };
     NATIX_ASSIGN_OR_RETURN(nvm::Program program,
                            nvm::CompileScalar(scalar, resolver, registrar));
-    // The program's kLoadAttr operands are exactly the plan registers the
-    // subscript reads per tuple.
+    // Claimed after CompileScalar so subscripts inside nested plans
+    // (compiled during the registrar's recursion) take earlier indices:
+    // compile order is deterministic across prepare and instantiation.
+    const size_t index = subscript_index_++;
+    if (prepare_) {
+      nvm_listing_before_ += "== " + host->label + " ==\n" +
+                             analysis::RenderNvmProgram(program);
+      nvm_insns_before_ += program.code.size();
+      if (tmpl_.translation_.optimize_nvm) {
+        NATIX_RETURN_IF_ERROR(analysis::OptimizeNvmProgram(
+            &program, host->label, next_register_, ctx_->nested_.size(),
+            &nvm_rewrites_));
+      }
+      nvm_listing_after_ += "== " + host->label + " ==\n" +
+                            analysis::RenderNvmProgram(program);
+      nvm_insns_after_ += program.code.size();
+      optimized_programs_.push_back(program);
+    } else {
+      // Instantiation replays the prepare-time result: the optimizer and
+      // its per-pass verification run once per template, not per context.
+      if (index >= tmpl_.nvm_programs_.size()) {
+        return Status::Internal(
+            "plan instantiation diverged from the prepared template "
+            "(subscript count)");
+      }
+      program = tmpl_.nvm_programs_[index];
+    }
+    // The program's tuple-register operands are exactly the plan
+    // registers the subscript reads per tuple (the fused kCmpAttrConst
+    // reads its tuple register directly).
     for (const nvm::Instruction& ins : program.code) {
-      if (ins.op == nvm::OpCode::kLoadAttr) host->reads.push_back(ins.b);
+      if (ins.op == nvm::OpCode::kLoadAttr ||
+          ins.op == nvm::OpCode::kCmpAttrConst) {
+        host->reads.push_back(ins.b);
+      }
     }
     if (prepare_) programs_.emplace_back(host->label, program);
     return std::make_unique<Subscript>(std::move(program), state_,
@@ -806,6 +847,16 @@ class CodegenImpl {
   /// Every compiled NVM subscript with its site label (Layer-3 sweep;
   /// collected at prepare time only).
   std::vector<std::pair<std::string, nvm::Program>> programs_;
+  /// Post-order subscript counter pairing each compiled subscript with
+  /// its template slot across prepare and instantiation.
+  size_t subscript_index_ = 0;
+  /// Prepare-time collections moved into the template by FinishPrepare.
+  std::vector<nvm::Program> optimized_programs_;
+  std::string nvm_listing_before_;
+  std::string nvm_listing_after_;
+  size_t nvm_insns_before_ = 0;
+  size_t nvm_insns_after_ = 0;
+  algebra::RewriteLog nvm_rewrites_;
 };
 
 }  // namespace internal

@@ -91,6 +91,9 @@ class ExecutionContext {
       id_indexes;
   /// Statistics for tests/benchmarks.
   uint64_t tuples_produced = 0;
+  /// NVM instructions retired by subscript programs (successful runs
+  /// only); accumulates across executions like tuples_produced.
+  uint64_t nvm_insns_retired = 0;
 
  private:
   friend class internal::CodegenImpl;

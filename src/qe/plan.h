@@ -9,6 +9,7 @@
 #include "algebra/rewriter.h"
 #include "analysis/property_inference.h"
 #include "base/statusor.h"
+#include "nvm/program.h"
 #include "qe/exec_context.h"
 #include "translate/translator.h"
 #include "xpath/ast.h"
@@ -73,9 +74,23 @@ class PlanTemplate {
   /// properties (natixq --explain-json).
   const std::string& properties_json() const { return properties_json_; }
 
-  /// The property-justified rewrites applied during translation, each
-  /// with the inferred property that proved it sound.
+  /// The property-justified rewrites applied during translation plus the
+  /// analysis-justified NVM bytecode rewrites ("nvm:<pass>" rules), each
+  /// with the inferred property or dataflow fact that proved it sound.
   const algebra::RewriteLog& rewrites() const { return rewrites_; }
+
+  /// Symbolic disassembly of every compiled NVM subscript program before
+  /// and after the bytecode optimizer (identical when optimize_nvm is
+  /// off). Shown by natixq --dump-nvm.
+  const std::string& nvm_listing_before() const {
+    return nvm_listing_before_;
+  }
+  const std::string& nvm_listing_after() const { return nvm_listing_after_; }
+
+  /// Static instruction totals across all subscript programs, before and
+  /// after the bytecode optimizer.
+  size_t nvm_insns_before() const { return nvm_insns_before_; }
+  size_t nvm_insns_after() const { return nvm_insns_after_; }
 
   /// Whether the result stream is statically guaranteed to arrive in
   /// (non-strict) document order, making the final result sort
@@ -110,6 +125,14 @@ class PlanTemplate {
   std::string properties_json_;
   algebra::RewriteLog rewrites_;
   bool result_document_ordered_ = false;
+  /// The final (optimized) subscript programs in deterministic compile
+  /// order: instantiation replays them so the optimizer and its per-pass
+  /// verification run once per template, not once per context.
+  std::vector<nvm::Program> nvm_programs_;
+  std::string nvm_listing_before_;
+  std::string nvm_listing_after_;
+  size_t nvm_insns_before_ = 0;
+  size_t nvm_insns_after_ = 0;
 };
 
 /// Sorts node references into document order (ascending order keys).

@@ -141,7 +141,7 @@ StatusOr<Value> RunNestedAggregate(NestedPlan* nested, ExecutionContext* state) 
 
 StatusOr<Value> Subscript::Evaluate() {
   return vm_.Run(state_->registers, state_->eval_ctx, state_->variables,
-                 nested_eval_);
+                 nested_eval_, &state_->nvm_insns_retired);
 }
 
 StatusOr<bool> Subscript::EvaluateBool() {

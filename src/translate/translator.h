@@ -30,6 +30,11 @@ struct TranslatorOptions {
   /// as future work): infer duplicate-freeness and drop redundant
   /// duplicate eliminations; also fold away constant-true selections.
   bool simplify_plan = true;
+  /// Run the analysis-justified NVM bytecode optimizer over every
+  /// compiled subscript program (docs/NVM-ANALYSIS.md). Off is the
+  /// ablation baseline in bench/. Orthogonal to the plan-level switches,
+  /// so Canonical() leaves it on.
+  bool optimize_nvm = true;
 
   static TranslatorOptions Canonical() {
     return TranslatorOptions{false, false, false, false, false};
@@ -48,6 +53,9 @@ struct TranslationResult {
   /// the inferred property that proved it sound (empty when the
   /// simplifying rewriter is off).
   algebra::RewriteLog rewrites;
+  /// Forwarded from TranslatorOptions::optimize_nvm so codegen knows
+  /// whether to run the NVM bytecode optimizer over subscripts.
+  bool optimize_nvm = true;
 };
 
 /// Reserved attribute names bound by the execution context before the

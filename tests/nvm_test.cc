@@ -7,6 +7,9 @@
 #include <cmath>
 
 #include "algebra/operator.h"
+#include "algebra/rewriter.h"
+#include "analysis/nvm_optimizer.h"
+#include "analysis/plan_verifier.h"
 #include "nvm/assembler.h"
 #include "nvm/vm.h"
 #include "storage/document_loader.h"
@@ -319,6 +322,105 @@ TEST(NvmTest, NodeNavigation) {
                           inner_node, store->get());
   ASSERT_TRUE(lang_de.ok());
   EXPECT_FALSE(lang_de->AsBoolean());
+}
+
+// --- assembler jump-target fixup regressions ------------------------------
+//
+// The assembler patches forward-jump placeholders after emission; these
+// pin the edge cases of that fixup: a target that lands exactly on the
+// last instruction, an empty-body self-loop, and a backward branch. All
+// three must satisfy the Layer-3 verifier and survive the bytecode
+// optimizer (whose jump-chain chasing must not spin on a self-loop).
+
+TEST(NvmJumpFixupTest, ShortCircuitTargetsStayInRange) {
+  // Short-circuit or: the taken edge jumps over the rhs evaluation,
+  // close to the end of the program.
+  ScalarPtr expr = Logical(xpath::BinaryOp::kOr, Boolean(true),
+                           VarRef("unbound"));
+  AttrResolver resolver =
+      [](const std::string&) -> StatusOr<runtime::RegisterId> {
+    return Status::Internal("no attributes");
+  };
+  NestedRegistrar registrar = [](const Scalar&) -> StatusOr<size_t> {
+    return Status::Internal("no nested plans");
+  };
+  auto program = CompileScalar(*expr, resolver, registrar);
+  ASSERT_TRUE(program.ok());
+  for (const Instruction& ins : program->code) {
+    if (ins.op == OpCode::kJump || ins.op == OpCode::kJumpIfTrue ||
+        ins.op == OpCode::kJumpIfFalse) {
+      EXPECT_LT(ins.b, program->code.size());
+    }
+  }
+  EXPECT_TRUE(analysis::VerifyProgram(*program, 0, 0).ok());
+}
+
+TEST(NvmJumpFixupTest, JumpToLastInstructionIsValid) {
+  // The conditional jump targets the final halt — the largest legal
+  // target. One past it must be rejected.
+  Program program;
+  program.code = {Instruction{OpCode::kLoadConst, 0, 0, 0, 0},
+                  Instruction{OpCode::kJumpIfTrue, 0, 2, 0, 0},
+                  Instruction{OpCode::kHalt, 0, 0, 0, 0}};
+  program.register_count = 1;
+  program.constants = {Value::Boolean(true)};
+  EXPECT_TRUE(analysis::VerifyProgram(program, 0, 0).ok());
+
+  auto result = Vm(&program).Run(
+      runtime::RegisterFile(0), runtime::EvalContext{}, {},
+      [](size_t) -> StatusOr<Value> {
+        return Status::Internal("no nested plans");
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->AsBoolean());
+
+  program.code[1].b = 3;  // one past the end
+  auto status = analysis::VerifyProgram(program, 0, 0);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("out of range"), std::string::npos);
+}
+
+TEST(NvmJumpFixupTest, EmptyBodySelfLoopVerifiesAndOptimizerTerminates) {
+  // `0: jump 0` — an empty-body loop. Structurally legal (it cannot
+  // fall off the end); both the verifier's dataflow worklist and the
+  // optimizer's jump-chain chasing must terminate on the cycle.
+  Program program;
+  program.code = {Instruction{OpCode::kJump, 0, 0, 0, 0},
+                  Instruction{OpCode::kHalt, 0, 0, 0, 0}};
+  program.register_count = 1;
+  EXPECT_TRUE(analysis::VerifyProgram(program, 0, 0).ok());
+
+  algebra::RewriteLog log;
+  ASSERT_TRUE(
+      analysis::OptimizeNvmProgram(&program, "test", 0, 0, &log).ok());
+  // Whatever the passes did (the unreachable halt may be dropped), the
+  // result must still verify and still loop on pc 0.
+  EXPECT_TRUE(analysis::VerifyProgram(program, 0, 0).ok());
+  ASSERT_FALSE(program.code.empty());
+  EXPECT_EQ(program.code[0].op, OpCode::kJump);
+  EXPECT_EQ(program.code[0].b, 0);
+}
+
+TEST(NvmJumpFixupTest, BackwardBranchVerifiesAndOptimizes) {
+  Program program;
+  program.code = {Instruction{OpCode::kLoadConst, 0, 0, 0, 0},
+                  Instruction{OpCode::kJumpIfTrue, 0, 0, 0, 0},
+                  Instruction{OpCode::kHalt, 0, 0, 0, 0}};
+  program.register_count = 1;
+  program.constants = {Value::Boolean(false)};
+  EXPECT_TRUE(analysis::VerifyProgram(program, 0, 0).ok());
+
+  algebra::RewriteLog log;
+  ASSERT_TRUE(
+      analysis::OptimizeNvmProgram(&program, "test", 0, 0, &log).ok());
+  EXPECT_TRUE(analysis::VerifyProgram(program, 0, 0).ok());
+  auto result = Vm(&program).Run(
+      runtime::RegisterFile(0), runtime::EvalContext{}, {},
+      [](size_t) -> StatusOr<Value> {
+        return Status::Internal("no nested plans");
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->AsBoolean());
 }
 
 TEST(NvmTest, DisassemblerIsReadable) {
