@@ -32,6 +32,14 @@ struct Row {
   // when the result stream is provably document-ordered already.
   natix::benchutil::RepTimings natix_presort;
   natix::benchutil::RepTimings natix_ordered;
+  // The positional early-exit ablation (docs/LIMIT-PUSHDOWN.md):
+  // "no_limit" compiles with the Limit pushdown off, so positional
+  // rows drain the full article scan; the default run above ("natix",
+  // re-emitted as "natix_limit") closes the pipeline after the k-th
+  // binding. early_exits counts the Limit-triggered pipeline closes of
+  // one instrumented evaluation (0 when no Limit fired).
+  natix::benchutil::RepTimings natix_no_limit;
+  uint64_t early_exits = 0;
 };
 
 natix::benchutil::RepTimings TimeOrdered(
@@ -87,6 +95,15 @@ void WriteJson(uint64_t publications, const std::vector<Row>& rows) {
     AppendReps(&out, "natix_presort", rows[i].natix_presort);
     out += ",\n     ";
     AppendReps(&out, "natix_ordered", rows[i].natix_ordered);
+    out += ",\n     ";
+    // natix_limit aliases the default run: the pushdown is on unless
+    // ablated, so the "natix" timings ARE the limit-on side.
+    AppendReps(&out, "natix_limit", rows[i].natix);
+    out += ",\n     ";
+    AppendReps(&out, "natix_no_limit", rows[i].natix_no_limit);
+    std::snprintf(buf, sizeof(buf), ", \"early_exits\": %llu",
+                  static_cast<unsigned long long>(rows[i].early_exits));
+    out += buf;
     out += "}";
     out += (i + 1 < rows.size()) ? ",\n" : "\n";
   }
@@ -138,8 +155,9 @@ int main() {
   };
 
   std::vector<Row> rows;
-  std::printf("%-64s %9s %10s %10s %10s %10s\n", "query", "results",
-              "interp[s]", "natix[s]", "presort[s]", "ordered[s]");
+  std::printf("%-64s %9s %10s %10s %10s %10s %10s %6s\n", "query",
+              "results", "interp[s]", "natix[s]", "presort[s]",
+              "ordered[s]", "nolimit[s]", "exits");
   for (const char* query : queries) {
     Row row;
     row.query = query;
@@ -149,9 +167,14 @@ int main() {
     row.natix = natix::benchutil::TimeNatixReps(doc, query);
     row.natix_presort = TimeOrdered(doc, query, /*presort=*/true);
     row.natix_ordered = TimeOrdered(doc, query, /*presort=*/false);
-    std::printf("%-64s %9zu %10.4f %10.4f %10.4f %10.4f\n", query,
-                row.results, row.interp.median_s, row.natix.median_s,
-                row.natix_presort.median_s, row.natix_ordered.median_s);
+    row.natix_no_limit = natix::benchutil::TimeNatixRepsNoLimit(doc, query);
+    row.early_exits =
+        natix::benchutil::TimeNatixWithStats(doc, query).totals.early_exits;
+    std::printf("%-64s %9zu %10.4f %10.4f %10.4f %10.4f %10.4f %6llu\n",
+                query, row.results, row.interp.median_s,
+                row.natix.median_s, row.natix_presort.median_s,
+                row.natix_ordered.median_s, row.natix_no_limit.median_s,
+                static_cast<unsigned long long>(row.early_exits));
     std::fflush(stdout);
     rows.push_back(row);
   }

@@ -127,6 +127,14 @@ RepTimings TimeNatixRepsNoNvmOpt(LoadedDocument& doc,
   return TimeNatixRepsWith(doc, query, options);
 }
 
+RepTimings TimeNatixRepsNoLimit(LoadedDocument& doc,
+                                const std::string& query) {
+  translate::TranslatorOptions options =
+      translate::TranslatorOptions::Improved();
+  options.limit_pushdown = false;
+  return TimeNatixRepsWith(doc, query, options);
+}
+
 namespace {
 
 /// One evaluation; returns the NVM instructions it retired.

@@ -73,6 +73,12 @@ RepTimings TimeNatixRepsNoRewrite(LoadedDocument& doc,
 RepTimings TimeNatixRepsNoNvmOpt(LoadedDocument& doc,
                                  const std::string& query);
 
+/// Same, but with the positional Limit pushdown off (improved
+/// translation, limit_pushdown = false): the "natix_no_limit" ablation
+/// column of BENCH_fig10.json (docs/LIMIT-PUSHDOWN.md).
+RepTimings TimeNatixRepsNoLimit(LoadedDocument& doc,
+                                const std::string& query);
+
 /// NVM subscript instruction counts for `query`: static bytecode sizes
 /// before/after optimization (summed over the plan's subscripts) and
 /// instructions retired by one evaluation with the optimizer on / off.

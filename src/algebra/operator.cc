@@ -44,6 +44,8 @@ const char* OpKindName(OpKind kind) {
       return "MemoX";
     case OpKind::kIdDeref:
       return "IdDeref";
+    case OpKind::kLimit:
+      return "Limit";
   }
   return "?";
 }
@@ -179,6 +181,9 @@ void PrintOp(const Operator& op, int depth, std::string* out) {
       *out += "[" + op.attr + " := deref " +
               (op.scalar != nullptr ? op.scalar->ToString() : op.ctx_attr) +
               "]";
+      break;
+    case OpKind::kLimit:
+      *out += "[" + std::to_string(op.limit) + "]";
       break;
     default:
       break;

@@ -40,7 +40,8 @@ enum class OpKind : uint8_t {
   kBinaryGroup,    // children[0] Γ_{attr; left_attr θ right_attr; agg} children[1]
   kTmpCs,          // Tmp^cs (ctx_attr empty) or Tmp^cs_c — adds attr = cs
   kMemoX,          // 𝔐_{key_attrs}(child) — memoizes child's tuples
-  kIdDeref         // id(): dereference id tokens to element nodes -> attr
+  kIdDeref,        // id(): dereference id tokens to element nodes -> attr
+  kLimit           // first `limit` tuples of the child, then early Close()
 };
 
 const char* OpKindName(OpKind kind);
@@ -139,6 +140,12 @@ struct Operator {
 
   // kMemoX:
   std::vector<std::string> key_attrs;
+
+  /// kLimit: number of tuples to pass through before reporting
+  /// exhaustion and closing the input pipeline (always >= 1; a limit of
+  /// 0 would be a statically-empty plan, which the simplifier expresses
+  /// differently).
+  uint64_t limit = 0;
 
   // kIdDeref: when `scalar` is set, tokens come from its string value;
   // otherwise from the string-values of nodes in ctx_attr.

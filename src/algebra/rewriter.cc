@@ -1,5 +1,6 @@
 #include "algebra/rewriter.h"
 
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -36,6 +37,7 @@ namespace {
 struct SimplifyCtx {
   const OpPtr* root = nullptr;
   bool verify = false;
+  bool limit_pushdown = true;
   std::set<std::string> outer;
   RewriteLog* log = nullptr;
   Status status;
@@ -85,6 +87,214 @@ size_t ReplaceByChild(OpPtr* slot, size_t child_index, SimplifyCtx* ctx,
   return dropped;
 }
 
+/// Whether `op` binds `attr` as a stream attribute.
+bool BindsAttr(const Operator& op, const std::string& attr) {
+  switch (op.kind) {
+    case OpKind::kMap:
+    case OpKind::kCounter:
+    case OpKind::kUnnestMap:
+    case OpKind::kUnnest:
+    case OpKind::kAggregate:
+    case OpKind::kBinaryGroup:
+    case OpKind::kTmpCs:
+    case OpKind::kIdDeref:
+      return op.attr == attr;
+    default:
+      return false;
+  }
+}
+
+/// The operator in `op`'s subtree binding `attr`, or null when the
+/// attribute is free there (bound outside, e.g. by a dependent join's
+/// left branch or the execution context).
+const Operator* FindBinder(const Operator& op, const std::string& attr) {
+  if (BindsAttr(op, attr)) return &op;
+  for (const OpPtr& child : op.children) {
+    if (const Operator* found = FindBinder(*child, attr)) return found;
+  }
+  return nullptr;
+}
+
+/// Descends through operators that merely decorate or replay their
+/// input stream to the operator that produced the node sequence a
+/// positional predicate counts over.
+const Operator* FocusProducer(const Operator* op) {
+  while (op->kind == OpKind::kSelect || op->kind == OpKind::kCounter ||
+         op->kind == OpKind::kTmpCs || op->kind == OpKind::kLimit ||
+         op->kind == OpKind::kMap || op->kind == OpKind::kProject ||
+         op->kind == OpKind::kMemoX) {
+    op = op->children[0].get();
+  }
+  return op;
+}
+
+/// The node-stream attribute `op` produces, when it is a producer the
+/// positional rewrite can reason about.
+std::string ProducerAttr(const Operator& op) {
+  switch (op.kind) {
+    case OpKind::kUnnestMap:
+    case OpKind::kUnnest:
+    case OpKind::kIdDeref:
+    case OpKind::kDupElim:
+    case OpKind::kSort:
+      return op.attr;
+    default:
+      return std::string();
+  }
+}
+
+/// Positional early exit (the whole-query analogue of the smart
+/// aggregation exit): `Select[cp θ k]` directly above the `Counter`
+/// binding cp cannot qualify any tuple past the k-th, so the stream may
+/// be capped with `Limit` — closing the pipeline, including the page
+/// scan feeding it, as soon as the bound is reached. Fires only when
+///  * θ is =, < or <= against a positive integer literal (sema turned
+///    numeric predicates like [3] into `position() = 3` already; a
+///    Tmp^cs between the selection and the counter means the predicate
+///    depends on last() and needs the whole stream),
+///  * the counter provably numbers the whole stream: it has no reset
+///    boundary, or the boundary attribute is constant per evaluation
+///    (free), or its binder is a provably <=1-tuple stream — otherwise
+///    position() restarts per context group and a global cap is wrong,
+///  * property inference proves the positioned stream doc-ordered and
+///    duplicate-free (so "the k-th tuple" is a well-defined prefix of
+///    the one true document-order enumeration; reverse axes, which
+///    enumerate in reverse order, fail this and must not fire).
+/// The inserted Limit is then pushed below non-blocking 1:1 operators
+/// (counter, χ, Π) so it sits directly on the producing scan.
+void TryLimitPushdown(OpPtr* slot, SimplifyCtx* ctx) {
+  Operator* select = slot->get();
+  const Scalar& pred = *select->scalar;
+  if (pred.kind != ScalarKind::kCompare || pred.children.size() != 2) return;
+  const Scalar* attr_side = pred.children[0].get();
+  const Scalar* const_side = pred.children[1].get();
+  runtime::CompareOp cmp = pred.cmp;
+  if (attr_side->kind == ScalarKind::kNumberConst &&
+      const_side->kind == ScalarKind::kAttrRef) {
+    // Mirrored orientation (`3 >= position()`): flip the comparison.
+    std::swap(attr_side, const_side);
+    switch (cmp) {
+      case runtime::CompareOp::kLt:
+        cmp = runtime::CompareOp::kGt;
+        break;
+      case runtime::CompareOp::kLe:
+        cmp = runtime::CompareOp::kGe;
+        break;
+      case runtime::CompareOp::kGt:
+        cmp = runtime::CompareOp::kLt;
+        break;
+      case runtime::CompareOp::kGe:
+        cmp = runtime::CompareOp::kLe;
+        break;
+      default:
+        break;
+    }
+  }
+  if (attr_side->kind != ScalarKind::kAttrRef ||
+      const_side->kind != ScalarKind::kNumberConst) {
+    return;
+  }
+  double k = const_side->number;
+  // The bound must be a positive integer: fractional or out-of-range
+  // positions make the predicate statically false (or effectively
+  // unbounded) and are left to other machinery.
+  if (!(k >= 1) || k != std::floor(k) || k > 1e15) return;
+  uint64_t bound = 0;
+  switch (cmp) {
+    case runtime::CompareOp::kEq:
+    case runtime::CompareOp::kLe:
+      bound = static_cast<uint64_t>(k);
+      break;
+    case runtime::CompareOp::kLt:
+      if (k < 2) return;  // position() < 1: statically false, leave it
+      bound = static_cast<uint64_t>(k) - 1;
+      break;
+    default:
+      return;  // >, >=, != qualify tuples arbitrarily late
+  }
+
+  Operator* counter = select->children[0].get();
+  if (counter->kind != OpKind::kCounter || counter->attr != attr_side->name) {
+    return;
+  }
+  // Idempotence: a matching (or tighter) cap is already in place.
+  if (counter->children[0]->kind == OpKind::kLimit &&
+      counter->children[0]->limit <= bound) {
+    return;
+  }
+
+  // Whole-stream counting.
+  const Operator& input = *counter->children[0];
+  std::string boundary_fact;
+  if (counter->ctx_attr.empty()) {
+    boundary_fact = "counter numbers the whole stream";
+  } else if (const Operator* binder = FindBinder(input, counter->ctx_attr)) {
+    PlanProperties binder_props = analysis::InferPlanProperties(*binder);
+    if (!binder_props.AtMostOne()) return;
+    boundary_fact = "reset boundary '" + counter->ctx_attr +
+                    "' bound by a card:" +
+                    analysis::CardinalityName(binder_props.cardinality) +
+                    " stream";
+  } else {
+    // Free attribute: one fixed value per evaluation of this plan (the
+    // dependent-join contract), so the counter never actually resets.
+    boundary_fact =
+        "reset attribute '" + counter->ctx_attr + "' is constant per evaluation";
+  }
+
+  // Doc order and duplicate-freedom of the positioned stream.
+  const Operator* producer = FocusProducer(counter->children[0].get());
+  std::string stream_attr = ProducerAttr(*producer);
+  if (stream_attr.empty()) return;
+  PlanProperties in = analysis::InferPlanProperties(*counter->children[0]);
+  analysis::AttrProperties stream = in.Lookup(stream_attr);
+  if (stream.order != OrderState::kDocOrdered || !stream.duplicate_free) {
+    return;
+  }
+
+  PlanProperties before = analysis::InferPlanProperties(*select);
+  const char* rule = "limit:positional-pushdown";
+  LogRewrite(ctx, rule, analysis::OperatorSummary(*select),
+             analysis::RenderProperties(in, stream_attr) + "; " +
+                 boundary_fact);
+  OpPtr lim = MakeOp(OpKind::kLimit);
+  lim->limit = bound;
+  lim->children.push_back(std::move(select->children[0]));
+  select->children[0] = std::move(lim);
+  CheckAfterRule(ctx, rule, &before, slot->get());
+  if (!ctx->status.ok()) return;
+
+  // Push the cap below non-blocking 1:1 operators: a prefix of a
+  // tuple-preserving operator's output is that operator applied to the
+  // same prefix of its input. Stops at expanding (Υ, μ), filtering
+  // (σ, Π^D) or blocking (Sort, Tmp^cs) operators.
+  OpPtr* lim_slot = &select->children[0];
+  while (ctx->status.ok()) {
+    Operator* l = lim_slot->get();
+    OpKind below = l->children[0]->kind;
+    const char* push_rule = nullptr;
+    if (below == OpKind::kCounter) {
+      push_rule = "limit:push-below-counter";
+    } else if (below == OpKind::kMap) {
+      push_rule = "limit:push-below-map";
+    } else if (below == OpKind::kProject) {
+      push_rule = "limit:push-below-project";
+    } else {
+      break;
+    }
+    PlanProperties rot_before = analysis::InferPlanProperties(*l);
+    LogRewrite(ctx, push_rule, analysis::OperatorSummary(*l->children[0]),
+               "prefix commutes with a 1:1 operator");
+    OpPtr limit_node = std::move(*lim_slot);
+    OpPtr carrier = std::move(limit_node->children[0]);
+    limit_node->children[0] = std::move(carrier->children[0]);
+    carrier->children[0] = std::move(limit_node);
+    *lim_slot = std::move(carrier);
+    CheckAfterRule(ctx, push_rule, &rot_before, lim_slot->get());
+    lim_slot = &(*lim_slot)->children[0];
+  }
+}
+
 size_t SimplifyNode(OpPtr* slot, SimplifyCtx* ctx) {
   if (!ctx->status.ok()) return 0;
   size_t removed = 0;
@@ -115,6 +325,7 @@ size_t SimplifyNode(OpPtr* slot, SimplifyCtx* ctx) {
                              slot, 0, ctx, "drop-selection-on-empty-input",
                              analysis::RenderProperties(child, ""));
       }
+      if (ctx->limit_pushdown) TryLimitPushdown(slot, ctx);
       return removed;
     }
 
@@ -315,19 +526,22 @@ size_t SimplifyScalar(Scalar* scalar, SimplifyCtx* ctx) {
 
 }  // namespace
 
-size_t SimplifyPlan(OpPtr* plan, RewriteLog* log) {
+size_t SimplifyPlan(OpPtr* plan, RewriteLog* log, bool limit_pushdown) {
   obs::ScopedSpan span("compile/rewrite");
   SimplifyCtx ctx;
   ctx.root = plan;
   ctx.log = log;
+  ctx.limit_pushdown = limit_pushdown;
   return SimplifyNode(plan, &ctx);
 }
 
-StatusOr<size_t> SimplifyPlanChecked(OpPtr* plan, RewriteLog* log) {
+StatusOr<size_t> SimplifyPlanChecked(OpPtr* plan, RewriteLog* log,
+                                     bool limit_pushdown) {
   obs::ScopedSpan span("compile/rewrite");
   SimplifyCtx ctx;
   ctx.root = plan;
   ctx.log = log;
+  ctx.limit_pushdown = limit_pushdown;
   ctx.verify = analysis::VerificationEnabled();
   if (ctx.verify) {
     // Whatever the plan legitimately read from its context before

@@ -60,11 +60,18 @@ using RewriteLog = std::vector<RewriteEvent>;
 ///  * replaces a context-free Tmp^cs over a <=1-tuple input by a
 ///    constant map (cs = 1),
 ///  * folds aggregates over statically-empty nested subplans into
-///    constants (exists -> false, count/sum -> 0, ...).
+///    constants (exists -> false, count/sum -> 0, ...),
+///  * caps positional predicates (`position() = k` / `< k` / `<= k`,
+///    including the numeric-literal form `[3]`) with a Limit operator
+///    and pushes it below non-blocking 1:1 operators, so the pipeline —
+///    including the page scan feeding it — closes after the k-th
+///    binding ("limit:*" rules; `limit_pushdown` disables just these,
+///    the ablation/differential-fuzz switch).
 /// Returns the number of operators removed or replaced; each rule
 /// application is appended to `log` (when non-null) with the proving
 /// property. Also rewrites nested subplans inside scalar subscripts.
-size_t SimplifyPlan(OpPtr* plan, RewriteLog* log = nullptr);
+size_t SimplifyPlan(OpPtr* plan, RewriteLog* log = nullptr,
+                    bool limit_pushdown = true);
 
 /// Like SimplifyPlan, but when plan verification is enabled
 /// (analysis::VerificationEnabled — on by default in debug builds) every
@@ -75,8 +82,8 @@ size_t SimplifyPlan(OpPtr* plan, RewriteLog* log = nullptr);
 /// class). A violation aborts rewriting and names the offending rule,
 /// instead of letting a malformed or semantics-changing plan flow on to
 /// code generation.
-StatusOr<size_t> SimplifyPlanChecked(OpPtr* plan,
-                                     RewriteLog* log = nullptr);
+StatusOr<size_t> SimplifyPlanChecked(OpPtr* plan, RewriteLog* log = nullptr,
+                                     bool limit_pushdown = true);
 
 }  // namespace natix::algebra
 

@@ -297,6 +297,13 @@ class LogicalVerifier {
           NATIX_RETURN_IF_ERROR(RequireBound(op, key, avail, "memo key"));
         }
         break;
+      case OpKind::kLimit:
+        // A limit of 0 is a statically-empty plan, which rewrites spell
+        // differently; a Limit node always carries a positive bound.
+        if (op.limit == 0) {
+          return Malformed(op, "limit bound must be at least 1");
+        }
+        break;
       default:
         break;
     }

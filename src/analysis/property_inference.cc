@@ -336,6 +336,16 @@ PlanProperties Infer(const Operator& op, PropertyMap* map) {
             // At most one output per context.
             props.cardinality = FilterCardinality(input.cardinality);
             break;
+          case Axis::kChild:
+            // A document node has exactly one element child (the
+            // document element), so a child step with an element test
+            // from a root context yields at most one node per context.
+            props.cardinality =
+                ctx.node_class == NodeClass::kRoot &&
+                        TestRequiresPrincipal(op.test) && input.AtMostOne()
+                    ? Cardinality::kAtMostOne
+                    : ExpandCardinality(input.cardinality);
+            break;
           case Axis::kParent:
             // At most one parent per context.
             props.cardinality = input.AtMostOne() ? Cardinality::kAtMostOne
@@ -596,6 +606,17 @@ PlanProperties Infer(const Operator& op, PropertyMap* map) {
       props.attrs[op.attr] = out;
       break;
     }
+
+    case OpKind::kLimit:
+      props = Infer(*op.children[0], map);
+      // A prefix of the input stream: every per-attribute claim
+      // survives, and no tuple below the bound is dropped, so exact
+      // cardinalities keep. Limit 1 caps an unbounded input at a
+      // single tuple.
+      if (op.limit == 1 && props.cardinality == Cardinality::kMany) {
+        props.cardinality = Cardinality::kAtMostOne;
+      }
+      break;
   }
   if (map != nullptr) map->emplace(&op, props);
   return props;
@@ -657,6 +678,9 @@ std::string OperatorSummary(const Operator& op) {
       out += "]";
       break;
     }
+    case OpKind::kLimit:
+      out += "[" + std::to_string(op.limit) + "]";
+      break;
     default:
       break;
   }

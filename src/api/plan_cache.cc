@@ -16,6 +16,12 @@ std::string PlanCache::MakeKey(std::string_view xpath,
   key += options.split_expensive_predicates ? '1' : '0';
   key += options.simplify_plan ? '1' : '0';
   key += options.optimize_nvm ? '1' : '0';
+  key += options.limit_pushdown ? '1' : '0';
+  // The result cap is a value, not a switch: plans baked with different
+  // bounds must not alias in the cache.
+  if (options.result_limit > 0) {
+    key += std::to_string(options.result_limit);
+  }
   key += '\n';
   key += xpath;
   return key;

@@ -130,6 +130,9 @@ class PhysicalPrinter {
       case OpKind::kIdDeref:
         out_ += "[" + Reg(op.attr) + "]";
         break;
+      case OpKind::kLimit:
+        out_ += "[" + std::to_string(op.limit) + "]";
+        break;
       default:
         break;
     }
@@ -449,6 +452,10 @@ class CodegenImpl {
   /// Transparent otherwise: no stats node, no register writes.
   void WrapOracle(const Operator& op, BuildResult* result) {
     if (!analysis::VerificationEnabled()) return;
+    if (op.kind == OpKind::kLimit) {
+      WrapLimitOracle(op, result);
+      return;
+    }
     switch (op.kind) {
       case OpKind::kUnnestMap:
       case OpKind::kDupElim:
@@ -471,6 +478,62 @@ class CodegenImpl {
     result->iter = std::make_unique<PropertyOracleIterator>(
         state_, std::move(result->iter), *reg, check_order, check_dup,
         analysis::OperatorSummary(op) + PropTag(op));
+  }
+
+  /// The Limit contract: at most op.limit tuples per Open, and the
+  /// surviving prefix keeps the input's document-order claim. A Limit
+  /// writes no attribute of its own, so the order check keys on the
+  /// stream attribute produced below it (descending through the
+  /// attribute-transparent operators); the tuple bound needs no
+  /// register at all.
+  void WrapLimitOracle(const Operator& op, BuildResult* result) {
+    const Operator* p = op.children[0].get();
+    while (true) {
+      switch (p->kind) {
+        case OpKind::kSelect:
+        case OpKind::kCounter:
+        case OpKind::kTmpCs:
+        case OpKind::kLimit:
+        case OpKind::kMap:
+        case OpKind::kProject:
+        case OpKind::kMemoX:
+          p = p->children[0].get();
+          continue;
+        default:
+          break;
+      }
+      break;
+    }
+    std::string stream_attr;
+    switch (p->kind) {
+      case OpKind::kUnnestMap:
+      case OpKind::kUnnest:
+      case OpKind::kIdDeref:
+      case OpKind::kDupElim:
+      case OpKind::kSort:
+        stream_attr = p->attr;
+        break;
+      default:
+        break;
+    }
+    bool check_order = false;
+    RegisterId reg = 0;
+    auto it = props_.find(&op);
+    if (!stream_attr.empty() && it != props_.end()) {
+      analysis::AttrProperties attr = it->second.Lookup(stream_attr);
+      StatusOr<RegisterId> resolved = Resolve(stream_attr);
+      if (resolved.ok() &&
+          attr.order == analysis::OrderState::kDocOrdered) {
+        check_order = true;
+        reg = *resolved;
+      }
+    }
+    auto oracle = std::make_unique<PropertyOracleIterator>(
+        state_, std::move(result->iter), reg, check_order,
+        /*check_duplicate_free=*/false,
+        analysis::OperatorSummary(op) + PropTag(op));
+    oracle->set_max_tuples(op.limit);
+    result->iter = std::move(oracle);
   }
 
   StatusOr<BuildResult> Build(const Operator& op) {
@@ -822,6 +885,18 @@ class CodegenImpl {
         child.stats = AttachStats(stats, child.iter.get(), {child.stats});
         child.written.insert(out);
         node->writes.push_back(out);
+        node->children.push_back(std::move(child.node));
+        child.node = std::move(node);
+        return child;
+      }
+      case OpKind::kLimit: {
+        NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
+        child.iter = std::make_unique<LimitIterator>(std::move(child.iter),
+                                                     op.limit);
+        child.stats =
+            Observe("Limit[" + std::to_string(op.limit) + "]" + PropTag(op),
+                    child.iter.get(), {child.stats});
+        PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "Limit");
         node->children.push_back(std::move(child.node));
         child.node = std::move(node);
         return child;

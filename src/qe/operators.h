@@ -106,6 +106,36 @@ class CounterIterator : public Iterator {
   bool have_key_ = false;
 };
 
+/// Limit: passes the first `limit` tuples through, then reports
+/// exhaustion and closes the input pipeline immediately — the
+/// whole-query analogue of the smart-aggregation early exit
+/// (Sec. 5.2.5) for positional predicates. The early Close() cascades
+/// down to the page scans feeding the pipeline; `early_exits` counts
+/// every time the cap fired before the child reported exhaustion
+/// itself.
+class LimitIterator : public Iterator {
+ public:
+  LimitIterator(IteratorPtr child, uint64_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+  Status OpenImpl() override {
+    count_ = 0;
+    child_open_ = true;
+    return child_->Open();
+  }
+  Status NextImpl(bool* has) override;
+  Status CloseImpl() override {
+    if (!child_open_) return Status::OK();
+    child_open_ = false;
+    return child_->Close();
+  }
+
+ private:
+  IteratorPtr child_;
+  uint64_t limit_;
+  uint64_t count_ = 0;
+  bool child_open_ = false;
+};
+
 /// The unnest-map Upsilon_{a := c/axis::test} (Sec. 3.2): the location
 /// step. Streams the axis nodes of each input tuple's context node,
 /// navigating the page buffer directly.

@@ -37,6 +37,24 @@ Status MapIterator::NextImpl(bool* has) {
   return Status::OK();
 }
 
+Status LimitIterator::NextImpl(bool* has) {
+  if (count_ >= limit_) {
+    *has = false;
+    if (child_open_) {
+      // The bound is reached: close the input pipeline now, cascading
+      // Close() down to the page scans, instead of holding it open
+      // until the consumer tears the plan down.
+      child_open_ = false;
+      NATIX_OBS_COUNT(stats_, early_exits, 1);
+      return child_->Close();
+    }
+    return Status::OK();
+  }
+  NATIX_RETURN_IF_ERROR(child_->Next(has));
+  if (*has) ++count_;
+  return Status::OK();
+}
+
 Status CounterIterator::OpenImpl() {
   counter_ = 0;
   have_key_ = false;

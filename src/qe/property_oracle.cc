@@ -18,6 +18,7 @@ PropertyOracleIterator::PropertyOracleIterator(
 Status PropertyOracleIterator::OpenImpl() {
   last_order_ = 0;
   has_last_ = false;
+  produced_ = 0;
   seen_nodes_.clear();
   seen_values_.clear();
   return child_->Open();
@@ -26,6 +27,13 @@ Status PropertyOracleIterator::OpenImpl() {
 Status PropertyOracleIterator::NextImpl(bool* has) {
   NATIX_RETURN_IF_ERROR(child_->Next(has));
   if (!*has) return Status::OK();
+  if (max_tuples_ > 0 && ++produced_ > max_tuples_) {
+    return Status::Internal(
+        "property oracle: stream '" + label_ +
+        "' violated its limit contract (more than " +
+        std::to_string(max_tuples_) + " tuples)");
+  }
+  if (!check_order_ && !check_duplicate_free_) return Status::OK();
   const runtime::Value& value = state_->registers[reg_];
   if (value.kind() == runtime::ValueKind::kNode) {
     const runtime::NodeRef node = value.AsNode();

@@ -30,6 +30,13 @@ class PropertyOracleIterator : public Iterator {
                          runtime::RegisterId reg, bool check_order,
                          bool check_duplicate_free, std::string label);
 
+  /// Arms the Limit contract: the wrapped stream must emit at most
+  /// `max_tuples` tuples per Open (0 disarms). The code generator sets
+  /// this on the wrapper over every Limit operator, so an unsound
+  /// pushdown — a cap that the capped iterator fails to honor — aborts
+  /// execution instead of silently truncating or over-producing.
+  void set_max_tuples(uint64_t max_tuples) { max_tuples_ = max_tuples; }
+
  protected:
   Status OpenImpl() override;
   Status NextImpl(bool* has) override;
@@ -42,6 +49,9 @@ class PropertyOracleIterator : public Iterator {
   bool check_order_;
   bool check_duplicate_free_;
   std::string label_;
+  /// Limit contract (0 = no bound to enforce).
+  uint64_t max_tuples_ = 0;
+  uint64_t produced_ = 0;
 
   /// Document-order key of the last node seen since Open.
   uint64_t last_order_ = 0;

@@ -4,6 +4,7 @@
 
 #include "algebra/rewriter.h"
 #include "analysis/plan_verifier.h"
+#include "analysis/property_inference.h"
 #include "base/logging.h"
 #include "obs/trace.h"
 #include "xpath/normalizer.h"
@@ -748,9 +749,39 @@ StatusOr<TranslationResult> Translate(const xpath::Expr& root,
   if (options.simplify_plan) {
     // The checked simplifier re-verifies after every rule application
     // (when verification is enabled) and names the offending rule.
-    NATIX_RETURN_IF_ERROR(
-        algebra::SimplifyPlanChecked(&result.plan, &result.rewrites)
-            .status());
+    NATIX_RETURN_IF_ERROR(algebra::SimplifyPlanChecked(
+                              &result.plan, &result.rewrites,
+                              options.limit_pushdown)
+                              .status());
+  }
+  if (options.result_limit > 0 && result.type == ExprType::kNodeSet) {
+    // Paginated serving: cap the result at the first result_limit nodes
+    // in document order. A provably doc-ordered result stream is capped
+    // in place (the pipeline closes after the k-th binding); otherwise
+    // an in-plan sort establishes the order below the cap, so the bound
+    // is exact either way.
+    analysis::PlanProperties props =
+        analysis::InferPlanProperties(*result.plan);
+    analysis::AttrProperties out = props.Lookup(result.result_attr);
+    if (out.order != analysis::OrderState::kDocOrdered) {
+      OpPtr sort = MakeOp(OpKind::kSort);
+      sort->attr = result.result_attr;
+      sort->children.push_back(std::move(result.plan));
+      result.plan = std::move(sort);
+    }
+    OpPtr lim = MakeOp(OpKind::kLimit);
+    lim->limit = options.result_limit;
+    lim->children.push_back(std::move(result.plan));
+    result.plan = std::move(lim);
+    result.rewrites.push_back(algebra::RewriteEvent{
+        "limit:api-result-limit", "Limit[" +
+            std::to_string(options.result_limit) + "]",
+        out.order == analysis::OrderState::kDocOrdered
+            ? std::string("result stream provably doc-ordered")
+            : std::string("in-plan sort inserted below the cap")});
+    if (analysis::VerificationEnabled()) {
+      NATIX_RETURN_IF_ERROR(analysis::VerifyTranslation(result));
+    }
   }
   return result;
 }

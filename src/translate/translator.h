@@ -35,6 +35,20 @@ struct TranslatorOptions {
   /// ablation baseline in bench/. Orthogonal to the plan-level switches,
   /// so Canonical() leaves it on.
   bool optimize_nvm = true;
+  /// Positional early exit (docs/LIMIT-PUSHDOWN.md): rewrite
+  /// position() = k / < k / <= k predicates (including the numeric
+  /// literal form [3]) into a Limit operator pushed down to the
+  /// producing scan, so the pipeline closes after the k-th binding.
+  /// Effective only together with simplify_plan; off is the ablation
+  /// baseline and the differential-fuzz switch.
+  bool limit_pushdown = true;
+  /// When > 0 and the query yields a node set, cap the result at the
+  /// first `result_limit` nodes in document order (paginated serving).
+  /// Plans whose result stream is provably doc-ordered close their
+  /// pipeline — including the underlying page scans — after the k-th
+  /// binding; other plans gain an in-plan document-order sort below the
+  /// cap, so the bound is exact either way.
+  uint64_t result_limit = 0;
 
   static TranslatorOptions Canonical() {
     return TranslatorOptions{false, false, false, false, false};

@@ -77,7 +77,7 @@ TEST(ExplainAnalyzeGoldenTest, Fig6Query1) {
       DupElim[c4] {card:n, dup-free(c4), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
         UnnestMap[c4 := c3/ancestor::*] {card:n, class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
           UnnestMap[c3 := c2/descendant::*] {card:n, ord:doc(c3), dup-free(c3), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-            UnnestMap[c2 := c1/child::xdoc] {card:n, ord:doc(c2), dup-free(c2), non-nested(c2), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+            UnnestMap[c2 := c1/child::xdoc] {card:<=_, ord:doc(c2), dup-free(c2), non-nested(c2), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
               Map[c1 := root*(cn)] {card:1, ord:doc(c1), dup-free(c1), non-nested(c1), class:root} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
                 SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
 buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_
@@ -93,7 +93,7 @@ TEST(ExplainAnalyzeGoldenTest, Fig7Query2) {
       DupElim[c4] {card:n, dup-free(c4), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
         UnnestMap[c4 := c3/preceding-sibling::*] {card:n, class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
           UnnestMap[c3 := c2/descendant::*] {card:n, ord:doc(c3), dup-free(c3), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-            UnnestMap[c2 := c1/child::xdoc] {card:n, ord:doc(c2), dup-free(c2), non-nested(c2), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+            UnnestMap[c2 := c1/child::xdoc] {card:<=_, ord:doc(c2), dup-free(c2), non-nested(c2), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
               Map[c1 := root*(cn)] {card:1, ord:doc(c1), dup-free(c1), non-nested(c1), class:root} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
                 SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
 buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_
@@ -109,7 +109,7 @@ TEST(ExplainAnalyzeGoldenTest, Fig8Query3) {
       DupElim[c4] {card:n, dup-free(c4), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
         UnnestMap[c4 := c3/ancestor::*] {card:n, class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
           UnnestMap[c3 := c2/descendant::*] {card:n, ord:doc(c3), dup-free(c3), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-            UnnestMap[c2 := c1/child::xdoc] {card:n, ord:doc(c2), dup-free(c2), non-nested(c2), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+            UnnestMap[c2 := c1/child::xdoc] {card:<=_, ord:doc(c2), dup-free(c2), non-nested(c2), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
               Map[c1 := root*(cn)] {card:1, ord:doc(c1), dup-free(c1), non-nested(c1), class:root} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
                 SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
 buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_
@@ -125,7 +125,7 @@ TEST(ExplainAnalyzeGoldenTest, Fig9Query4) {
       DupElim[c4] {card:n, dup-free(c4), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
         UnnestMap[c4 := c3/parent::*] {card:n, class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
           UnnestMap[c3 := c2/child::*] {card:n, ord:doc(c3), dup-free(c3), non-nested(c3), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-            UnnestMap[c2 := c1/child::xdoc] {card:n, ord:doc(c2), dup-free(c2), non-nested(c2), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+            UnnestMap[c2 := c1/child::xdoc] {card:<=_, ord:doc(c2), dup-free(c2), non-nested(c2), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
               Map[c1 := root*(cn)] {card:1, ord:doc(c1), dup-free(c1), non-nested(c1), class:root} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
                 SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
 buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_
@@ -147,7 +147,7 @@ TEST(ExplainAnalyzeGoldenTest, Fig10DblpPositional) {
     TmpCs[cs5; context c2] {card:n, ord:grouped(cs5), non-nested(cs5), class:value} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_ spooled=_ replayed=_ groups=_)
       Counter[cp4, reset on c2] (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
         UnnestMap[c3 := c2/child::article] {card:n, ord:doc(c3), dup-free(c3), non-nested(c3), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
-          UnnestMap[c2 := c1/child::dblp] {card:n, ord:doc(c2), dup-free(c2), non-nested(c2), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
+          UnnestMap[c2 := c1/child::dblp] {card:<=_, ord:doc(c2), dup-free(c2), non-nested(c2), class:element} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
             Map[c1 := root*(cn)] {card:1, ord:doc(c1), dup-free(c1), non-nested(c1), class:root} (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
               SingletonScan (open=_ next=_ tuples=_ exclusive_ms=_ page_reads=_ page_hits=_)
 buffer: page_reads=_ page_hits=_ page_writes=_ evictions=_

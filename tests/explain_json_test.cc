@@ -55,7 +55,7 @@ TEST(ExplainPropertiesGoldenTest, Fig6Query1) {
       DupElim[c4]  {card:n, dup-free(c4), class:element}
         UnnestMap[c4 := c3/ancestor::*]  {card:n, class:element}
           UnnestMap[c3 := c2/descendant::*]  {card:n, ord:doc(c3), dup-free(c3), class:element}
-            UnnestMap[c2 := c1/child::xdoc]  {card:n, ord:doc(c2), dup-free(c2), non-nested(c2), class:element}
+            UnnestMap[c2 := c1/child::xdoc]  {card:<=1, ord:doc(c2), dup-free(c2), non-nested(c2), class:element}
               Map[c1 := root*(cn)]  {card:1, ord:doc(c1), dup-free(c1), non-nested(c1), class:root}
                 SingletonScan  {card:1}
 )");
@@ -72,7 +72,7 @@ TEST(ExplainPropertiesGoldenTest, Fig7Query2) {
       DupElim[c4]  {card:n, dup-free(c4), class:element}
         UnnestMap[c4 := c3/preceding-sibling::*]  {card:n, class:element}
           UnnestMap[c3 := c2/descendant::*]  {card:n, ord:doc(c3), dup-free(c3), class:element}
-            UnnestMap[c2 := c1/child::xdoc]  {card:n, ord:doc(c2), dup-free(c2), non-nested(c2), class:element}
+            UnnestMap[c2 := c1/child::xdoc]  {card:<=1, ord:doc(c2), dup-free(c2), non-nested(c2), class:element}
               Map[c1 := root*(cn)]  {card:1, ord:doc(c1), dup-free(c1), non-nested(c1), class:root}
                 SingletonScan  {card:1}
 )");
@@ -88,7 +88,7 @@ TEST(ExplainPropertiesGoldenTest, Fig8Query3) {
       DupElim[c4]  {card:n, dup-free(c4), class:element}
         UnnestMap[c4 := c3/ancestor::*]  {card:n, class:element}
           UnnestMap[c3 := c2/descendant::*]  {card:n, ord:doc(c3), dup-free(c3), class:element}
-            UnnestMap[c2 := c1/child::xdoc]  {card:n, ord:doc(c2), dup-free(c2), non-nested(c2), class:element}
+            UnnestMap[c2 := c1/child::xdoc]  {card:<=1, ord:doc(c2), dup-free(c2), non-nested(c2), class:element}
               Map[c1 := root*(cn)]  {card:1, ord:doc(c1), dup-free(c1), non-nested(c1), class:root}
                 SingletonScan  {card:1}
 )");
@@ -114,7 +114,7 @@ TEST(ExplainPropertiesGoldenTest, Fig9Query4) {
       DupElim[c4]  {card:n, dup-free(c4), class:element}
         UnnestMap[c4 := c3/parent::*]  {card:n, class:element}
           UnnestMap[c3 := c2/child::*]  {card:n, ord:doc(c3), dup-free(c3), non-nested(c3), class:element}
-            UnnestMap[c2 := c1/child::xdoc]  {card:n, ord:doc(c2), dup-free(c2), non-nested(c2), class:element}
+            UnnestMap[c2 := c1/child::xdoc]  {card:<=1, ord:doc(c2), dup-free(c2), non-nested(c2), class:element}
               Map[c1 := root*(cn)]  {card:1, ord:doc(c1), dup-free(c1), non-nested(c1), class:root}
                 SingletonScan  {card:1}
 )");
@@ -129,7 +129,7 @@ TEST(ExplainPropertiesGoldenTest, Fig10DblpPositional) {
     TmpCs[cs5; context c2]  {card:n, ord:grouped(cs5), non-nested(cs5), class:value}
       Counter[cp4, reset on c2]  {card:n, class:value}
         UnnestMap[c3 := c2/child::article]  {card:n, ord:doc(c3), dup-free(c3), non-nested(c3), class:element}
-          UnnestMap[c2 := c1/child::dblp]  {card:n, ord:doc(c2), dup-free(c2), non-nested(c2), class:element}
+          UnnestMap[c2 := c1/child::dblp]  {card:<=1, ord:doc(c2), dup-free(c2), non-nested(c2), class:element}
             Map[c1 := root*(cn)]  {card:1, ord:doc(c1), dup-free(c1), non-nested(c1), class:root}
               SingletonScan  {card:1}
 )");

@@ -147,6 +147,78 @@ TEST(PropertyOracleTest, ReopenResetsTheClaimWindow) {
   EXPECT_TRUE(Drain(&oracle).ok());
 }
 
+TEST(PropertyOracleTest, LimitContractHonestStreamPasses) {
+  // A stream that honors its cap passes; the bound is inclusive.
+  OracleHarness h;
+  std::vector<runtime::Value> values = {Node(1, 10), Node(2, 20),
+                                        Node(3, 30)};
+  PropertyOracleIterator oracle(
+      &h.state, std::make_unique<VectorIterator>(&h.state, 0, values), 0,
+      /*check_order=*/true, /*check_duplicate_free=*/false, "Limit[3]");
+  oracle.set_max_tuples(3);
+  size_t tuples = 0;
+  Status status = Drain(&oracle, &tuples);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(tuples, 3u);
+}
+
+TEST(PropertyOracleTest, LimitContractOverproductionAborts) {
+  // A deliberately unsound pushdown: the plan claims at most 2 tuples
+  // but the capped pipeline leaks a third. The oracle must abort the
+  // execution rather than let the truncated-wrong result escape.
+  OracleHarness h;
+  std::vector<runtime::Value> values = {Node(1, 10), Node(2, 20),
+                                        Node(3, 30)};
+  PropertyOracleIterator oracle(
+      &h.state, std::make_unique<VectorIterator>(&h.state, 0, values), 0,
+      /*check_order=*/false, /*check_duplicate_free=*/false, "Limit[2]");
+  oracle.set_max_tuples(2);
+  Status status = Drain(&oracle);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("limit contract"), std::string::npos);
+  EXPECT_NE(status.ToString().find("Limit[2]"), std::string::npos);
+}
+
+TEST(PropertyOracleTest, LimitContractResetsPerOpen) {
+  // Dependent branches re-open per outer binding; the cap is per Open,
+  // so two full drains of a compliant stream must both pass.
+  OracleHarness h;
+  std::vector<runtime::Value> values = {Node(1, 10), Node(2, 20)};
+  PropertyOracleIterator oracle(
+      &h.state, std::make_unique<VectorIterator>(&h.state, 0, values), 0,
+      /*check_order=*/true, /*check_duplicate_free=*/false, "Limit[2]");
+  oracle.set_max_tuples(2);
+  EXPECT_TRUE(Drain(&oracle).ok());
+  EXPECT_TRUE(Drain(&oracle).ok());
+}
+
+TEST(PropertyOracleTest, PositionalQueriesPassWithLimitContractArmed) {
+  // End-to-end: positional queries whose plans gain a Limit run with
+  // verification on, so the oracle checks the <= k contract and the
+  // preserved-order claim on every tuple of the capped stream.
+  bool was_enabled = analysis::VerificationEnabled();
+  analysis::SetVerificationEnabled(true);
+  auto db = Database::CreateTemp();
+  ASSERT_TRUE(db.ok());
+  auto info = (*db)->LoadDocument(
+      "doc", "<r><a>1</a><a>2</a><a>3</a><a>4</a></r>");
+  ASSERT_TRUE(info.ok());
+  for (const char* query :
+       {"/r/a[2]", "/r/a[position() = 3]", "/r/a[position() < 3]",
+        "/r/a[position() <= 2]"}) {
+    auto compiled = (*db)->Compile(query);
+    ASSERT_TRUE(compiled.ok()) << query;
+    bool has_limit = false;
+    for (const algebra::RewriteEvent& event : (*compiled)->rewrites()) {
+      if (event.rule == "limit:positional-pushdown") has_limit = true;
+    }
+    EXPECT_TRUE(has_limit) << query;
+    auto nodes = (*compiled)->EvaluateNodes(info->root);
+    EXPECT_TRUE(nodes.ok()) << query << ": " << nodes.status().ToString();
+  }
+  analysis::SetVerificationEnabled(was_enabled);
+}
+
 TEST(PropertyOracleTest, EndToEndQueriesPassWithOracleArmed) {
   // Compile + run real queries with verification (and thus the oracle)
   // on: every claim the inference engine makes must hold on the actual
