@@ -30,6 +30,24 @@ StatusOr<std::unique_ptr<qe::PlanTemplate>> RunCompilePipeline(
   return qe::Codegen::Prepare(std::move(translation), store);
 }
 
+/// Feeds the registry for a failed evaluation: deadline expiry and
+/// cooperative cancellation are operational outcomes with their own
+/// counters (serving telemetry), everything else is an exec error.
+void CountExecutionFailure(const Status& status) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      metrics.deadline_exceeded.Add();
+      break;
+    case StatusCode::kCancelled:
+      metrics.queries_cancelled.Add();
+      break;
+    default:
+      metrics.exec_errors.Add();
+      break;
+  }
+}
+
 }  // namespace
 
 StatusOr<std::shared_ptr<const PreparedQuery>> PreparedQuery::Prepare(
@@ -122,7 +140,7 @@ StatusOr<std::vector<runtime::NodeRef>> PreparedQuery::Execution::RunNodes(
   NATIX_RETURN_IF_ERROR(BindContext(context));
   StatusOr<std::vector<runtime::NodeRef>> refs = context_->ExecuteNodes();
   if (!refs.ok()) {
-    obs::MetricsRegistry::Global().exec_errors.Add();
+    CountExecutionFailure(refs.status());
     return refs.status();
   }
   EndStats();
@@ -155,7 +173,7 @@ StatusOr<runtime::Value> PreparedQuery::Execution::EvaluateValue(
   NATIX_RETURN_IF_ERROR(BindContext(context));
   StatusOr<runtime::Value> value = context_->ExecuteValue();
   if (!value.ok()) {
-    obs::MetricsRegistry::Global().exec_errors.Add();
+    CountExecutionFailure(value.status());
     return value.status();
   }
   EndStats();

@@ -1,6 +1,7 @@
 #ifndef NATIX_API_PREPARED_QUERY_H_
 #define NATIX_API_PREPARED_QUERY_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -151,6 +152,21 @@ class PreparedQuery::Execution {
   /// result sort even when inference proved it redundant.
   void SetForceResultSort(bool force) {
     context_->set_force_result_sort(force);
+  }
+
+  /// Absolute steady-clock deadline (base/clock.h MonotonicNanos) for
+  /// subsequent Evaluate* calls: the drain loop aborts past it with
+  /// kDeadlineExceeded and closes the pipeline early. 0 clears. Serving
+  /// binds one per request so queue wait counts against the budget.
+  void SetDeadlineNs(uint64_t abs_ns) {
+    context_->set_deadline_ns(abs_ns);
+  }
+
+  /// External cancel flag checked alongside the deadline (cooperative
+  /// cancellation: server shutdown, client disconnect). Must outlive
+  /// this execution; null clears.
+  void SetCancelFlag(const std::atomic<bool>* flag) {
+    context_->set_cancel_flag(flag);
   }
 
   /// Counters from the most recent Evaluate* call.

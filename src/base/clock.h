@@ -1,0 +1,22 @@
+#ifndef NATIX_BASE_CLOCK_H_
+#define NATIX_BASE_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace natix {
+
+/// Monotonic steady-clock nanoseconds. Deliberately independent of
+/// obs::MonotonicNowNs(): that one compiles to 0 under NATIX_OBS=OFF,
+/// while deadlines and admission control (qe cancellation, src/server)
+/// must keep real time in every build configuration.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace natix
+
+#endif  // NATIX_BASE_CLOCK_H_

@@ -17,8 +17,14 @@ enum class StatusCode {
   kIOError,           // the operating system reported an I/O failure
   kNotSupported,      // a feature outside XPath 1.0 / this build
   kInternal,          // an invariant of the library itself was violated
-  kResourceExhausted  // a configured limit (e.g. buffer pool) was exceeded
+  kResourceExhausted, // a configured limit (e.g. buffer pool) was exceeded
+  kDeadlineExceeded,  // a per-request deadline expired before completion
+  kCancelled          // the caller cooperatively cancelled the execution
 };
+
+/// Stable symbolic name of a code ("InvalidArgument", ...). Serving
+/// error payloads and logs key on these, so they are a contract.
+const char* StatusCodeName(StatusCode code);
 
 /// A Status is either OK or carries an error code plus a human-readable
 /// message. It is cheap to copy in the OK case.
@@ -47,6 +53,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string_view msg) {
     return Status(StatusCode::kResourceExhausted, msg);
+  }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(StatusCode::kDeadlineExceeded, msg);
+  }
+  static Status Cancelled(std::string_view msg) {
+    return Status(StatusCode::kCancelled, msg);
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

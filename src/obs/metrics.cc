@@ -2,6 +2,7 @@
 
 #if !defined(NATIX_OBS_DISABLED)
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cinttypes>
@@ -10,18 +11,6 @@
 namespace natix::obs {
 
 namespace {
-
-/// Lower/upper value bounds of histogram bucket b (see LatencyHistogram:
-/// bucket 0 is the value 0, bucket b >= 1 covers [2^(b-1), 2^b - 1]).
-uint64_t BucketLower(int b) {
-  return b == 0 ? 0 : uint64_t{1} << (b - 1);
-}
-
-uint64_t BucketUpper(int b) {
-  if (b == 0) return 0;
-  if (b >= 64) return ~uint64_t{0};
-  return (uint64_t{1} << b) - 1;
-}
 
 void AppendHistogramJson(std::string* out, const char* name,
                          const LatencyHistogram& h) {
@@ -76,6 +65,16 @@ void LatencyHistogram::Record(uint64_t value) {
   }
 }
 
+uint64_t LatencyHistogram::BucketLowerBound(int b) {
+  return b <= 0 ? 0 : uint64_t{1} << (b - 1);
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(int b) {
+  if (b <= 0) return 0;
+  if (b >= 64) return ~uint64_t{0};
+  return (uint64_t{1} << b) - 1;
+}
+
 uint64_t LatencyHistogram::Percentile(double q) const {
   // Snapshot the buckets once; concurrent Records make the answer
   // approximate, which is all a percentile over log buckets claims.
@@ -88,25 +87,27 @@ uint64_t LatencyHistogram::Percentile(double q) const {
   if (total == 0) return 0;
   if (q < 0) q = 0;
   if (q > 1) q = 1;
-  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
-  if (rank == 0) rank = 1;
-  if (rank > total) rank = total;
-  uint64_t cumulative = 0;
+  // The continuous rank q * total, interpolated linearly inside the
+  // containing bucket — the estimator Prometheus's histogram_quantile()
+  // applies to the same buckets, so the native p50/p90/p99 and the
+  // scrape-side quantiles agree instead of collapsing to a bucket edge.
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0;
   for (int b = 0; b < kBuckets; ++b) {
     if (counts[b] == 0) continue;
-    if (cumulative + counts[b] >= rank) {
-      // Linear interpolation inside the bucket by rank position,
-      // clamped so the top bucket can't overshoot the observed max.
-      uint64_t lower = BucketLower(b);
-      uint64_t upper = BucketUpper(b);
-      double fraction = static_cast<double>(rank - cumulative) /
-                        static_cast<double>(counts[b]);
+    const double here = static_cast<double>(counts[b]);
+    if (cumulative + here >= rank) {
+      const uint64_t lower = BucketLowerBound(b);
+      const uint64_t upper = BucketUpperBound(b);
+      double fraction = (rank - cumulative) / here;
+      if (fraction < 0) fraction = 0;
+      // Clamped so the top bucket can't overshoot the observed max.
       uint64_t value =
           lower + static_cast<uint64_t>(
                       static_cast<double>(upper - lower) * fraction);
       return value > max() ? max() : value;
     }
-    cumulative += counts[b];
+    cumulative += here;
   }
   return max();
 }
@@ -138,8 +139,19 @@ void SlowQueryLog::Record(SlowQueryEntry entry) {
 }
 
 std::vector<SlowQueryEntry> SlowQueryLog::Dump() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return {entries_.begin(), entries_.end()};
+  std::vector<SlowQueryEntry> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.assign(entries_.begin(), entries_.end());
+  }
+  // Record appends under the same mutex, so the ring is already ordered;
+  // the explicit sort makes the monotonic-order contract independent of
+  // that implementation detail (and of future lock-free admission).
+  std::sort(out.begin(), out.end(),
+            [](const SlowQueryEntry& a, const SlowQueryEntry& b) {
+              return a.sequence < b.sequence;
+            });
+  return out;
 }
 
 std::string SlowQueryLog::RenderText() const {
@@ -202,8 +214,10 @@ std::string MetricsRegistry::SnapshotJson() const {
   AppendHistogramJson(&out, "pages_per_query", pages_per_query);
   out += ",";
   AppendHistogramJson(&out, "tuples_per_query", tuples_per_query);
+  out += ",";
+  AppendHistogramJson(&out, "queue_wait_ns", queue_wait_ns);
   out += "},\"counters\":{";
-  char buf[384];
+  char buf[640];
   std::snprintf(buf, sizeof(buf),
                 "\"queries_compiled\":%" PRIu64
                 ",\"queries_executed\":%" PRIu64
@@ -211,11 +225,22 @@ std::string MetricsRegistry::SnapshotJson() const {
                 ",\"slow_queries\":%" PRIu64
                 ",\"plan_cache_hits\":%" PRIu64
                 ",\"plan_cache_misses\":%" PRIu64
-                ",\"nvm_insns_retired\":%" PRIu64 "}}",
+                ",\"nvm_insns_retired\":%" PRIu64
+                ",\"early_exits\":%" PRIu64
+                ",\"deadline_exceeded\":%" PRIu64
+                ",\"queries_cancelled\":%" PRIu64
+                ",\"requests_rejected\":%" PRIu64
+                ",\"http_requests\":%" PRIu64
+                "},\"gauges\":{\"queue_depth\":%" PRId64
+                ",\"requests_in_flight\":%" PRId64 "}}",
                 queries_compiled.value(), queries_executed.value(),
                 compile_errors.value(), exec_errors.value(),
                 slow_queries.value(), plan_cache_hits.value(),
-                plan_cache_misses.value(), nvm_insns_retired.value());
+                plan_cache_misses.value(), nvm_insns_retired.value(),
+                early_exits.value(), deadline_exceeded.value(),
+                queries_cancelled.value(), requests_rejected.value(),
+                http_requests.value(), queue_depth.value(),
+                requests_in_flight.value());
   out += buf;
   return out;
 }
@@ -226,17 +251,26 @@ std::string MetricsRegistry::RenderText() const {
   AppendHistogramText(&out, "exec_ns", exec_ns);
   AppendHistogramText(&out, "pages_per_query", pages_per_query);
   AppendHistogramText(&out, "tuples_per_query", tuples_per_query);
-  char buf[320];
+  AppendHistogramText(&out, "queue_wait_ns", queue_wait_ns);
+  char buf[640];
   std::snprintf(buf, sizeof(buf),
                 "  counters: queries_compiled=%" PRIu64
                 " queries_executed=%" PRIu64 " compile_errors=%" PRIu64
                 " exec_errors=%" PRIu64 " slow_queries=%" PRIu64
                 " plan_cache_hits=%" PRIu64 " plan_cache_misses=%" PRIu64
-                " nvm_insns_retired=%" PRIu64 "\n",
+                " nvm_insns_retired=%" PRIu64 " early_exits=%" PRIu64
+                " deadline_exceeded=%" PRIu64 " queries_cancelled=%" PRIu64
+                " requests_rejected=%" PRIu64 " http_requests=%" PRIu64
+                "\n  gauges: queue_depth=%" PRId64
+                " requests_in_flight=%" PRId64 "\n",
                 queries_compiled.value(), queries_executed.value(),
                 compile_errors.value(), exec_errors.value(),
                 slow_queries.value(), plan_cache_hits.value(),
-                plan_cache_misses.value(), nvm_insns_retired.value());
+                plan_cache_misses.value(), nvm_insns_retired.value(),
+                early_exits.value(), deadline_exceeded.value(),
+                queries_cancelled.value(), requests_rejected.value(),
+                http_requests.value(), queue_depth.value(),
+                requests_in_flight.value());
   out += buf;
   return out;
 }
@@ -246,6 +280,7 @@ void MetricsRegistry::Reset() {
   exec_ns.Reset();
   pages_per_query.Reset();
   tuples_per_query.Reset();
+  queue_wait_ns.Reset();
   queries_compiled.Reset();
   queries_executed.Reset();
   compile_errors.Reset();
@@ -254,6 +289,13 @@ void MetricsRegistry::Reset() {
   plan_cache_hits.Reset();
   plan_cache_misses.Reset();
   nvm_insns_retired.Reset();
+  early_exits.Reset();
+  deadline_exceeded.Reset();
+  queries_cancelled.Reset();
+  requests_rejected.Reset();
+  http_requests.Reset();
+  queue_depth.Reset();
+  requests_in_flight.Reset();
   slow_log_.Clear();
 }
 

@@ -40,13 +40,21 @@ class LatencyHistogram {
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   uint64_t max() const { return max_.load(std::memory_order_relaxed); }
 
-  /// Nearest-rank percentile (q in (0, 1]), linearly interpolated inside
-  /// the containing bucket; 0 when empty. Approximation error is bounded
-  /// by the bucket width (a factor of 2).
+  /// Percentile (q in (0, 1]), linearly interpolated inside the
+  /// containing log2 bucket at the continuous rank q * count — the same
+  /// estimator Prometheus's histogram_quantile() applies to the
+  /// exposition-format buckets, so the two renderings agree (verified by
+  /// metrics_prometheus_test). 0 when empty; clamped to the observed max.
   uint64_t Percentile(double q) const;
 
   /// Non-empty buckets as {bucket index, count} pairs (snapshot order).
   std::vector<std::pair<int, uint64_t>> NonZeroBuckets() const;
+
+  /// Value bounds of bucket b: 0 for bucket 0, [2^(b-1), 2^b - 1] for
+  /// b >= 1. The upper bound is the Prometheus `le` boundary of the
+  /// exposition rendering (obs/prometheus.h).
+  static uint64_t BucketLowerBound(int b);
+  static uint64_t BucketUpperBound(int b);
 
   void Reset();
 
@@ -66,6 +74,24 @@ class CounterCell {
 
  private:
   std::atomic<uint64_t> value_{0};
+};
+
+/// A process-wide gauge: a value that goes up and down (queue depth,
+/// in-flight requests). Signed so a transient Sub past a concurrent Add
+/// never wraps; value() clamps at zero for rendering.
+class GaugeCell {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n = 1) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t value() const {
+    int64_t v = value_.load(std::memory_order_relaxed);
+    return v < 0 ? 0 : v;
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
 };
 
 /// One slow-query log entry: everything needed to diagnose the query
@@ -103,7 +129,8 @@ class SlowQueryLog {
 
   void Record(SlowQueryEntry entry);
 
-  /// Retained entries, oldest first.
+  /// Retained entries in stable monotonic admission order (ascending
+  /// sequence), oldest first — stable under concurrent Record calls.
   std::vector<SlowQueryEntry> Dump() const;
 
   /// Human-readable dump (natixq --slow-log).
@@ -125,9 +152,11 @@ class SlowQueryLog {
 
 /// The process-wide registry. Instrument names are a stable contract
 /// (tests and dashboards read them): histograms compile_ns, exec_ns,
-/// pages_per_query, tuples_per_query; counters queries_compiled,
-/// queries_executed, compile_errors, exec_errors, slow_queries,
-/// plan_cache_hits, plan_cache_misses, nvm_insns_retired.
+/// pages_per_query, tuples_per_query, queue_wait_ns; counters
+/// queries_compiled, queries_executed, compile_errors, exec_errors,
+/// slow_queries, plan_cache_hits, plan_cache_misses, nvm_insns_retired,
+/// early_exits, deadline_exceeded, queries_cancelled, requests_rejected,
+/// http_requests; gauges queue_depth, requests_in_flight.
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
@@ -136,6 +165,8 @@ class MetricsRegistry {
   LatencyHistogram exec_ns;
   LatencyHistogram pages_per_query;
   LatencyHistogram tuples_per_query;
+  /// Admission-queue wait per served request (server::Server).
+  LatencyHistogram queue_wait_ns;
 
   CounterCell queries_compiled;
   CounterCell queries_executed;
@@ -147,6 +178,22 @@ class MetricsRegistry {
   CounterCell plan_cache_misses;
   /// NVM bytecode instructions retired by subscript programs.
   CounterCell nvm_insns_retired;
+  /// Pipelines closed before exhaustion by the Limit operator
+  /// (docs/LIMIT-PUSHDOWN.md) — pages and next() calls saved.
+  CounterCell early_exits;
+  /// Executions aborted because their deadline expired mid-drain.
+  CounterCell deadline_exceeded;
+  /// Executions aborted through a cooperative cancel flag.
+  CounterCell queries_cancelled;
+  /// Requests refused at admission (queue full / shutting down).
+  CounterCell requests_rejected;
+  /// HTTP requests parsed by the serving plane (all endpoints).
+  CounterCell http_requests;
+
+  /// Requests waiting for an execution slot right now.
+  GaugeCell queue_depth;
+  /// Requests currently executing.
+  GaugeCell requests_in_flight;
 
   SlowQueryLog& slow_log() { return slow_log_; }
   const SlowQueryLog& slow_log() const { return slow_log_; }
@@ -179,6 +226,8 @@ class LatencyHistogram {
   uint64_t max() const { return 0; }
   uint64_t Percentile(double) const { return 0; }
   std::vector<std::pair<int, uint64_t>> NonZeroBuckets() const { return {}; }
+  static uint64_t BucketLowerBound(int) { return 0; }
+  static uint64_t BucketUpperBound(int) { return 0; }
   void Reset() {}
 };
 
@@ -186,6 +235,15 @@ class CounterCell {
  public:
   void Add(uint64_t = 1) {}
   uint64_t value() const { return 0; }
+  void Reset() {}
+};
+
+class GaugeCell {
+ public:
+  void Add(int64_t = 1) {}
+  void Sub(int64_t = 1) {}
+  void Set(int64_t) {}
+  int64_t value() const { return 0; }
   void Reset() {}
 };
 
@@ -225,6 +283,7 @@ class MetricsRegistry {
   LatencyHistogram exec_ns;
   LatencyHistogram pages_per_query;
   LatencyHistogram tuples_per_query;
+  LatencyHistogram queue_wait_ns;
 
   CounterCell queries_compiled;
   CounterCell queries_executed;
@@ -234,6 +293,14 @@ class MetricsRegistry {
   CounterCell plan_cache_hits;
   CounterCell plan_cache_misses;
   CounterCell nvm_insns_retired;
+  CounterCell early_exits;
+  CounterCell deadline_exceeded;
+  CounterCell queries_cancelled;
+  CounterCell requests_rejected;
+  CounterCell http_requests;
+
+  GaugeCell queue_depth;
+  GaugeCell requests_in_flight;
 
   SlowQueryLog& slow_log() { return slow_log_; }
   const SlowQueryLog& slow_log() const { return slow_log_; }

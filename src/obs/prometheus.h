@@ -1,0 +1,66 @@
+#ifndef NATIX_OBS_PROMETHEUS_H_
+#define NATIX_OBS_PROMETHEUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+// Prometheus text exposition (format version 0.0.4) of the process-wide
+// MetricsRegistry, served by the natixd /metrics endpoint and scrapeable
+// by a stock Prometheus. Counters render as `natix_<name>_total`,
+// gauges as `natix_<name>`, and LatencyHistograms as native cumulative
+// histograms: one `_bucket{le="..."}` series per log2 bucket upper
+// bound plus `le="+Inf"`, with exact `_sum` and `_count` so
+// histogram_quantile() on the scrape side agrees with the in-process
+// Percentile() estimator (both interpolate linearly at rank q * count
+// inside the containing bucket).
+//
+// Zero-cost discipline (src/obs/stats.h): under NATIX_OBS_DISABLED
+// RenderPrometheus collapses to the `{"disabled":true}` stub the JSON
+// snapshot also serves, and the append helpers become no-ops.
+
+namespace natix::obs {
+
+/// MIME type of the exposition format (the /metrics Content-Type).
+inline constexpr char kPrometheusContentType[] =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+#if !defined(NATIX_OBS_DISABLED)
+
+/// Appends `# HELP` / `# TYPE` / sample lines for one counter.
+void AppendPrometheusCounter(std::string* out, std::string_view name,
+                             std::string_view help, uint64_t value);
+
+/// Appends one gauge (instantaneous value, may go down).
+void AppendPrometheusGauge(std::string* out, std::string_view name,
+                           std::string_view help, int64_t value);
+
+/// Appends one LatencyHistogram as a cumulative Prometheus histogram.
+void AppendPrometheusHistogram(std::string* out, std::string_view name,
+                               std::string_view help,
+                               const LatencyHistogram& histogram);
+
+/// The full registry in exposition format (every histogram, counter and
+/// gauge of the MetricsRegistry contract, `natix_` prefixed).
+std::string RenderPrometheus(const MetricsRegistry& registry);
+
+#else  // NATIX_OBS_DISABLED: the serving surface stays linkable.
+
+inline void AppendPrometheusCounter(std::string*, std::string_view,
+                                    std::string_view, uint64_t) {}
+inline void AppendPrometheusGauge(std::string*, std::string_view,
+                                  std::string_view, int64_t) {}
+inline void AppendPrometheusHistogram(std::string*, std::string_view,
+                                      std::string_view,
+                                      const LatencyHistogram&) {}
+inline std::string RenderPrometheus(const MetricsRegistry&) {
+  return "{\"disabled\":true}";
+}
+
+#endif  // NATIX_OBS_DISABLED
+
+}  // namespace natix::obs
+
+#endif  // NATIX_OBS_PROMETHEUS_H_

@@ -1,8 +1,20 @@
 #include "qe/exec_context.h"
 
+#include "base/clock.h"
 #include "obs/trace.h"
 
 namespace natix::qe {
+
+Status ExecutionContext::CheckCancellation() const {
+  if (cancel_flag_ != nullptr &&
+      cancel_flag_->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("execution cancelled");
+  }
+  if (deadline_ns_ != 0 && MonotonicNanos() >= deadline_ns_) {
+    return Status::DeadlineExceeded("execution deadline exceeded");
+  }
+  return Status::OK();
+}
 
 void ExecutionContext::SetContextNode(runtime::NodeRef node) {
   registers[cn_reg_] = runtime::Value::Node(node);
@@ -41,7 +53,18 @@ StatusOr<std::vector<runtime::NodeRef>> ExecutionContext::ExecuteNodes() {
   }
   {
     obs::ScopedSpan span("exec/drain");
+    uint64_t drained = 0;
     while (has) {
+      // Cooperative cancellation: a request whose deadline expired (or
+      // whose client went away) closes the whole pipeline — cascading
+      // Close() down to the page scans — instead of finishing the drain.
+      if (drained++ % kCancelCheckInterval == 0) {
+        Status st = CheckCancellation();
+        if (!st.ok()) {
+          (void)root_->Close();
+          return st;
+        }
+      }
       const runtime::Value& v = registers[result_reg_];
       if (v.kind() != runtime::ValueKind::kNode) {
         (void)root_->Close();
@@ -68,6 +91,10 @@ StatusOr<runtime::Value> ExecutionContext::ExecuteValue() {
         "ExecuteValue called on a node-set query");
   }
   obs::ScopedSpan exec_span("exec/value");
+  // Scalar plans drain inside aggregate subscripts, so the per-tuple
+  // check above never sees them; at least refuse to start work for a
+  // request that is already over deadline or cancelled.
+  NATIX_RETURN_IF_ERROR(CheckCancellation());
   {
     obs::ScopedSpan span("exec/open");
     NATIX_RETURN_IF_ERROR(root_->Open());

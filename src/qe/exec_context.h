@@ -1,6 +1,7 @@
 #ifndef NATIX_QE_EXEC_CONTEXT_H_
 #define NATIX_QE_EXEC_CONTEXT_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -79,6 +80,33 @@ class ExecutionContext {
   obs::QueryStats* stats() { return stats_.get(); }
   const obs::QueryStats* stats() const { return stats_.get(); }
 
+  // -- Cooperative cancellation (per-request serving deadlines) -----------
+
+  /// Tuples drained between cancellation checks: cheap enough that a
+  /// deadline can only overrun by one batch, coarse enough that the
+  /// steady-clock read stays off the per-tuple path.
+  static constexpr uint64_t kCancelCheckInterval = 32;
+
+  /// Absolute steady-clock deadline (base/clock.h MonotonicNanos) after
+  /// which ExecuteNodes aborts mid-drain with kDeadlineExceeded, closing
+  /// the iterator pipeline (and its page scans) instead of finishing the
+  /// drain. 0 disables the deadline. Sticky across executions until
+  /// rebound — serving binds one per request.
+  void set_deadline_ns(uint64_t abs_ns) { deadline_ns_ = abs_ns; }
+  uint64_t deadline_ns() const { return deadline_ns_; }
+
+  /// External cancel flag checked alongside the deadline (server
+  /// shutdown, client disconnect); fires kCancelled. The flag must
+  /// outlive the execution. Null disables.
+  void set_cancel_flag(const std::atomic<bool>* flag) {
+    cancel_flag_ = flag;
+  }
+
+  /// OK, or the kDeadlineExceeded / kCancelled status the current
+  /// execution should abort with. Called by the drain loop every
+  /// kCancelCheckInterval tuples and by scalar execution before Open.
+  Status CheckCancellation() const;
+
   // -- Mutable execution state, written by the iterators ------------------
 
   runtime::RegisterFile registers{0};
@@ -108,6 +136,8 @@ class ExecutionContext {
   runtime::RegisterId cs0_reg_ = 0;
   xpath::ExprType result_type_ = xpath::ExprType::kUnknown;
   bool force_result_sort_ = false;
+  uint64_t deadline_ns_ = 0;
+  const std::atomic<bool>* cancel_flag_ = nullptr;
 };
 
 }  // namespace natix::qe

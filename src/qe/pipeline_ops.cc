@@ -1,3 +1,4 @@
+#include "obs/metrics.h"
 #include "qe/exec_context.h"
 #include "qe/operators.h"
 
@@ -46,6 +47,9 @@ Status LimitIterator::NextImpl(bool* has) {
       // until the consumer tears the plan down.
       child_open_ = false;
       NATIX_OBS_COUNT(stats_, early_exits, 1);
+      // Also feeds the process-wide registry so /metrics sees early
+      // exits from uninstrumented (serving) executions.
+      obs::MetricsRegistry::Global().early_exits.Add();
       return child_->Close();
     }
     return Status::OK();

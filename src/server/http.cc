@@ -1,0 +1,384 @@
+#include "server/http.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace natix::server {
+
+namespace {
+
+// Hard limits: a request that exceeds them is malformed, not big.
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+constexpr size_t kMaxBodyBytes = 4 * 1024 * 1024;
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+/// Receives until `marker` appears in `*buffer` or the size cap trips.
+/// Classifies socket failures like ReadHttpRequest documents.
+Status RecvUntil(int fd, std::string_view marker, std::string* buffer,
+                 size_t max_bytes) {
+  char chunk[4096];
+  while (buffer->find(marker) == std::string::npos) {
+    if (buffer->size() > max_bytes) {
+      return Status::InvalidArgument("http: header block too large");
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      if (buffer->empty()) {
+        return Status::Cancelled("http: connection closed");
+      }
+      return Status::InvalidArgument("http: truncated request");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("http: socket read timed out");
+      }
+      if (buffer->empty() && (errno == ECONNRESET || errno == EPIPE)) {
+        return Status::Cancelled("http: connection reset");
+      }
+      return Status::IOError("http: recv failed");
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+/// Receives exactly `want` further bytes into `*buffer`.
+Status RecvExact(int fd, size_t want, std::string* buffer) {
+  char chunk[4096];
+  while (buffer->size() < want) {
+    size_t need = std::min(want - buffer->size(), sizeof(chunk));
+    ssize_t n = ::recv(fd, chunk, need, 0);
+    if (n == 0) return Status::InvalidArgument("http: truncated body");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("http: socket read timed out");
+      }
+      return Status::IOError("http: recv failed");
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+Status SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("http: send failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Splits the raw target into the decoded path and decoded parameters.
+void ParseTarget(std::string_view target, HttpRequest* request) {
+  size_t qpos = target.find('?');
+  request->path = UrlDecode(target.substr(0, qpos));
+  if (qpos == std::string_view::npos) return;
+  std::string_view query = target.substr(qpos + 1);
+  while (!query.empty()) {
+    size_t amp = query.find('&');
+    std::string_view pair = query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view()
+                                          : query.substr(amp + 1);
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    std::string name = UrlDecode(pair.substr(0, eq));
+    std::string value =
+        eq == std::string_view::npos ? "" : UrlDecode(pair.substr(eq + 1));
+    request->params.emplace_back(std::move(name), std::move(value));
+  }
+}
+
+/// Parses the header lines after the start line into `headers`.
+Status ParseHeaderLines(std::string_view block,
+                        std::vector<std::pair<std::string, std::string>>*
+                            headers) {
+  while (!block.empty()) {
+    size_t eol = block.find("\r\n");
+    std::string_view line = block.substr(0, eol);
+    block = eol == std::string_view::npos ? std::string_view()
+                                          : block.substr(eol + 2);
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("http: malformed header line");
+    }
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+      value.remove_suffix(1);
+    }
+    headers->emplace_back(ToLower(line.substr(0, colon)),
+                          std::string(value));
+  }
+  return Status::OK();
+}
+
+/// Reads Content-Length bytes of body that follow `headers_end` in
+/// `*buffer` (the header recv may have over-read into the body).
+Status ReadBody(int fd,
+                const std::vector<std::pair<std::string, std::string>>&
+                    headers,
+                std::string* buffer, size_t body_begin, std::string* body) {
+  size_t content_length = 0;
+  for (const auto& [name, value] : headers) {
+    if (name == "content-length") {
+      char* end = nullptr;
+      unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' ||
+          parsed > kMaxBodyBytes) {
+        return Status::InvalidArgument("http: bad Content-Length");
+      }
+      content_length = static_cast<size_t>(parsed);
+    }
+  }
+  std::string rest = buffer->substr(body_begin);
+  if (rest.size() < content_length) {
+    NATIX_RETURN_IF_ERROR(RecvExact(fd, content_length, &rest));
+  }
+  *body = rest.substr(0, content_length);
+  return Status::OK();
+}
+
+}  // namespace
+
+const std::string* HttpRequest::Param(std::string_view name) const {
+  for (const auto& [key, value] : params) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+const std::string* HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < s.size()) {
+      int hi = HexValue(s[i + 1]);
+      int lo = HexValue(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back(c);
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UrlEncode(std::string_view s) {
+  static const char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    bool unreserved = (u >= 'a' && u <= 'z') || (u >= 'A' && u <= 'Z') ||
+                      (u >= '0' && u <= '9') || u == '-' || u == '_' ||
+                      u == '.' || u == '~';
+    if (unreserved) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[u >> 4]);
+      out.push_back(kHex[u & 0xf]);
+    }
+  }
+  return out;
+}
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 499: return "Client Closed Request";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+Status ReadHttpRequest(int fd, HttpRequest* request) {
+  *request = HttpRequest();
+  std::string buffer;
+  NATIX_RETURN_IF_ERROR(
+      RecvUntil(fd, "\r\n\r\n", &buffer, kMaxHeaderBytes));
+  size_t headers_end = buffer.find("\r\n\r\n");
+  std::string_view head(buffer.data(), headers_end);
+
+  size_t line_end = head.find("\r\n");
+  std::string_view start_line = head.substr(0, line_end);
+  size_t sp1 = start_line.find(' ');
+  size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : start_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) {
+    return Status::InvalidArgument("http: malformed request line");
+  }
+  request->method = std::string(start_line.substr(0, sp1));
+  request->target = std::string(start_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  std::string_view version = start_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Status::InvalidArgument("http: unsupported protocol version");
+  }
+  ParseTarget(request->target, request);
+
+  std::string_view header_block =
+      line_end == std::string_view::npos ? std::string_view()
+                                         : head.substr(line_end + 2);
+  NATIX_RETURN_IF_ERROR(ParseHeaderLines(header_block, &request->headers));
+
+  // HTTP/1.1 defaults to keep-alive; 1.0 to close.
+  request->keep_alive = version == "HTTP/1.1";
+  if (const std::string* connection = request->Header("connection")) {
+    std::string value = ToLower(*connection);
+    if (value == "close") request->keep_alive = false;
+    if (value == "keep-alive") request->keep_alive = true;
+  }
+
+  return ReadBody(fd, request->headers, &buffer, headers_end + 4,
+                  &request->body);
+}
+
+Status WriteHttpResponse(int fd, const HttpResponse& response,
+                         bool keep_alive) {
+  std::string out;
+  out.reserve(response.body.size() + 160);
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += StatusReason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                    : "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return SendAll(fd, out);
+}
+
+Status HttpClient::Connect() {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::IOError("http: socket failed");
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  struct timeval timeout;
+  timeout.tv_sec = 30;
+  timeout.tv_usec = 0;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Close();
+    return Status::IOError("http: connect failed");
+  }
+  return Status::OK();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<HttpResponse> HttpClient::GetOnce(const std::string& target) {
+  std::string request = "GET " + target +
+                        " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                        "Connection: keep-alive\r\n\r\n";
+  NATIX_RETURN_IF_ERROR(SendAll(fd_, request));
+
+  std::string buffer;
+  NATIX_RETURN_IF_ERROR(
+      RecvUntil(fd_, "\r\n\r\n", &buffer, kMaxHeaderBytes));
+  size_t headers_end = buffer.find("\r\n\r\n");
+  std::string_view head(buffer.data(), headers_end);
+  size_t line_end = head.find("\r\n");
+  std::string_view status_line = head.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos) {
+    return Status::InvalidArgument("http: malformed status line");
+  }
+  HttpResponse response;
+  response.status =
+      std::atoi(std::string(status_line.substr(sp + 1)).c_str());
+
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string_view header_block =
+      line_end == std::string_view::npos ? std::string_view()
+                                         : head.substr(line_end + 2);
+  NATIX_RETURN_IF_ERROR(ParseHeaderLines(header_block, &headers));
+  for (const auto& [name, value] : headers) {
+    if (name == "content-type") response.content_type = value;
+  }
+  NATIX_RETURN_IF_ERROR(ReadBody(fd_, headers, &buffer, headers_end + 4,
+                                 &response.body));
+  return response;
+}
+
+StatusOr<HttpResponse> HttpClient::Get(const std::string& target) {
+  if (fd_ < 0) NATIX_RETURN_IF_ERROR(Connect());
+  StatusOr<HttpResponse> response = GetOnce(target);
+  if (response.ok()) return response;
+  // The server may have dropped an idle keep-alive connection between
+  // requests; one reconnect covers that without retrying real errors
+  // mid-exchange.
+  NATIX_RETURN_IF_ERROR(Connect());
+  return GetOnce(target);
+}
+
+}  // namespace natix::server

@@ -224,4 +224,21 @@ BufferManager::CounterSnapshot BufferManager::Snapshot() const {
   return snap;
 }
 
+std::vector<BufferManager::ShardSnapshot> BufferManager::ShardSnapshots()
+    const {
+  std::vector<ShardSnapshot> out;
+  out.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ShardSnapshot snap;
+    snap.faults = shard.faults.load(std::memory_order_relaxed);
+    snap.hits = shard.hits.load(std::memory_order_relaxed);
+    snap.writes = shard.writes.load(std::memory_order_relaxed);
+    snap.evictions = shard.evictions.load(std::memory_order_relaxed);
+    snap.resident_pages = shard.page_table.size();
+    out.push_back(snap);
+  }
+  return out;
+}
+
 }  // namespace natix::storage

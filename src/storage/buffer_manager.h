@@ -97,6 +97,20 @@ class BufferManager {
   };
   CounterSnapshot Snapshot() const;
 
+  /// Per-shard snapshot in shard order, plus the frames each shard
+  /// currently maps (its page-table size). Each shard is read under its
+  /// own mutex; unlike Snapshot() the shards are not locked jointly, so
+  /// cross-shard sums may skew by in-flight increments — fine for the
+  /// /statusz rendering this feeds.
+  struct ShardSnapshot {
+    uint64_t faults = 0;
+    uint64_t hits = 0;
+    uint64_t writes = 0;
+    uint64_t evictions = 0;
+    size_t resident_pages = 0;  ///< pages currently mapped by the shard
+  };
+  std::vector<ShardSnapshot> ShardSnapshots() const;
+
   /// Statistics for tests, benchmarks, and the observability layer
   /// (src/obs). Counters are relaxed atomics summed over shards: cheap to
   /// read while other queries run, but a multi-counter read can tear —

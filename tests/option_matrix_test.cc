@@ -10,7 +10,9 @@
 
 #include "api/database.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
+#include "server/server.h"
 
 namespace natix {
 namespace {
@@ -115,6 +117,60 @@ TEST(OptionMatrixTest, ObservabilitySurfaceWorksInBothBuildConfigs) {
   EXPECT_GT(obs::MonotonicNowNs(), 0u);
   EXPECT_GE(metrics.exec_ns.count(), 1u);
 #endif
+}
+
+// The serving-plane additions obey the same discipline: gauges, the
+// admission/deadline counters, the queue-wait histogram and the
+// Prometheus renderer all compile and behave in both configurations.
+TEST(OptionMatrixTest, ServingObservabilitySurfaceWorksInBothConfigs) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.queue_depth.Add(2);
+  metrics.queue_depth.Sub(1);
+  metrics.requests_in_flight.Set(3);
+  metrics.http_requests.Add();
+  metrics.requests_rejected.Add();
+  metrics.deadline_exceeded.Add();
+  metrics.queries_cancelled.Add();
+  metrics.queue_wait_ns.Record(1500);
+
+  const std::string exposition = obs::RenderPrometheus(metrics);
+#if defined(NATIX_OBS_DISABLED)
+  EXPECT_EQ(exposition, "{\"disabled\":true}");
+  EXPECT_EQ(metrics.queue_depth.value(), 0);
+  EXPECT_EQ(metrics.http_requests.value(), 0u);
+  EXPECT_EQ(metrics.queue_wait_ns.count(), 0u);
+#else
+  EXPECT_EQ(metrics.queue_depth.value(), 1);
+  EXPECT_EQ(metrics.requests_in_flight.value(), 3);
+  EXPECT_GE(metrics.http_requests.value(), 1u);
+  EXPECT_GE(metrics.queue_wait_ns.count(), 1u);
+  EXPECT_NE(exposition.find("natix_queue_wait_ns_bucket"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("natix_deadline_exceeded_total"),
+            std::string::npos);
+  // A gauge forced negative by a racy Sub clamps at zero for rendering.
+  obs::GaugeCell gauge;
+  gauge.Sub(5);
+  EXPECT_EQ(gauge.value(), 0);
+  metrics.requests_in_flight.Set(0);
+  metrics.queue_depth.Set(0);
+#endif
+
+  // The in-process renderings behind /metrics and /statusz work without
+  // a socket in either config.
+  auto db = Database::CreateTemp();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->LoadDocument("d", kDoc).ok());
+  server::Server server(db->get(), server::ServerOptions());
+  const std::string rendered = server.RenderMetrics();
+  EXPECT_FALSE(rendered.empty());
+#if defined(NATIX_OBS_DISABLED)
+  EXPECT_EQ(rendered, "{\"disabled\":true}");
+#else
+  EXPECT_NE(rendered.find("natix_uptime_seconds"), std::string::npos);
+#endif
+  EXPECT_NE(server.RenderStatus().find("\"documents\":[\"d\"]"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,129 @@
+// Satellite: the slow-query ring under concurrency. Eight threads
+// hammer Record while a reader Dumps mid-flight; the ring must keep
+// exactly the last kDefaultCapacity admissions and Dump must return a
+// stable ascending sequence order regardless of interleaving.
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace natix::obs {
+namespace {
+
+SlowQueryEntry MakeEntry(int thread, int i) {
+  SlowQueryEntry entry;
+  entry.xpath = "//t" + std::to_string(thread) + "/q" + std::to_string(i);
+  entry.exec_ns = static_cast<uint64_t>(i) * 1000;
+  entry.page_faults = static_cast<uint64_t>(i);
+  entry.tuples = static_cast<uint64_t>(i) * 2;
+  return entry;
+}
+
+#if !defined(NATIX_OBS_DISABLED)
+
+TEST(SlowQueryLogTest, ThresholdGatesAdmission) {
+  SlowQueryLog log;
+  EXPECT_FALSE(log.ShouldLog(~uint64_t{0} - 1));  // disabled by default
+  log.set_threshold_ns(1000);
+  EXPECT_FALSE(log.ShouldLog(999));
+  EXPECT_TRUE(log.ShouldLog(1000));
+  log.set_threshold_ns(0);
+  EXPECT_TRUE(log.ShouldLog(0));  // zero logs everything
+}
+
+TEST(SlowQueryLogTest, SequencesAreMonotonicAndDense) {
+  SlowQueryLog log;
+  log.set_threshold_ns(0);
+  for (int i = 0; i < 5; ++i) log.Record(MakeEntry(0, i));
+  const std::vector<SlowQueryEntry> dump = log.Dump();
+  ASSERT_EQ(dump.size(), 5u);
+  for (size_t i = 0; i < dump.size(); ++i) {
+    EXPECT_EQ(dump[i].sequence, i + 1);
+  }
+  EXPECT_EQ(log.total_logged(), 5u);
+}
+
+TEST(SlowQueryLogTest, RingKeepsLastCapacityEntries) {
+  SlowQueryLog log;
+  log.set_threshold_ns(0);
+  const size_t total = SlowQueryLog::kDefaultCapacity + 40;
+  for (size_t i = 0; i < total; ++i) {
+    log.Record(MakeEntry(0, static_cast<int>(i)));
+  }
+  const std::vector<SlowQueryEntry> dump = log.Dump();
+  ASSERT_EQ(dump.size(), SlowQueryLog::kDefaultCapacity);
+  EXPECT_EQ(log.total_logged(), total);
+  // Oldest surviving admission is total - capacity + 1.
+  EXPECT_EQ(dump.front().sequence,
+            total - SlowQueryLog::kDefaultCapacity + 1);
+  EXPECT_EQ(dump.back().sequence, total);
+}
+
+TEST(SlowQueryLogTest, ConcurrentRecordsKeepStableDumpOrder) {
+  SlowQueryLog log;
+  log.set_threshold_ns(0);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100;
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Record(MakeEntry(t, i));
+        // Interleave reads with writes: every mid-flight Dump must
+        // already be sorted and hold at most the ring capacity.
+        if (t == 0 && i % 10 == 0) {
+          const std::vector<SlowQueryEntry> mid = log.Dump();
+          EXPECT_LE(mid.size(), SlowQueryLog::kDefaultCapacity);
+          for (size_t k = 1; k < mid.size(); ++k) {
+            EXPECT_LT(mid[k - 1].sequence, mid[k].sequence);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+
+  constexpr uint64_t kTotal = uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(log.total_logged(), kTotal);
+  const std::vector<SlowQueryEntry> dump = log.Dump();
+  ASSERT_EQ(dump.size(), SlowQueryLog::kDefaultCapacity);
+  // The ring retains exactly the final capacity-sized window of the
+  // global admission order: sequences are dense, ascending, and end at
+  // the total — no entry lost, duplicated, or reordered.
+  for (size_t i = 0; i < dump.size(); ++i) {
+    EXPECT_EQ(dump[i].sequence,
+              kTotal - SlowQueryLog::kDefaultCapacity + 1 + i);
+  }
+}
+
+TEST(SlowQueryLogTest, ClearEmptiesRingButKeepsThreshold) {
+  SlowQueryLog log;
+  log.set_threshold_ns(7);
+  log.Record(MakeEntry(0, 0));
+  log.Clear();
+  EXPECT_TRUE(log.Dump().empty());
+  EXPECT_EQ(log.threshold_ns(), 7u);
+}
+
+#else  // NATIX_OBS_DISABLED
+
+TEST(SlowQueryLogTest, DisabledConfigIsInertButLinkable) {
+  SlowQueryLog log;
+  log.set_threshold_ns(0);
+  EXPECT_FALSE(log.ShouldLog(12345));
+  log.Record(MakeEntry(0, 1));
+  EXPECT_TRUE(log.Dump().empty());
+  EXPECT_EQ(log.total_logged(), 0u);
+  EXPECT_NE(log.RenderText().find("disabled"), std::string::npos);
+}
+
+#endif  // NATIX_OBS_DISABLED
+
+}  // namespace
+}  // namespace natix::obs

@@ -1,0 +1,230 @@
+// natixd — the Natix query daemon: a long-running multi-tenant HTTP
+// server over one database, serving XPath over pre-loaded documents
+// with per-request deadlines, admission control and the observability
+// plane (/metrics Prometheus exposition, /statusz, slow-query log).
+//
+// Usage:
+//   natixd [options] [--doc name=FILE]... [--gen name=SPEC]...
+//   options:
+//     --port=N            listen on 127.0.0.1:N (default 0: ephemeral,
+//                         the bound port is printed on stdout)
+//     --doc name=FILE     load FILE as document `name`
+//     --gen name=SPEC     generate a synthetic document; SPEC is
+//                         dblp:N (N publications), auction:N
+//                         (N people), or xdoc:N (N elements)
+//     --max-concurrency=N executions allowed to run at once (default 4)
+//     --queue=N           admission queue capacity (default 16)
+//     --max-connections=N open connections bound (default 128)
+//     --deadline-ms=N     default per-request budget, queue wait
+//                         included (default 0: none)
+//     --slow-log=MS       log queries running >= MS milliseconds with
+//                         EXPLAIN ANALYZE trees (visible in /statusz)
+//     --buffer-pages=N    buffer pool size in pages (default 4096)
+//     --shards=N          buffer pool stripes (default: hardware)
+//     --plan-cache=N      plan cache capacity (default 64)
+//
+// Protocol and endpoint reference: docs/SERVING.md.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "gen/auction_generator.h"
+#include "gen/dblp_generator.h"
+#include "gen/xdoc_generator.h"
+#include "obs/metrics.h"
+#include "server/server.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: natixd [--port=N] [--max-concurrency=N] [--queue=N]\n"
+      "              [--max-connections=N] [--deadline-ms=N]\n"
+      "              [--slow-log=MS] [--buffer-pages=N] [--shards=N]\n"
+      "              [--plan-cache=N] [--doc name=FILE]...\n"
+      "              [--gen name=dblp:N|auction:N|xdoc:N]...\n");
+  return 2;
+}
+
+bool ParseSize(const char* s, uint64_t* out) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+/// "name=payload" pairs of --doc / --gen.
+bool SplitNameValue(const std::string& arg, std::string* name,
+                    std::string* value) {
+  size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  *name = arg.substr(0, eq);
+  *value = arg.substr(eq + 1);
+  return !value->empty();
+}
+
+/// Generates "dblp:N" / "auction:N" / "xdoc:N" document text.
+bool GenerateDocument(const std::string& spec, std::string* xml) {
+  size_t colon = spec.find(':');
+  if (colon == std::string::npos) return false;
+  std::string kind = spec.substr(0, colon);
+  uint64_t n = 0;
+  if (!ParseSize(spec.c_str() + colon + 1, &n) || n == 0) return false;
+  if (kind == "dblp") {
+    natix::gen::DblpOptions options;
+    options.publications = static_cast<size_t>(n);
+    *xml = natix::gen::GenerateDblp(options);
+    return true;
+  }
+  if (kind == "auction") {
+    natix::gen::AuctionOptions options;
+    options.people = static_cast<size_t>(n);
+    *xml = natix::gen::GenerateAuctionSite(options);
+    return true;
+  }
+  if (kind == "xdoc") {
+    natix::gen::XDocOptions options;
+    options.max_elements = static_cast<size_t>(n);
+    *xml = natix::gen::GenerateXDoc(options);
+    return true;
+  }
+  return false;
+}
+
+// SIGINT/SIGTERM flip this; the main thread polls it and shuts down.
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  natix::Database::Options db_options;
+  natix::server::ServerOptions server_options;
+  uint64_t slow_log_ms = natix::obs::SlowQueryLog::kDisabled;
+  // (name, payload, is_generated) triples, loaded in argument order.
+  std::vector<std::pair<std::string, std::string>> files;
+  std::vector<std::pair<std::string, std::string>> generated;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t n = 0;
+    if (std::strncmp(arg, "--port=", 7) == 0 && ParseSize(arg + 7, &n)) {
+      server_options.port = static_cast<uint16_t>(n);
+    } else if (std::strncmp(arg, "--max-concurrency=", 18) == 0 &&
+               ParseSize(arg + 18, &n) && n > 0) {
+      server_options.max_concurrency = static_cast<size_t>(n);
+    } else if (std::strncmp(arg, "--queue=", 8) == 0 &&
+               ParseSize(arg + 8, &n)) {
+      server_options.queue_capacity = static_cast<size_t>(n);
+    } else if (std::strncmp(arg, "--max-connections=", 18) == 0 &&
+               ParseSize(arg + 18, &n) && n > 0) {
+      server_options.max_connections = static_cast<size_t>(n);
+    } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0 &&
+               ParseSize(arg + 14, &n)) {
+      server_options.default_deadline_ms = n;
+    } else if (std::strncmp(arg, "--slow-log=", 11) == 0 &&
+               ParseSize(arg + 11, &n)) {
+      slow_log_ms = n;
+      server_options.collect_stats = true;
+    } else if (std::strncmp(arg, "--buffer-pages=", 15) == 0 &&
+               ParseSize(arg + 15, &n) && n > 0) {
+      db_options.buffer_pages = static_cast<size_t>(n);
+    } else if (std::strncmp(arg, "--shards=", 9) == 0 &&
+               ParseSize(arg + 9, &n)) {
+      db_options.buffer_shards = static_cast<size_t>(n);
+    } else if (std::strncmp(arg, "--plan-cache=", 13) == 0 &&
+               ParseSize(arg + 13, &n)) {
+      db_options.plan_cache_capacity = static_cast<size_t>(n);
+    } else if (std::strncmp(arg, "--doc=", 6) == 0 ||
+               std::strcmp(arg, "--doc") == 0) {
+      std::string pair =
+          std::strncmp(arg, "--doc=", 6) == 0
+              ? std::string(arg + 6)
+              : (i + 1 < argc ? std::string(argv[++i]) : std::string());
+      std::string name, file;
+      if (!SplitNameValue(pair, &name, &file)) return Usage();
+      files.emplace_back(std::move(name), std::move(file));
+    } else if (std::strncmp(arg, "--gen=", 6) == 0 ||
+               std::strcmp(arg, "--gen") == 0) {
+      std::string pair =
+          std::strncmp(arg, "--gen=", 6) == 0
+              ? std::string(arg + 6)
+              : (i + 1 < argc ? std::string(argv[++i]) : std::string());
+      std::string name, spec;
+      if (!SplitNameValue(pair, &name, &spec)) return Usage();
+      generated.emplace_back(std::move(name), std::move(spec));
+    } else {
+      return Usage();
+    }
+  }
+  if (files.empty() && generated.empty()) {
+    std::fprintf(stderr, "natixd: no documents (--doc / --gen)\n");
+    return Usage();
+  }
+
+  auto db = natix::Database::CreateTemp(db_options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "natixd: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& [name, file] : files) {
+    auto loaded = (*db)->LoadDocumentFile(name, file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "natixd: %s: %s\n", file.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "natixd: loaded %s from %s\n", name.c_str(),
+                 file.c_str());
+  }
+  for (const auto& [name, spec] : generated) {
+    std::string xml;
+    if (!GenerateDocument(spec, &xml)) {
+      std::fprintf(stderr, "natixd: bad --gen spec '%s'\n", spec.c_str());
+      return Usage();
+    }
+    auto loaded = (*db)->LoadDocument(name, xml);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "natixd: generate %s: %s\n", name.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "natixd: generated %s (%s, %zu bytes)\n",
+                 name.c_str(), spec.c_str(), xml.size());
+  }
+
+  if (slow_log_ms != natix::obs::SlowQueryLog::kDisabled) {
+    natix::Database::SetSlowQueryThresholdNs(slow_log_ms * 1000000ull);
+  }
+
+  natix::server::Server server(db->get(), server_options);
+  natix::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "natixd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // The contract scripts key on: "listening on 127.0.0.1:<port>".
+  std::printf("listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  sigset_t empty;
+  sigemptyset(&empty);
+  while (g_stop == 0) {
+    // sigsuspend parks the main thread until a signal arrives — no
+    // polling loop, and EINTR wakes us exactly when needed.
+    sigsuspend(&empty);
+  }
+  std::fprintf(stderr, "natixd: shutting down (%llu requests served)\n",
+               static_cast<unsigned long long>(server.requests_served()));
+  server.Shutdown();
+  return 0;
+}
