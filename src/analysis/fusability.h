@@ -1,0 +1,73 @@
+#ifndef NATIX_ANALYSIS_FUSABILITY_H_
+#define NATIX_ANALYSIS_FUSABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "base/status.h"
+
+namespace natix::analysis {
+
+/// Fusability segmentation: partitions a plan into maximal
+/// non-materializing, effect-free pipeline segments (σ, Π, χ, navigation
+/// steps, Limit) separated by materialization / blocking / control-flow
+/// boundaries. Each fusable segment is a candidate for NVM operator
+/// fusion: its operators can be compiled into a single push-style
+/// bytecode loop, replacing N virtual Next calls per tuple with one
+/// dispatch (the top ROADMAP item). The segment descriptors are surfaced
+/// through PlanTemplate / --explain / --explain-json and double as the
+/// fusion compiler's work list.
+
+/// One maximal run of operators, listed top-down (consumer first).
+struct PipelineSegment {
+  /// Stable id in depth-first plan order.
+  int id = 0;
+  /// Operator summaries (analysis::OperatorSummary), top-down.
+  std::vector<std::string> ops;
+  /// True when every operator in the run is non-materializing and
+  /// effect-free — the segment may be fused into one NVM program.
+  bool fusable = false;
+  /// For non-fusable (boundary) segments: why fusion is unsound.
+  std::string barrier;
+};
+
+struct Segmentation {
+  std::vector<PipelineSegment> segments;
+
+  size_t fusable_count() const {
+    size_t n = 0;
+    for (const PipelineSegment& s : segments) n += s.fusable ? 1 : 0;
+    return n;
+  }
+};
+
+/// Whether one operator is fusable in isolation: it neither materializes
+/// tuples nor carries side effects, and its subscript (if any) evaluates
+/// no nested plan. When the operator is a boundary, `why` (optional)
+/// receives the reason.
+bool OperatorFusable(const algebra::Operator& op, std::string* why);
+
+/// Partitions the plan (and, recursively, nested subscript plans) into
+/// maximal segments in depth-first order. Deterministic: equal plans
+/// yield equal segmentations.
+Segmentation SegmentPlan(const algebra::Operator& root);
+
+/// Multi-line human-readable rendering (natixq --explain).
+std::string RenderSegments(const Segmentation& seg);
+
+/// JSON array of segment objects (natixq --explain-json):
+/// [{"id":0,"fusable":true,"ops":[...]}, {"id":1,"fusable":false,
+///   "barrier":"...","ops":[...]}].
+std::string SegmentsJson(const Segmentation& seg);
+
+/// Layer-4 cross-check: re-derives the segmentation of `root` and
+/// verifies `seg` agrees — every operator claimed fusable must actually
+/// be effect-free and non-materializing, and segment boundaries must
+/// fall on real barriers. kInternal naming the first mislabeled
+/// operator otherwise.
+Status VerifySegments(const algebra::Operator& root, const Segmentation& seg);
+
+}  // namespace natix::analysis
+
+#endif  // NATIX_ANALYSIS_FUSABILITY_H_

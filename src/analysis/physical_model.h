@@ -40,6 +40,70 @@ enum class PhysNodeKind : uint8_t {
 
 const char* PhysNodeKindName(PhysNodeKind kind);
 
+// ---------------------------------------------------------------------------
+// Layer-4 resource effects
+// ---------------------------------------------------------------------------
+
+/// What kind of tuple spool (materialized state) an iterator keeps between
+/// Next calls.
+enum class SpoolKind : uint8_t {
+  /// No materialized tuples.
+  kNone,
+  /// One context group at a time (Tmp^cs replay buffer): bounded by the
+  /// largest group, must be dropped on Close.
+  kGroup,
+  /// The entire input (Sort rows, DupElim seen-sets): must be dropped on
+  /// Close.
+  kFull,
+  /// A keyed memo that intentionally outlives Open/Close cycles within
+  /// one execution context (MemoX table, chi^mat cache, id-deref
+  /// indexes). Exempt from the release-on-close obligation; bounded by
+  /// the execution context's lifetime instead.
+  kMemo,
+};
+
+const char* SpoolKindName(SpoolKind kind);
+
+/// How an iterator's Close() treats one of its children.
+enum class ChildClose : uint8_t {
+  /// CloseImpl leaves the child as it found it. Legal only if the child
+  /// subtree holds no resources (cursors, spools).
+  kNone,
+  /// Whenever this node is Closed, the child ends closed — either
+  /// CloseImpl forwards Close unconditionally, or the node tracks the
+  /// child's open state and the guard covers every path (Limit, d-join
+  /// right side, concat branches).
+  kOnClose,
+  /// The child is opened and closed entirely inside a single Next (or
+  /// subscript evaluation) on every control path, including error paths
+  /// — it is never open between calls, so an external Close never finds
+  /// it open (semi/anti-join probe side, BinaryGroup right side, the
+  /// aggregate's nested plan).
+  kProbeContained,
+};
+
+const char* ChildCloseName(ChildClose mode);
+
+/// The declared resource behaviour of one compiled iterator. The code
+/// generator states these facts per operator it builds (mirroring the
+/// iterator implementations in src/qe/); the Layer-4 verifier proves the
+/// plan-wide consequences: page-pin balance, spool lifetime containment,
+/// and Close-reachability on all control paths — including early Close
+/// via Limit and deadline/cancel abort.
+struct ResourceEffects {
+  /// Holds a storage cursor (page pins via pinned PageHandles) between
+  /// Next calls while active.
+  bool holds_cursor = false;
+  /// CloseImpl releases the cursor (drops its page pins).
+  bool cursor_released_on_close = false;
+  /// Materialized tuple state kept between Next calls.
+  SpoolKind spool = SpoolKind::kNone;
+  /// CloseImpl drops the spool (required for kGroup/kFull).
+  bool spool_released_on_close = false;
+  /// Per-child Close obligation; must match children.size().
+  std::vector<ChildClose> child_close;
+};
+
 /// One node of the physical dataflow model: the register footprint of a
 /// compiled iterator. The code generator records one PhysNode per
 /// iterator it builds; the Layer-2 verifier walks the model, never the
@@ -55,6 +119,8 @@ struct PhysNode {
   std::vector<runtime::RegisterId> writes;
   /// The SaveRow/RestoreRow register list of materializing iterators.
   std::vector<runtime::RegisterId> row_regs;
+  /// Declared resource behaviour (Layer-4 input).
+  ResourceEffects effects;
   /// Input iterators, in evaluation order.
   std::vector<std::unique_ptr<PhysNode>> children;
   /// Nested sequence-valued subplans evaluated by this node's subscript

@@ -26,7 +26,12 @@ namespace natix::analysis {
 ///   Layer 2 (physical)   — register dataflow of the compiled iterator
 ///                          tree under the open/next protocol,
 ///   Layer 3 (NVM)        — bytecode well-formedness of every compiled
-///                          subscript program.
+///                          subscript program,
+///   Layer 4 (resources)  — resource-effect abstract interpretation over
+///                          the iterator tree: page-pin balance,
+///                          Tmp^cs/MemoX spool lifetime containment, and
+///                          Close-reachability on all control paths
+///                          (docs/STATIC-ANALYSIS.md).
 ///
 /// Verification is on by default in debug builds and opt-in in release
 /// builds (natixq --verify-plans, SetVerificationEnabled(true), or the
@@ -82,6 +87,28 @@ std::set<std::string> ExecutionContextAttributes();
 ///     so a never-written register round-trips its initial null),
 ///   * the result register is defined at the plan root.
 Status VerifyPhysical(const PhysicalModel& model);
+
+// ---------------------------------------------------------------------------
+// Layer 4: resource effects (declarations in physical_model.h)
+// ---------------------------------------------------------------------------
+
+/// Verifies the declared resource effects of the compiled iterator tree.
+/// Abstract interpretation over the open/next/close protocol; checked
+/// invariants, each failure naming the offending operator:
+///   * effect arity: every child has a declared ChildClose mode,
+///   * Close-reachability: every node whose subtree holds resources
+///     (cursors or spools) is guaranteed to be Closed on all control
+///     paths — the chain of kOnClose edges from the root must reach it,
+///     or it must be probe-contained (opened and closed entirely inside
+///     a single Next of its parent). This covers early Close via Limit
+///     and deadline/cancel abort, which Close the root: the same chain
+///     applies.
+///   * page-pin balance: a cursor-holding node must release the cursor
+///     (and hence its page pins) in Close,
+///   * spool lifetime containment: kGroup/kFull spools must be dropped
+///     on Close; only keyed kMemo state may outlive a Close, and it is
+///     bounded by the execution context.
+Status VerifyResources(const PhysicalModel& model);
 
 // ---------------------------------------------------------------------------
 // Layer 3: NVM subscript programs

@@ -1,5 +1,6 @@
 #include "api/plan_cache.h"
 
+#include "obs/lock_ledger.h"
 #include "obs/metrics.h"
 
 namespace natix {
@@ -30,7 +31,7 @@ std::string PlanCache::MakeKey(std::string_view xpath,
 std::shared_ptr<const PreparedQuery> PlanCache::Lookup(
     const std::string& key) {
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  std::lock_guard<std::mutex> lock(mutex_);
+  obs::LedgeredMutexLock lock(mutex_, obs::LockClass::kPlanCache);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -46,7 +47,7 @@ std::shared_ptr<const PreparedQuery> PlanCache::Lookup(
 void PlanCache::Insert(const std::string& key,
                        std::shared_ptr<const PreparedQuery> plan) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  obs::LedgeredMutexLock lock(mutex_, obs::LockClass::kPlanCache);
   auto it = index_.find(key);
   if (it != index_.end()) {
     // A racing thread prepared the same query first; keep the newer
@@ -65,28 +66,28 @@ void PlanCache::Insert(const std::string& key,
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  obs::LedgeredMutexLock lock(mutex_, obs::LockClass::kPlanCache);
   index_.clear();
   lru_.clear();
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  obs::LedgeredMutexLock lock(mutex_, obs::LockClass::kPlanCache);
   return lru_.size();
 }
 
 uint64_t PlanCache::hit_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  obs::LedgeredMutexLock lock(mutex_, obs::LockClass::kPlanCache);
   return hits_;
 }
 
 uint64_t PlanCache::miss_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  obs::LedgeredMutexLock lock(mutex_, obs::LockClass::kPlanCache);
   return misses_;
 }
 
 uint64_t PlanCache::eviction_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  obs::LedgeredMutexLock lock(mutex_, obs::LockClass::kPlanCache);
   return evictions_;
 }
 

@@ -76,9 +76,21 @@ class PreparedQuery : public std::enable_shared_from_this<PreparedQuery> {
     return plan_->physical_plan();
   }
 
-  /// One-line verdict of the static plan verifier (Layers 1-3).
+  /// One-line verdict of the static plan verifier (Layers 1-4).
   const std::string& VerificationReport() const {
     return plan_->verification();
+  }
+
+  /// The fusability segmentation: maximal non-materializing, effect-free
+  /// pipeline segments with their materialization/blocking boundaries
+  /// (docs/STATIC-ANALYSIS.md).
+  const analysis::Segmentation& Segments() const {
+    return plan_->segments();
+  }
+
+  /// Human-readable segment listing (natixq --explain).
+  const std::string& ExplainSegments() const {
+    return plan_->segments_text();
   }
 
   /// The logical plan annotated per operator with its inferred stream

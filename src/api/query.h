@@ -102,9 +102,15 @@ class CompiledQuery {
     return prepared_->ExplainProperties();
   }
 
-  /// JSON rendering of the annotated operator tree (natixq
-  /// --explain-json).
+  /// JSON rendering of the annotated operator tree plus the fusability
+  /// segmentation (natixq --explain-json).
   const std::string& ExplainJson() const { return prepared_->ExplainJson(); }
+
+  /// The fusability segmentation as a human-readable listing (natixq
+  /// --explain).
+  const std::string& ExplainSegments() const {
+    return prepared_->ExplainSegments();
+  }
 
   /// The property-justified rewrites applied during translation.
   const algebra::RewriteLog& rewrites() const {

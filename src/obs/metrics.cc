@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include "obs/lock_ledger.h"
+
 #if !defined(NATIX_OBS_DISABLED)
 
 #include <algorithm>
@@ -132,7 +134,7 @@ void LatencyHistogram::Reset() {
 }
 
 void SlowQueryLog::Record(SlowQueryEntry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LedgeredMutexLock lock(mu_, LockClass::kSlowQueryLog);
   entry.sequence = total_.fetch_add(1, std::memory_order_relaxed) + 1;
   entries_.push_back(std::move(entry));
   while (entries_.size() > kDefaultCapacity) entries_.pop_front();
@@ -141,7 +143,7 @@ void SlowQueryLog::Record(SlowQueryEntry entry) {
 std::vector<SlowQueryEntry> SlowQueryLog::Dump() const {
   std::vector<SlowQueryEntry> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LedgeredMutexLock lock(mu_, LockClass::kSlowQueryLog);
     out.assign(entries_.begin(), entries_.end());
   }
   // Record appends under the same mutex, so the ring is already ordered;
@@ -195,7 +197,7 @@ std::string SlowQueryLog::RenderText() const {
 }
 
 void SlowQueryLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LedgeredMutexLock lock(mu_, LockClass::kSlowQueryLog);
   entries_.clear();
   total_.store(0, std::memory_order_relaxed);
 }

@@ -46,6 +46,27 @@ PhysNodePtr MakeNode(PhysNodeKind kind, std::string label) {
   return node;
 }
 
+using analysis::ChildClose;
+using analysis::SpoolKind;
+
+/// Declares the Layer-4 resource behaviour of the iterator a node
+/// models. The declarations must mirror the implementations in src/qe/
+/// (operators.h and the *_ops.cc files); the resource verifier proves
+/// the plan-wide consequences, and the execution context's resource
+/// ledger cross-checks them at runtime.
+PhysNode* Effects(PhysNode* node, std::vector<ChildClose> child_close,
+                  SpoolKind spool = SpoolKind::kNone,
+                  bool spool_released_on_close = false,
+                  bool holds_cursor = false,
+                  bool cursor_released_on_close = false) {
+  node->effects.child_close = std::move(child_close);
+  node->effects.spool = spool;
+  node->effects.spool_released_on_close = spool_released_on_close;
+  node->effects.holds_cursor = holds_cursor;
+  node->effects.cursor_released_on_close = cursor_released_on_close;
+  return node;
+}
+
 /// Renders the physical shape of the compiled plan: the logical operator
 /// tree annotated with the attribute manager's register assignments.
 /// Pure-rename maps that compiled to register aliases are marked.
@@ -167,6 +188,10 @@ class CodegenImpl {
     ctx_->template_ = &tmpl_;
     ctx_->eval_ctx.store = store_;
     state_ = ctx_;
+    // The runtime half of Layer 4: the resource ledger cross-checks the
+    // static pin-balance / spool-containment proof on every execution,
+    // abort paths included.
+    if (analysis::VerificationEnabled()) ctx_->ArmResourceLedger();
     if (collect_stats) {
       ctx_->stats_ = std::make_unique<obs::QueryStats>();
       qstats_ = ctx_->stats_.get();
@@ -228,7 +253,7 @@ class CodegenImpl {
 
     obs::ScopedSpan verify_span(
         "compile/verify",
-        analysis::VerificationEnabled() ? "layers 1-3" : "skipped");
+        analysis::VerificationEnabled() ? "layers 1-4" : "skipped");
     if (analysis::VerificationEnabled()) {
       analysis::PhysicalModel model;
       model.root = std::move(root_node_);
@@ -239,6 +264,7 @@ class CodegenImpl {
       model.programs = std::move(programs_);
       NATIX_RETURN_IF_ERROR(analysis::VerifyTranslation(translation));
       NATIX_RETURN_IF_ERROR(analysis::VerifyPhysical(model));
+      NATIX_RETURN_IF_ERROR(analysis::VerifyResources(model));
       tmpl->verification_ =
           "VERIFIED (logical: " +
           std::to_string(algebra::PlanSize(*translation.plan)) +
@@ -248,7 +274,9 @@ class CodegenImpl {
           std::to_string(props_.size()) + " operators annotated, " +
           std::to_string(translation.rewrites.size()) +
           " property-justified rewrites; nvm optimizer: " +
-          std::to_string(nvm_rewrites_.size()) + " bytecode rewrites)";
+          std::to_string(nvm_rewrites_.size()) +
+          " bytecode rewrites; resources: pin-balanced, "
+          "close-on-all-paths)";
     } else {
       tmpl->verification_ =
           "not verified (release build; enable with --verify-plans)";
@@ -554,6 +582,7 @@ class CodegenImpl {
       case OpKind::kSelect: {
         NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
         PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "Select");
+        Effects(node.get(), {ChildClose::kOnClose});
         obs::OpStats* stats =
             NewStats("Select[" + op.scalar->ToString() + "]");
         NATIX_ASSIGN_OR_RETURN(
@@ -584,6 +613,10 @@ class CodegenImpl {
         PhysNodePtr node =
             MakeNode(PhysNodeKind::kPipeline,
                      "Map[" + op.attr + "@r" + std::to_string(out) + "]");
+        // chi^mat keeps a keyed result cache that intentionally outlives
+        // Open/Close cycles within one execution context.
+        Effects(node.get(), {ChildClose::kOnClose},
+                op.materialize ? SpoolKind::kMemo : SpoolKind::kNone);
         obs::OpStats* stats = NewStats(
             std::string("Map") + (op.materialize ? "^mat" : "") + "[" +
             op.attr + " := " + op.scalar->ToString() + "]" + PropTag(op));
@@ -612,6 +645,7 @@ class CodegenImpl {
         NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
         RegisterId out = Bind(op.attr);
         PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "Counter");
+        Effects(node.get(), {ChildClose::kOnClose});
         std::optional<RegisterId> reset;
         if (!op.ctx_attr.empty()) {
           NATIX_ASSIGN_OR_RETURN(RegisterId reg, Resolve(op.ctx_attr));
@@ -647,6 +681,11 @@ class CodegenImpl {
                               child.iter.get(), {child.stats});
         child.written.insert(out);
         PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "UnnestMap");
+        // The axis cursor pins pages between Next calls while active;
+        // Close drops it (pin balance on early exit).
+        Effects(node.get(), {ChildClose::kOnClose}, SpoolKind::kNone,
+                /*spool_released_on_close=*/false, /*holds_cursor=*/true,
+                /*cursor_released_on_close=*/true);
         node->reads.push_back(ctx);
         node->writes.push_back(out);
         node->children.push_back(std::move(child.node));
@@ -667,6 +706,8 @@ class CodegenImpl {
         result.written.insert(right.written.begin(), right.written.end());
         result.node = MakeNode(PhysNodeKind::kDependent,
                                op.kind == OpKind::kDJoin ? "DJoin" : "Cross");
+        Effects(result.node.get(),
+                {ChildClose::kOnClose, ChildClose::kOnClose});
         result.node->children.push_back(std::move(left.node));
         result.node->children.push_back(std::move(right.node));
         return result;
@@ -678,6 +719,10 @@ class CodegenImpl {
         PhysNodePtr node = MakeNode(
             PhysNodeKind::kDependentLeft,
             op.kind == OpKind::kSemiJoin ? "SemiJoin" : "AntiJoin");
+        // The probe side is opened and closed inside every Next call,
+        // including error paths — never open across calls.
+        Effects(node.get(),
+                {ChildClose::kOnClose, ChildClose::kProbeContained});
         obs::OpStats* stats = NewStats(
             std::string(op.kind == OpKind::kSemiJoin ? "SemiJoin"
                                                      : "AntiJoin") +
@@ -713,6 +758,11 @@ class CodegenImpl {
           result.node->children.push_back(std::move(child.node));
         }
         result.iter = std::make_unique<ConcatIterator>(std::move(children));
+        // Branches are opened lazily and each is closed before the next
+        // opens; Close finds at most the current branch open.
+        Effects(result.node.get(),
+                std::vector<ChildClose>(result.node->children.size(),
+                                        ChildClose::kOnClose));
         result.stats = Observe("Concat", result.iter.get(), {});
         if (result.stats != nullptr) result.stats->children = child_stats;
         return result;
@@ -725,6 +775,8 @@ class CodegenImpl {
         child.stats = Observe("DupElim[" + op.attr + "]" + PropTag(op),
                               child.iter.get(), {child.stats});
         PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "DupElim");
+        Effects(node.get(), {ChildClose::kOnClose}, SpoolKind::kFull,
+                /*spool_released_on_close=*/true);
         node->reads.push_back(attr);
         node->children.push_back(std::move(child.node));
         child.node = std::move(node);
@@ -740,6 +792,8 @@ class CodegenImpl {
         std::vector<RegisterId> rows(child.written.begin(),
                                      child.written.end());
         PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "Sort");
+        Effects(node.get(), {ChildClose::kOnClose}, SpoolKind::kFull,
+                /*spool_released_on_close=*/true);
         node->reads.push_back(attr);
         node->row_regs = rows;
         child.iter = std::make_unique<SortIterator>(
@@ -769,6 +823,10 @@ class CodegenImpl {
         result.stats = stats;
         result.written.insert(out);
         result.node = MakeNode(PhysNodeKind::kBarrier, "Aggregate");
+        // The input is drained and closed inside a single Next via the
+        // nested-aggregate machinery (subscripts.cc), error paths
+        // included.
+        Effects(result.node.get(), {ChildClose::kProbeContained});
         result.node->reads.push_back(input);
         result.node->writes.push_back(out);
         result.node->children.push_back(std::move(child.node));
@@ -794,6 +852,8 @@ class CodegenImpl {
         result.written = std::move(left.written);
         result.written.insert(out);
         result.node = MakeNode(PhysNodeKind::kDependentLeft, "BinaryGroup");
+        Effects(result.node.get(),
+                {ChildClose::kOnClose, ChildClose::kProbeContained});
         result.node->reads = {left_attr, right_attr, agg_input};
         result.node->writes.push_back(out);
         result.node->children.push_back(std::move(left.node));
@@ -804,6 +864,8 @@ class CodegenImpl {
         NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
         RegisterId out = Bind(op.attr);
         PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "TmpCs");
+        Effects(node.get(), {ChildClose::kOnClose}, SpoolKind::kGroup,
+                /*spool_released_on_close=*/true);
         std::optional<RegisterId> ctx;
         if (!op.ctx_attr.empty()) {
           NATIX_ASSIGN_OR_RETURN(RegisterId reg, Resolve(op.ctx_attr));
@@ -836,6 +898,10 @@ class CodegenImpl {
         std::vector<RegisterId> rows(child.written.begin(),
                                      child.written.end());
         PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "MemoX");
+        // The memo table is keyed on the free variables and intentionally
+        // survives Open/Close cycles; in-flight recordings are discarded
+        // on Close.
+        Effects(node.get(), {ChildClose::kOnClose}, SpoolKind::kMemo);
         node->reads = keys;
         node->row_regs = rows;
         child.iter = std::make_unique<MemoXIterator>(
@@ -862,6 +928,7 @@ class CodegenImpl {
                               {child.stats});
         child.written.insert(out);
         PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "Unnest");
+        Effects(node.get(), {ChildClose::kOnClose});
         node->reads.push_back(seq);
         node->writes.push_back(out);
         node->children.push_back(std::move(child.node));
@@ -872,6 +939,9 @@ class CodegenImpl {
         NATIX_ASSIGN_OR_RETURN(BuildResult child, Build(*op.children[0]));
         NATIX_ASSIGN_OR_RETURN(RegisterId ctx, Resolve(op.ctx_attr));
         PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "IdDeref");
+        // The lazily built id indexes live in the execution context and
+        // are shared across Opens — keyed memo state by design.
+        Effects(node.get(), {ChildClose::kOnClose}, SpoolKind::kMemo);
         node->reads.push_back(ctx);
         obs::OpStats* stats = NewStats("IdDeref[" + op.attr + "]");
         SubscriptPtr scalar;
@@ -897,6 +967,9 @@ class CodegenImpl {
             Observe("Limit[" + std::to_string(op.limit) + "]" + PropTag(op),
                     child.iter.get(), {child.stats});
         PhysNodePtr node = MakeNode(PhysNodeKind::kPipeline, "Limit");
+        // Early exit closes the child inside Next; Close re-checks the
+        // open flag, so the child ends closed on every path.
+        Effects(node.get(), {ChildClose::kOnClose});
         node->children.push_back(std::move(child.node));
         child.node = std::move(node);
         return child;
@@ -951,8 +1024,23 @@ StatusOr<std::unique_ptr<PlanTemplate>> Codegen::Prepare(
   tmpl->props_ = analysis::AnnotatePlan(*translation.plan);
   tmpl->logical_plan_ = translation.plan->ToString();
   tmpl->properties_plan_ = analysis::RenderAnnotatedPlan(*translation.plan);
-  tmpl->properties_json_ = analysis::PlanToJson(*translation.plan);
   tmpl->rewrites_ = translation.rewrites;
+
+  // Fusability segmentation (Layer 4): maximal non-materializing,
+  // effect-free pipeline segments with their boundaries — the NVM
+  // fusion compiler's work list, surfaced through --explain and
+  // --explain-json.
+  tmpl->segmentation_ = analysis::SegmentPlan(*translation.plan);
+  if (analysis::VerificationEnabled()) {
+    NATIX_RETURN_IF_ERROR(
+        analysis::VerifySegments(*translation.plan, tmpl->segmentation_));
+  }
+  tmpl->segments_text_ = analysis::RenderSegments(tmpl->segmentation_);
+  std::string plan_json = analysis::PlanToJson(*translation.plan);
+  while (!plan_json.empty() && plan_json.back() == '\n') plan_json.pop_back();
+  tmpl->properties_json_ =
+      "{\"plan\":" + plan_json +
+      ",\"segments\":" + analysis::SegmentsJson(tmpl->segmentation_) + "}\n";
 
   // Result-order guarantee: when the root stream is provably in
   // (non-strict) document order on the result attribute, the API skips

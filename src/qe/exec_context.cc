@@ -16,6 +16,37 @@ Status ExecutionContext::CheckCancellation() const {
   return Status::OK();
 }
 
+Status ExecutionContext::VerifyLedgerQuiescent() const {
+  if (!ledger_armed_) return Status::OK();
+  if (ledger_.cursors_active != 0) {
+    return Status::Internal(
+        "resource ledger: " + std::to_string(ledger_.cursors_active) +
+        " storage cursor(s) still active after Close — page pins leaked "
+        "(pin-balance violation)");
+  }
+  if (ledger_.spool_rows != 0) {
+    return Status::Internal(
+        "resource ledger: " + std::to_string(ledger_.spool_rows) +
+        " spool row(s) survive Close (spool-containment violation)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Closes the root on an abort path and audits the resource ledger: the
+/// whole point of close-on-all-paths is that an early exit leaves no
+/// pins or spools behind, so a ledger imbalance here is a bug worth
+/// more than the original abort status.
+Status AbortClose(Iterator* root, const ExecutionContext& ctx, Status st) {
+  (void)root->Close();
+  Status ledger = ctx.VerifyLedgerQuiescent();
+  if (!ledger.ok()) return ledger;
+  return st;
+}
+
+}  // namespace
+
 void ExecutionContext::SetContextNode(runtime::NodeRef node) {
   registers[cn_reg_] = runtime::Value::Node(node);
   // Default context position/size: a singleton context.
@@ -47,8 +78,7 @@ StatusOr<std::vector<runtime::NodeRef>> ExecutionContext::ExecuteNodes() {
     obs::ScopedSpan span("exec/first-next");
     Status st = root_->Next(&has);
     if (!st.ok()) {
-      (void)root_->Close();
-      return st;
+      return AbortClose(root_.get(), *this, std::move(st));
     }
   }
   {
@@ -61,20 +91,19 @@ StatusOr<std::vector<runtime::NodeRef>> ExecutionContext::ExecuteNodes() {
       if (drained++ % kCancelCheckInterval == 0) {
         Status st = CheckCancellation();
         if (!st.ok()) {
-          (void)root_->Close();
-          return st;
+          return AbortClose(root_.get(), *this, std::move(st));
         }
       }
       const runtime::Value& v = registers[result_reg_];
       if (v.kind() != runtime::ValueKind::kNode) {
-        (void)root_->Close();
-        return Status::Internal("node-set plan produced a non-node value");
+        return AbortClose(
+            root_.get(), *this,
+            Status::Internal("node-set plan produced a non-node value"));
       }
       result.push_back(v.AsNode());
       Status st = root_->Next(&has);
       if (!st.ok()) {
-        (void)root_->Close();
-        return st;
+        return AbortClose(root_.get(), *this, std::move(st));
       }
     }
   }
@@ -82,6 +111,7 @@ StatusOr<std::vector<runtime::NodeRef>> ExecutionContext::ExecuteNodes() {
     obs::ScopedSpan span("exec/close");
     NATIX_RETURN_IF_ERROR(root_->Close());
   }
+  NATIX_RETURN_IF_ERROR(VerifyLedgerQuiescent());
   return result;
 }
 
@@ -104,19 +134,19 @@ StatusOr<runtime::Value> ExecutionContext::ExecuteValue() {
     obs::ScopedSpan span("exec/first-next");
     Status st = root_->Next(&has);
     if (!st.ok()) {
-      (void)root_->Close();
-      return st;
+      return AbortClose(root_.get(), *this, std::move(st));
     }
   }
   if (!has) {
-    (void)root_->Close();
-    return Status::Internal("scalar plan produced no tuple");
+    return AbortClose(root_.get(), *this,
+                      Status::Internal("scalar plan produced no tuple"));
   }
   runtime::Value result = registers[result_reg_];
   {
     obs::ScopedSpan span("exec/close");
     NATIX_RETURN_IF_ERROR(root_->Close());
   }
+  NATIX_RETURN_IF_ERROR(VerifyLedgerQuiescent());
   return result;
 }
 

@@ -107,6 +107,46 @@ class ExecutionContext {
   /// kCancelCheckInterval tuples and by scalar execution before Open.
   Status CheckCancellation() const;
 
+  // -- Layer-4 runtime resource ledger ------------------------------------
+
+  /// Runtime cross-check of the static Layer-4 resource claims
+  /// (docs/STATIC-ANALYSIS.md): counts active storage cursors (page-pin
+  /// holders) and live non-memo spool rows. Armed together with the
+  /// property oracle when verification is enabled; the Ledger* helpers
+  /// are single-branch no-ops otherwise.
+  struct ResourceLedger {
+    /// Cursors currently holding page pins between Next calls.
+    int64_t cursors_active = 0;
+    /// Rows currently materialized in group/full spools.
+    int64_t spool_rows = 0;
+    /// Lifetime activation count (diagnostics).
+    uint64_t cursors_activated = 0;
+  };
+
+  void ArmResourceLedger() { ledger_armed_ = true; }
+  bool ledger_armed() const { return ledger_armed_; }
+  const ResourceLedger& ledger() const { return ledger_; }
+
+  void LedgerCursorActivated() {
+    if (!ledger_armed_) return;
+    ++ledger_.cursors_active;
+    ++ledger_.cursors_activated;
+  }
+  void LedgerCursorReleased() {
+    if (ledger_armed_) --ledger_.cursors_active;
+  }
+  void LedgerSpoolGrew(size_t rows) {
+    if (ledger_armed_) ledger_.spool_rows += static_cast<int64_t>(rows);
+  }
+  void LedgerSpoolDropped(size_t rows) {
+    if (ledger_armed_) ledger_.spool_rows -= static_cast<int64_t>(rows);
+  }
+
+  /// After the root has been Closed, every cursor must be inactive and
+  /// every non-memo spool empty — the runtime form of the pin-balance /
+  /// spool-containment proof. kInternal naming the imbalance otherwise.
+  Status VerifyLedgerQuiescent() const;
+
   // -- Mutable execution state, written by the iterators ------------------
 
   runtime::RegisterFile registers{0};
@@ -138,6 +178,8 @@ class ExecutionContext {
   bool force_result_sort_ = false;
   uint64_t deadline_ns_ = 0;
   const std::atomic<bool>* cancel_flag_ = nullptr;
+  bool ledger_armed_ = false;
+  ResourceLedger ledger_;
 };
 
 }  // namespace natix::qe

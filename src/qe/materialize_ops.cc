@@ -11,10 +11,20 @@ using runtime::Row;
 using runtime::Value;
 using runtime::ValueKind;
 
-Status DupElimIterator::OpenImpl() {
+void DupElimIterator::DropSeen() {
+  state_->LedgerSpoolDropped(seen_nodes_.size() + seen_other_.size());
   seen_nodes_.clear();
   seen_other_.clear();
+}
+
+Status DupElimIterator::OpenImpl() {
+  DropSeen();
   return child_->Open();
+}
+
+Status DupElimIterator::CloseImpl() {
+  DropSeen();
+  return child_->Close();
 }
 
 Status DupElimIterator::NextImpl(bool* has) {
@@ -25,14 +35,27 @@ Status DupElimIterator::NextImpl(bool* has) {
     bool fresh = v.kind() == ValueKind::kNode
                      ? seen_nodes_.insert(v.AsNode().id).second
                      : seen_other_.insert(EncodeValueKey(v)).second;
-    if (fresh) return Status::OK();
+    if (fresh) {
+      state_->LedgerSpoolGrew(1);
+      return Status::OK();
+    }
   }
+}
+
+void SortIterator::DropRows() {
+  state_->LedgerSpoolDropped(rows_.size());
+  rows_.clear();
+  pos_ = 0;
+}
+
+Status SortIterator::CloseImpl() {
+  DropRows();
+  return child_->Close();
 }
 
 Status SortIterator::OpenImpl() {
   obs::ScopedSpan span("exec/materialize", "sort");
-  rows_.clear();
-  pos_ = 0;
+  DropRows();
   NATIX_RETURN_IF_ERROR(child_->Open());
   while (true) {
     bool has = false;
@@ -44,6 +67,7 @@ Status SortIterator::OpenImpl() {
     Row row;
     state_->registers.SaveRow(row_regs_, &row);
     rows_.emplace_back(order, std::move(row));
+    state_->LedgerSpoolGrew(1);
   }
   std::stable_sort(rows_.begin(), rows_.end(),
                    [](const auto& a, const auto& b) {
@@ -63,12 +87,24 @@ Status SortIterator::NextImpl(bool* has) {
   return Status::OK();
 }
 
-Status TmpCsIterator::OpenImpl() {
+void TmpCsIterator::DropGroup() {
+  state_->LedgerSpoolDropped(group_.size() + (have_pending_ ? 1 : 0));
   group_.clear();
   replay_pos_ = 0;
-  child_exhausted_ = false;
   have_pending_ = false;
+  pending_row_ = Row();
+  pending_key_.clear();
+}
+
+Status TmpCsIterator::OpenImpl() {
+  DropGroup();
+  child_exhausted_ = false;
   return child_->Open();
+}
+
+Status TmpCsIterator::CloseImpl() {
+  DropGroup();
+  return child_->Close();
 }
 
 Status TmpCsIterator::FillGroup() {
@@ -76,6 +112,7 @@ Status TmpCsIterator::FillGroup() {
   // attribute is set, otherwise the run of tuples sharing the context
   // attribute's value (Sec. 5.2.4).
   obs::ScopedSpan span("exec/materialize", "tmp-cs");
+  state_->LedgerSpoolDropped(group_.size());
   group_.clear();
   replay_pos_ = 0;
   if (have_pending_) {
@@ -102,6 +139,7 @@ Status TmpCsIterator::FillGroup() {
     // of the next one — this is the single-pass materialization counter
     // the behavioral tests pin down.
     NATIX_OBS_COUNT(stats_, spooled_rows, 1);
+    state_->LedgerSpoolGrew(1);
     if (ctx_reg_.has_value()) {
       std::string key = EncodeValueKey(state_->registers[*ctx_reg_]);
       if (group_.empty()) {
@@ -163,6 +201,7 @@ Status MemoXIterator::OpenImpl() {
   NATIX_OBS_COUNT(stats_, memo_misses, 1);
   replaying_ = false;
   recording_ = true;
+  state_->LedgerSpoolDropped(recorded_.size());
   recorded_.clear();
   NATIX_RETURN_IF_ERROR(child_->Open());
   child_open_ = true;
@@ -187,11 +226,15 @@ Status MemoXIterator::NextImpl(bool* has) {
     state_->registers.SaveRow(row_regs_, &row);
     recorded_.push_back(std::move(row));
     NATIX_OBS_COUNT(stats_, spooled_rows, 1);
+    state_->LedgerSpoolGrew(1);
     return Status::OK();
   }
   // Child drained completely: commit the memo entry (partial drains must
-  // not be committed — see Close).
+  // not be committed — see Close). Committed rows graduate from the
+  // in-flight spool to the keyed memo, which is exempt from the
+  // release-on-close obligation (SpoolKind::kMemo).
   if (recording_) {
+    state_->LedgerSpoolDropped(recorded_.size());
     table_.emplace(current_key_, std::move(recorded_));
     recorded_.clear();
     recording_ = false;
@@ -203,6 +246,7 @@ Status MemoXIterator::CloseImpl() {
   // A Close before exhaustion (e.g. an early-exiting exists() above us)
   // leaves the entry uncommitted so a later evaluation recomputes it.
   recording_ = false;
+  state_->LedgerSpoolDropped(recorded_.size());
   recorded_.clear();
   replaying_ = false;
   if (child_open_) {

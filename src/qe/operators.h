@@ -153,9 +153,15 @@ class UnnestMapIterator : public Iterator {
         cursor_(nullptr) {}
   Status OpenImpl() override;
   Status NextImpl(bool* has) override;
-  Status CloseImpl() override { return child_->Close(); }
+  /// Releases the axis cursor (and the page pins its node accessor
+  /// holds) before closing the child: pins must not survive an early
+  /// Close via Limit or a deadline/cancel abort.
+  Status CloseImpl() override;
 
  private:
+  /// Deactivates and resets the cursor, updating the resource ledger.
+  void ReleaseCursor();
+
   ExecutionContext* state_;
   IteratorPtr child_;
   runtime::RegisterId ctx_;
@@ -239,9 +245,14 @@ class DupElimIterator : public Iterator {
       : state_(state), child_(std::move(child)), attr_(attr) {}
   Status OpenImpl() override;
   Status NextImpl(bool* has) override;
-  Status CloseImpl() override { return child_->Close(); }
+  /// Drops the seen-sets with the pipeline: a full spool must not
+  /// outlive Close (spool containment).
+  Status CloseImpl() override;
 
  private:
+  /// Empties the seen-sets, updating the resource ledger.
+  void DropSeen();
+
   ExecutionContext* state_;
   IteratorPtr child_;
   runtime::RegisterId attr_;
@@ -262,9 +273,13 @@ class SortIterator : public Iterator {
         row_regs_(std::move(row_regs)) {}
   Status OpenImpl() override;
   Status NextImpl(bool* has) override;
-  Status CloseImpl() override { return child_->Close(); }
+  /// Drops the sorted spool with the pipeline (spool containment).
+  Status CloseImpl() override;
 
  private:
+  /// Empties the spool, updating the resource ledger.
+  void DropRows();
+
   ExecutionContext* state_;
   IteratorPtr child_;
   runtime::RegisterId attr_;
@@ -291,10 +306,14 @@ class TmpCsIterator : public Iterator {
         row_regs_(std::move(row_regs)) {}
   Status OpenImpl() override;
   Status NextImpl(bool* has) override;
-  Status CloseImpl() override { return child_->Close(); }
+  /// Drops the group spool and the pending head with the pipeline
+  /// (spool containment).
+  Status CloseImpl() override;
 
  private:
   Status FillGroup();
+  /// Empties the group spool and pending head, updating the ledger.
+  void DropGroup();
 
   ExecutionContext* state_;
   IteratorPtr child_;

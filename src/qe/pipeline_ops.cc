@@ -82,10 +82,24 @@ Status CounterIterator::NextImpl(bool* has) {
   return Status::OK();
 }
 
-Status UnnestMapIterator::OpenImpl() {
-  cursor_active_ = false;
+void UnnestMapIterator::ReleaseCursor() {
+  if (cursor_active_) {
+    cursor_active_ = false;
+    state_->LedgerCursorReleased();
+  }
+  // Reassignment drops the cursor's node accessor and with it the page
+  // pins it caches — an exhausted cursor may still hold its last page.
   cursor_ = runtime::AxisCursor(state_->eval_ctx.store);
+}
+
+Status UnnestMapIterator::OpenImpl() {
+  ReleaseCursor();
   return child_->Open();
+}
+
+Status UnnestMapIterator::CloseImpl() {
+  ReleaseCursor();
+  return child_->Close();
 }
 
 Status UnnestMapIterator::NextImpl(bool* has) {
@@ -103,6 +117,7 @@ Status UnnestMapIterator::NextImpl(bool* has) {
       NATIX_RETURN_IF_ERROR(
           cursor_.Open(axis_, test_, ctx.AsNode().node_id()));
       cursor_active_ = true;
+      state_->LedgerCursorActivated();
     }
     bool cursor_has = false;
     runtime::NodeRef node;
@@ -114,6 +129,7 @@ Status UnnestMapIterator::NextImpl(bool* has) {
       return Status::OK();
     }
     cursor_active_ = false;
+    state_->LedgerCursorReleased();
   }
 }
 

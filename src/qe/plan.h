@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "algebra/rewriter.h"
+#include "analysis/fusability.h"
 #include "analysis/property_inference.h"
 #include "base/statusor.h"
 #include "nvm/program.h"
@@ -70,9 +71,18 @@ class PlanTemplate {
   /// (ordering, duplicate-freedom, cardinality, node class) per operator.
   const std::string& properties_plan() const { return properties_plan_; }
 
-  /// JSON rendering of the operator tree with the full inferred
-  /// properties (natixq --explain-json).
+  /// JSON object with the operator tree ("plan": full inferred
+  /// properties per operator) and the fusability segmentation
+  /// ("segments") — natixq --explain-json.
   const std::string& properties_json() const { return properties_json_; }
+
+  /// Fusability segmentation: maximal non-materializing, effect-free
+  /// pipeline segments and the materialization/blocking boundaries
+  /// between them. The descriptors the NVM fusion compiler consumes.
+  const analysis::Segmentation& segments() const { return segmentation_; }
+
+  /// Human-readable segment listing (natixq --explain).
+  const std::string& segments_text() const { return segments_text_; }
 
   /// The property-justified rewrites applied during translation plus the
   /// analysis-justified NVM bytecode rewrites ("nvm:<pass>" rules), each
@@ -123,6 +133,8 @@ class PlanTemplate {
   std::string verification_;
   std::string properties_plan_;
   std::string properties_json_;
+  analysis::Segmentation segmentation_;
+  std::string segments_text_;
   algebra::RewriteLog rewrites_;
   bool result_document_ordered_ = false;
   /// The final (optimized) subscript programs in deterministic compile

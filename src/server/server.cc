@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "base/clock.h"
+#include "obs/lock_ledger.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
 #include "obs/trace.h"
@@ -150,13 +151,13 @@ void Server::Shutdown() {
     ::shutdown(listen_fd_, SHUT_RDWR);
   }
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    obs::LedgeredMutexLock lock(conn_mu_, obs::LockClass::kServerConn);
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   if (acceptor_.joinable()) acceptor_.join();
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    obs::LedgeredMutexLock lock(conn_mu_, obs::LockClass::kServerConn);
     threads.swap(conn_threads_);
   }
   for (std::thread& t : threads) {
@@ -194,7 +195,7 @@ void Server::AcceptLoop() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     SetSocketTimeout(fd, options_.idle_timeout_ms);
     open_connections_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    obs::LedgeredMutexLock lock(conn_mu_, obs::LockClass::kServerConn);
     conn_fds_.insert(fd);
     conn_threads_.emplace_back(&Server::ServeConnection, this, fd);
   }
@@ -223,7 +224,7 @@ void Server::ServeConnection(int fd) {
     if (!wst.ok() || !keep) break;
   }
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    obs::LedgeredMutexLock lock(conn_mu_, obs::LockClass::kServerConn);
     conn_fds_.erase(fd);
   }
   ::close(fd);
@@ -270,7 +271,9 @@ HttpResponse Server::Dispatch(const HttpRequest& request) {
 
 Server::AdmitResult Server::Admit(uint64_t deadline_ns) {
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  std::unique_lock<std::mutex> lock(admission_mu_);
+  obs::LedgeredUniqueLock ledgered(admission_mu_,
+                                  obs::LockClass::kAdmission);
+  std::unique_lock<std::mutex>& lock = ledgered.lock();
   if (shutdown_.load(std::memory_order_relaxed)) {
     return AdmitResult::kShutdown;
   }
@@ -310,7 +313,7 @@ Server::AdmitResult Server::Admit(uint64_t deadline_ns) {
 
 void Server::Release() {
   {
-    std::lock_guard<std::mutex> lock(admission_mu_);
+    obs::LedgeredMutexLock lock(admission_mu_, obs::LockClass::kAdmission);
     --executing_;
   }
   admission_cv_.notify_one();
@@ -531,7 +534,7 @@ std::string Server::RenderStatus() const {
   size_t executing = 0;
   size_t waiting = 0;
   {
-    std::lock_guard<std::mutex> lock(admission_mu_);
+    obs::LedgeredMutexLock lock(admission_mu_, obs::LockClass::kAdmission);
     executing = executing_;
     waiting = waiting_;
   }
@@ -623,7 +626,9 @@ std::string Server::RenderStatus() const {
       out += '}';
     }
   }
-  out += "]}\n";
+  out += "],\"lock_ledger\":";
+  out += obs::LockLedger::Global().GraphJson();
+  out += "}\n";
   return out;
 }
 

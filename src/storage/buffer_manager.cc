@@ -1,10 +1,21 @@
 #include "storage/buffer_manager.h"
 
 #include <cstring>
+#include <memory>
 
 #include "base/logging.h"
+#include "obs/lock_ledger.h"
 
 namespace natix::storage {
+
+namespace {
+
+/// Ledger instance id of shard `s`: 1-based so 0 keeps its "use the
+/// mutex address" meaning in the guard, and ascending with the index —
+/// the order Snapshot() takes them in.
+uintptr_t ShardInstance(size_t s) { return static_cast<uintptr_t>(s + 1); }
+
+}  // namespace
 
 PageHandle::PageHandle(const PageHandle& other)
     : manager_(other.manager_), page_id_(other.page_id_),
@@ -105,7 +116,8 @@ void BufferManager::Unpin(size_t frame) {
   // decrement and the lock, so every condition is re-checked under the
   // shard mutex (FixPage holds it for the matching transitions).
   Shard& shard = shards_[f.shard];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  obs::LedgeredMutexLock lock(shard.mutex, obs::LockClass::kBufferShard,
+                              ShardInstance(f.shard));
   if (f.pin_count.load(std::memory_order_relaxed) == 0 && !f.in_lru &&
       f.page_id != kInvalidPage) {
     f.lru_pos = shard.lru.insert(shard.lru.end(), frame);
@@ -139,8 +151,10 @@ StatusOr<size_t> BufferManager::ClaimFrame(Shard& shard) {
 }
 
 StatusOr<PageHandle> BufferManager::FixPage(PageId id) {
-  Shard& shard = shards_[ShardOf(id)];
-  std::unique_lock<std::mutex> lock(shard.mutex);
+  const size_t shard_index = ShardOf(id);
+  Shard& shard = shards_[shard_index];
+  obs::LedgeredMutexLock lock(shard.mutex, obs::LockClass::kBufferShard,
+                              ShardInstance(shard_index));
   auto it = shard.page_table.find(id);
   if (it != shard.page_table.end()) {
     size_t frame = it->second;
@@ -174,11 +188,14 @@ StatusOr<PageHandle> BufferManager::FixPage(PageId id) {
 StatusOr<PageHandle> BufferManager::NewPage() {
   PageId id;
   {
-    std::lock_guard<std::mutex> alloc_lock(alloc_mutex_);
+    obs::LedgeredMutexLock alloc_lock(alloc_mutex_,
+                                      obs::LockClass::kBufferAlloc);
     NATIX_ASSIGN_OR_RETURN(id, file_->AllocatePage());
   }
-  Shard& shard = shards_[ShardOf(id)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  const size_t shard_index = ShardOf(id);
+  Shard& shard = shards_[shard_index];
+  obs::LedgeredMutexLock lock(shard.mutex, obs::LockClass::kBufferShard,
+                              ShardInstance(shard_index));
   NATIX_ASSIGN_OR_RETURN(size_t frame, ClaimFrame(shard));
   Frame& f = frames_[frame];
   std::memset(f.data.get(), 0, kPageSize);
@@ -192,7 +209,8 @@ StatusOr<PageHandle> BufferManager::NewPage() {
 Status BufferManager::FlushAll() {
   for (size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    obs::LedgeredMutexLock lock(shard.mutex, obs::LockClass::kBufferShard,
+                                ShardInstance(s));
     for (Frame& f : frames_) {
       if (f.shard != s) continue;
       if (f.page_id != kInvalidPage &&
@@ -209,10 +227,11 @@ Status BufferManager::FlushAll() {
 BufferManager::CounterSnapshot BufferManager::Snapshot() const {
   // Lock every shard (in index order — the only multi-shard acquisition,
   // so no ordering conflicts), then read: no increment can interleave.
-  std::vector<std::unique_lock<std::mutex>> locks;
+  std::vector<std::unique_ptr<obs::LedgeredMutexLock>> locks;
   locks.reserve(shards_.size());
-  for (const Shard& shard : shards_) {
-    locks.emplace_back(shard.mutex);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    locks.push_back(std::make_unique<obs::LedgeredMutexLock>(
+        shards_[s].mutex, obs::LockClass::kBufferShard, ShardInstance(s)));
   }
   CounterSnapshot snap;
   for (const Shard& shard : shards_) {
@@ -228,8 +247,10 @@ std::vector<BufferManager::ShardSnapshot> BufferManager::ShardSnapshots()
     const {
   std::vector<ShardSnapshot> out;
   out.reserve(shards_.size());
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    obs::LedgeredMutexLock lock(shard.mutex, obs::LockClass::kBufferShard,
+                                ShardInstance(s));
     ShardSnapshot snap;
     snap.faults = shard.faults.load(std::memory_order_relaxed);
     snap.hits = shard.hits.load(std::memory_order_relaxed);

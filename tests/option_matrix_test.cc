@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "api/database.h"
+#include "obs/lock_ledger.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
 #include "obs/trace.h"
@@ -170,6 +171,42 @@ TEST(OptionMatrixTest, ServingObservabilitySurfaceWorksInBothConfigs) {
   EXPECT_NE(rendered.find("natix_uptime_seconds"), std::string::npos);
 #endif
   EXPECT_NE(server.RenderStatus().find("\"documents\":[\"d\"]"),
+            std::string::npos);
+}
+
+// The Layer-4 static analyses (resource verifier, fusability
+// segmentation, lock-order ledger) compile cleanly and keep their
+// surfaces with observability off — analysis is a compiler concern, not
+// an obs feature; only the ledger's runtime recording is obs-gated.
+TEST(OptionMatrixTest, StaticAnalysisSurfaceWorksInBothConfigs) {
+  auto db = Database::CreateTemp();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->LoadDocument("d", kDoc).ok());
+  auto compiled = (*db)->Compile("//a/b/c");
+  ASSERT_TRUE(compiled.ok());
+  // Verification (including the Layer-4 resource pass) ran or was
+  // skipped per build mode, never rejected a compiler-produced plan.
+  EXPECT_FALSE((*compiled)->VerificationReport().empty());
+  // Segmentation is pure analysis: present in both configs.
+  const std::string& segments = (*compiled)->ExplainSegments();
+  EXPECT_NE(segments.find("pipeline segments:"), std::string::npos);
+  EXPECT_NE((*compiled)->ExplainJson().find("\"segments\":["),
+            std::string::npos);
+
+  // The lock ledger keeps its surface in both configs; under
+  // NATIX_OBS_DISABLED it is a no-op.
+  obs::LockLedger& ledger = obs::LockLedger::Global();
+  const std::string graph = ledger.GraphJson();
+  EXPECT_EQ(graph.front(), '{');
+#if defined(NATIX_OBS_DISABLED)
+  EXPECT_EQ(graph, "{\"disabled\":true}");
+#else
+  EXPECT_NE(graph.find("\"mode\":"), std::string::npos);
+#endif
+  EXPECT_FALSE(ledger.HasCycle() && ledger.Cycles().empty());
+  EXPECT_NE(server::Server(db->get(), server::ServerOptions())
+                .RenderStatus()
+                .find("\"lock_ledger\":{"),
             std::string::npos);
 }
 

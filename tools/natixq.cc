@@ -314,6 +314,18 @@ int main(int argc, char** argv) {
 
   auto query = (*db)->Compile(positional[1], options, collect_stats);
   if (!query.ok()) {
+    // Verifier violations (any layer) are kInternal: surface them as a
+    // verification failure with a distinct exit code so release-build
+    // --verify-plans runs fail loudly instead of hiding behind debug
+    // asserts.
+    if (natix::analysis::VerificationEnabled() &&
+        query.status().code() == natix::StatusCode::kInternal) {
+      std::fprintf(stderr,
+                   "natixq: plan verification FAILED\n%s\n",
+                   query.status().ToString().c_str());
+      finish();
+      return 4;
+    }
     std::fprintf(stderr, "natixq: %s\n", query.status().ToString().c_str());
     finish();
     return 1;
@@ -323,7 +335,7 @@ int main(int argc, char** argv) {
   }
 
   if (explain_json) {
-    std::printf("%s\n", (*query)->ExplainJson().c_str());
+    std::printf("%s", (*query)->ExplainJson().c_str());
     return finish();
   }
 
@@ -358,11 +370,13 @@ int main(int argc, char** argv) {
     if (rewrites.empty()) rewrites = "(none)\n";
     std::printf("=== logical plan ===\n%s\n=== physical plan ===\n%s"
                 "=== stream properties ===\n%s"
+                "=== pipeline segments ===\n%s"
                 "=== rewrites ===\n%s"
                 "=== verification ===\n%s\n",
                 (*query)->ExplainLogical().c_str(),
                 (*query)->ExplainPhysical().c_str(),
                 (*query)->ExplainProperties().c_str(),
+                (*query)->ExplainSegments().c_str(),
                 rewrites.c_str(),
                 (*query)->VerificationReport().c_str());
     return finish();
